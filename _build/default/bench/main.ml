@@ -1,0 +1,448 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section V), plus the Section III-B runtime
+   claims and ablations of the design choices DESIGN.md calls out.
+
+   Usage:
+     dune exec bench/main.exe            # fig1 + tables I, II, III + sec3b
+     dune exec bench/main.exe -- fig1
+     dune exec bench/main.exe -- table1 [--full] [--high]
+     dune exec bench/main.exe -- table2 [--full] [--high]
+     dune exec bench/main.exe -- table3
+     dune exec bench/main.exe -- sec3b
+     dune exec bench/main.exe -- ablation
+     dune exec bench/main.exe -- timing  # Bechamel micro-benchmarks
+
+   Absolute numbers cannot match the paper (our substrate regenerates
+   the benchmarks rather than starting from the suite's heavily
+   pre-optimized netlists, and the backend is a proxy, not a
+   commercial P&R); the shape — who wins, in which direction, by
+   roughly what kind of factor — is the reproduction target. Every row
+   prints the paper's value next to ours. *)
+
+module Aig = Sbm_aig.Aig
+module Epfl = Sbm_epfl.Epfl
+module Flow = Sbm_core.Flow
+module Rng = Sbm_util.Rng
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Sanity gate: heavy random simulation catches real bugs instantly;
+   the SAT proof gets a bounded budget, because miters over arithmetic
+   (dividers, square roots) can be exponentially hard and the engines
+   carry their own equivalence-gated test-suite. *)
+let check_equiv original optimized name =
+  match Sbm_cec.Cec.check ~sim_rounds:64 ~conflict_limit:5_000 original optimized with
+  | Sbm_cec.Cec.Equivalent -> ()
+  | Sbm_cec.Cec.Counterexample _ ->
+    Fmt.epr "FATAL: %s optimization is not equivalent!@." name;
+    exit 2
+  | Sbm_cec.Cec.Unknown -> Fmt.pr "  (%s: equivalence inconclusive under budget)@." name
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: Boolean difference example. *)
+
+let fig1_network () =
+  let aig = Aig.create () in
+  let x = Array.init 5 (fun _ -> Aig.add_input aig) in
+  let g = Aig.band aig (Aig.bor aig x.(0) x.(1)) x.(2) in
+  let cube lits = Aig.band_list aig lits in
+  let f =
+    Aig.bor_list aig
+      [
+        cube [ x.(0); x.(2); Aig.lnot x.(3) ];
+        cube [ x.(0); x.(2); Aig.lnot x.(4) ];
+        cube [ x.(1); x.(2); Aig.lnot x.(3) ];
+        cube [ x.(1); x.(2); Aig.lnot x.(4) ];
+        cube [ Aig.lnot x.(0); Aig.lnot x.(1); x.(3); x.(4) ];
+        cube [ Aig.lnot x.(2); x.(3); x.(4) ];
+      ]
+  in
+  ignore (Aig.add_output aig f);
+  ignore (Aig.add_output aig g);
+  aig
+
+let fig1 () =
+  Fmt.pr "@.== Figure 1: rewriting f as (df/dg) xor g ==@.";
+  let aig = fig1_network () in
+  let original = Aig.copy aig in
+  let before = Aig.size aig in
+  let gain = Sbm_core.Diff_resub.run aig in
+  let aig, _ = Aig.compact aig in
+  check_equiv original aig "fig1";
+  Fmt.pr "  network for f and g:      %d nodes (Fig. 1a shape)@." before;
+  Fmt.pr "  after f = (df/dg) xor g:  %d nodes (gain %d)@." (Aig.size aig) gain;
+  Fmt.pr "  paper: \"due to the small size of the Boolean difference network,@.";
+  Fmt.pr "          the total number of nodes is reduced\" -> %s@."
+    (if Aig.size aig < before then "reproduced" else "NOT reproduced")
+
+(* ------------------------------------------------------------------ *)
+(* Tables I and II: EPFL area category. *)
+
+(* Default width scales keep single-benchmark flow time in seconds;
+   [--full] uses the paper's exact widths. *)
+let default_scale = function
+  | Epfl.Max | Epfl.Log2 -> 0.25
+  | Epfl.Div | Epfl.Mult | Epfl.Square | Epfl.Sqrt -> 0.125
+  | Epfl.Sin -> 0.25
+  | Epfl.Hypotenuse -> 0.0625
+  | Epfl.Voter -> 0.1
+  | Epfl.Arbiter | Epfl.I2c | Epfl.Priority | Epfl.Cavlc | Epfl.Router
+  | Epfl.Mem_ctrl | Epfl.Adder | Epfl.Bar | Epfl.Ctrl | Epfl.Dec
+  | Epfl.Int2float ->
+    1.0
+
+let optimize ~effort aig =
+  match effort with
+  | `Low -> Flow.sbm_once ~effort:Flow.Low aig
+  | `High -> Flow.sbm ~effort:Flow.High aig
+
+let table1 ~full ~effort () =
+  Fmt.pr "@.== Table I: EPFL area category (LUT-6 count / levels) ==@.";
+  Fmt.pr "%-11s %6s | %21s | %15s | %15s@." "benchmark" "scale" "ours: SBM flow + map"
+    "baseline flow" "paper Table I";
+  List.iter
+    (fun b ->
+      let scale = if full then 1.0 else default_scale b in
+      let aig = Epfl.generate ~scale b in
+      let (optimized, dt) = time (fun () -> optimize ~effort aig) in
+      check_equiv aig optimized (Epfl.name b);
+      let baseline = Flow.baseline aig in
+      let m_sbm = Sbm_lutmap.Lut_map.map optimized in
+      let m_base = Sbm_lutmap.Lut_map.map baseline in
+      let paper =
+        match Epfl.paper_lut6 b with
+        | Some (luts, levels) -> Printf.sprintf "%6d / %4d" luts levels
+        | None -> "     -"
+      in
+      Fmt.pr "%-11s %6.3f | %7d / %4d (%5.1fs) | %7d / %4d | %s@." (Epfl.name b)
+        scale m_sbm.Sbm_lutmap.Lut_map.lut_count m_sbm.Sbm_lutmap.Lut_map.depth dt
+        m_base.Sbm_lutmap.Lut_map.lut_count m_base.Sbm_lutmap.Lut_map.depth paper)
+    Epfl.table1_set;
+  Fmt.pr "  (scale < 1: reduced operand widths; paper values are for the full-width@.";
+  Fmt.pr "   suite after years of cross-group optimization — compare the SBM-vs-baseline@.";
+  Fmt.pr "   direction, not absolute counts)@."
+
+let table2 ~full ~effort () =
+  Fmt.pr "@.== Table II: smallest AIGs (size / levels) ==@.";
+  Fmt.pr "%-11s %6s | %21s | %15s | %15s@." "benchmark" "scale" "ours: SBM AIG flow"
+    "unoptimized" "paper Table II";
+  List.iter
+    (fun b ->
+      let scale = if full then 1.0 else default_scale b in
+      let aig = Epfl.generate ~scale b in
+      let (optimized, dt) = time (fun () -> optimize ~effort aig) in
+      check_equiv aig optimized (Epfl.name b);
+      let paper =
+        match Epfl.paper_aig b with
+        | Some (size, levels) -> Printf.sprintf "%6d / %4d" size levels
+        | None -> "     -"
+      in
+      Fmt.pr "%-11s %6.3f | %7d / %4d (%5.1fs) | %7d / %4d | %s@." (Epfl.name b)
+        scale (Aig.size optimized) (Aig.depth optimized) dt (Aig.size aig)
+        (Aig.depth aig) paper)
+    Epfl.table2_set
+
+(* ------------------------------------------------------------------ *)
+(* Table III: ASIC proxy on 33 designs. *)
+
+type asic_metrics = {
+  area : float;
+  power : float;
+  wns : float;
+  tns : float;
+  runtime : float;
+}
+
+let asic_metrics ~clock aig runtime =
+  let netlist = Sbm_asic.Mapper.map aig in
+  let sta = Sbm_asic.Sta.analyze ~clock netlist in
+  {
+    area = Sbm_asic.Netlist.area netlist;
+    power = Sbm_asic.Power.dynamic netlist;
+    wns = sta.Sbm_asic.Sta.wns;
+    tns = sta.Sbm_asic.Sta.tns;
+    runtime;
+  }
+
+(* 33 "industrial" designs: a mix of control-dominated and arithmetic
+   blocks of varied size, standing in for the NDA'd ASICs. *)
+let asic_designs () =
+  let arith =
+    [
+      ("mult16", Epfl.generate ~scale:0.25 Epfl.Mult);
+      ("square16", Epfl.generate ~scale:0.25 Epfl.Square);
+      ("max32", Epfl.generate ~scale:0.25 Epfl.Max);
+      ("adder32", Epfl.generate ~scale:0.25 Epfl.Adder);
+      ("bar32", Epfl.generate ~scale:0.25 Epfl.Bar);
+      ("priority64", Epfl.generate ~scale:0.5 Epfl.Priority);
+      ("div8", Epfl.generate ~scale:0.125 Epfl.Div);
+      ("sqrt16", Epfl.generate ~scale:0.125 Epfl.Sqrt);
+      ("sin12", Epfl.generate ~scale:0.5 Epfl.Sin);
+      ("voter101", Epfl.generate ~scale:0.1 Epfl.Voter);
+      ("int2float", Epfl.generate Epfl.Int2float);
+      ("dec", Epfl.generate Epfl.Dec);
+      ("cavlc", Epfl.generate Epfl.Cavlc);
+      ("router", Epfl.generate Epfl.Router);
+      ("ctrl", Epfl.generate Epfl.Ctrl);
+      ("i2c", Epfl.generate Epfl.I2c);
+    ]
+  in
+  (* 17 control-dominated blocks of varied shape (FSM/decode logic). *)
+  let control =
+    List.init 17 (fun i ->
+        let seed = 0xA51C + (i * 7919) in
+        let inputs = 24 + (i * 9 mod 80) in
+        let outputs = 8 + (i * 5 mod 40) in
+        let gates = 180 + (i * 131 mod 900) in
+        ( Printf.sprintf "ctrl%02d" i,
+          Epfl.random_control ~seed ~inputs ~outputs ~gates ))
+  in
+  arith @ control
+
+let table3 () =
+  Fmt.pr "@.== Table III: post-'P&R' proxy, baseline vs proposed flow ==@.";
+  let designs = asic_designs () in
+  let deltas = ref [] in
+  Fmt.pr "%-11s %6s | %8s %8s %8s %8s@." "design" "ANDs" "dArea%" "dPow%" "dWNS%"
+    "dTNS%";
+  List.iter
+    (fun (name, aig) ->
+      let base, t_base = time (fun () -> Flow.baseline aig) in
+      let sbm_tail, t_tail = time (fun () -> Flow.sbm_once ~effort:Flow.Low base) in
+      let sbm = sbm_tail in
+      let t_sbm = t_base +. t_tail in
+      check_equiv aig sbm name;
+      (* Clock: 95% of the baseline critical path, so slack exists and
+         is negative for both flows (the Table III regime). *)
+      let probe = Sbm_asic.Sta.analyze (Sbm_asic.Mapper.map base) in
+      let clock = probe.Sbm_asic.Sta.arrival_max *. 0.95 in
+      let mb = asic_metrics ~clock base t_base in
+      let ms = asic_metrics ~clock sbm t_sbm in
+      let pct f0 f1 =
+        if Float.abs f0 < 1e-9 then 0.0 else 100.0 *. (f1 -. f0) /. Float.abs f0
+      in
+      (* For WNS/TNS (negative numbers), improvement = reduction of
+         magnitude: report relative change of |slack|. *)
+      let d =
+        ( pct mb.area ms.area,
+          pct mb.power ms.power,
+          pct (Float.abs mb.wns) (Float.abs ms.wns),
+          pct (Float.abs mb.tns) (Float.abs ms.tns),
+          pct mb.runtime ms.runtime )
+      in
+      deltas := d :: !deltas;
+      let da, dp, dw, dt, _ = d in
+      Fmt.pr "%-11s %6d | %+8.2f %+8.2f %+8.2f %+8.2f@." name (Aig.size aig) da dp
+        dw dt)
+    designs;
+  let n = float_of_int (List.length !deltas) in
+  let avg f = List.fold_left (fun acc d -> acc +. f d) 0.0 !deltas /. n in
+  let a1 = avg (fun (a, _, _, _, _) -> a) in
+  let a2 = avg (fun (_, p, _, _, _) -> p) in
+  let a3 = avg (fun (_, _, w, _, _) -> w) in
+  let a4 = avg (fun (_, _, _, t, _) -> t) in
+  let a5 = avg (fun (_, _, _, _, r) -> r) in
+  Fmt.pr "---------------------------------------------------------------@.";
+  Fmt.pr "%-18s | %8s %8s %8s %8s %8s@." "" "Area" "Power" "WNS" "TNS" "Runtime";
+  Fmt.pr "%-18s | %+7.2f%% %+7.2f%% %+7.2f%% %+7.2f%% %+7.2f%%@."
+    (Printf.sprintf "ours (avg of %d)" (List.length !deltas))
+    a1 a2 a3 a4 a5;
+  Fmt.pr "%-18s | %+7.2f%% %+7.2f%% %+7.2f%% %+7.2f%% %+7.2f%%@." "paper (33 ASICs)"
+    (-2.20) (-1.15) (-0.56) (-5.99) 1.75
+
+(* ------------------------------------------------------------------ *)
+(* Section III-B: monolithic runtime claims. *)
+
+let sec3b () =
+  Fmt.pr "@.== Section III-B: monolithic Boolean-difference runtime ==@.";
+  Fmt.pr "  (paper: i2c 2.3 s, cavlc 1.2 s, applied monolithically)@.";
+  List.iter
+    (fun (b, paper) ->
+      let aig = Epfl.generate b in
+      let original = Aig.copy aig in
+      let config = { Sbm_core.Diff_resub.default_config with monolithic = true } in
+      let gain, dt = time (fun () -> Sbm_core.Diff_resub.run ~config aig) in
+      check_equiv original aig (Epfl.name b);
+      Fmt.pr "  %-7s size %5d: %5.2fs (paper %.1fs), gain %d@." (Epfl.name b)
+        (Aig.size original) dt paper gain)
+    [ (Epfl.I2c, 2.3); (Epfl.Cavlc, 1.2) ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations. *)
+
+let ablation () =
+  Fmt.pr "@.== Ablation 1: BDD size cap for the difference (Alg. 1 line 8) ==@.";
+  let aig0 = Epfl.generate Epfl.Cavlc in
+  List.iter
+    (fun cap ->
+      let aig = Aig.copy aig0 in
+      let config =
+        {
+          Sbm_core.Diff_resub.default_config with
+          diff = { Sbm_core.Boolean_difference.default_config with size_limit = cap };
+          monolithic = true;
+        }
+      in
+      let gain, dt = time (fun () -> Sbm_core.Diff_resub.run ~config aig) in
+      Fmt.pr "  size cap %3d: gain %3d nodes, %.2fs@." cap gain dt)
+    [ 5; 10; 20; 40 ];
+  Fmt.pr "  (paper: 10 is \"a suitable tradeoff\")@.";
+
+  Fmt.pr "@.== Ablation 2: waterfall vs parallel move selection (IV-A) ==@.";
+  let aig0 = Epfl.generate Epfl.Priority in
+  List.iter
+    (fun (name, selection) ->
+      let aig = Aig.copy aig0 in
+      let config =
+        { Sbm_core.Gradient.default_config with budget = 15; selection }
+      in
+      let (optimized, stats), dt = time (fun () -> Sbm_core.Gradient.run ~config aig) in
+      Fmt.pr "  %-9s: size %5d -> %5d, %2d moves, %.1fs@." name (Aig.size aig0)
+        (Aig.size optimized) stats.Sbm_core.Gradient.moves_tried dt)
+    [ ("waterfall", Sbm_core.Gradient.Waterfall); ("parallel", Sbm_core.Gradient.Parallel) ];
+  Fmt.pr "  (paper: waterfall is \"a good tradeoff between runtime and QoR\")@.";
+
+  Fmt.pr "@.== Ablation 3: heterogeneous vs homogeneous eliminate (IV-B) ==@.";
+  let aig0 = Epfl.generate Epfl.I2c in
+  let lits aig = Sbm_sop.Network.num_lits (Sbm_sop.Network.of_aig aig) in
+  let report name result dt =
+    (* The flow keeps the better of input/output (the move wrapper's
+       gain >= 0 rule), so the usable size is the min. *)
+    let kept = min (Aig.size result) (Aig.size aig0) in
+    Fmt.pr "  %-26s: %5d SOP literals, %5d nodes (kept %5d), %.1fs@." name
+      (lits result) (Aig.size result) kept dt
+  in
+  Fmt.pr "  input: i2c, %d nodes, %d SOP literals@." (Aig.size aig0) (lits aig0);
+  let het, dt_het = time (fun () -> Sbm_core.Hetero_kernel.run aig0) in
+  report "heterogeneous (best-of-8)" het dt_het;
+  List.iter
+    (fun threshold ->
+      let hom, dt =
+        time (fun () -> Sbm_core.Hetero_kernel.run_homogeneous ~threshold aig0)
+      in
+      report (Printf.sprintf "homogeneous t=%d" threshold) hom dt)
+    [ -1; 5; 50; 200 ];
+
+  Fmt.pr "@.== Ablation 4: BDD budget bail-out (III-C) ==@.";
+  let aig0 = Epfl.generate Epfl.Cavlc in
+  List.iter
+    (fun budget ->
+      let aig = Aig.copy aig0 in
+      let config =
+        { Sbm_core.Diff_resub.default_config with bdd_node_limit = budget; monolithic = true }
+      in
+      let gain, dt = time (fun () -> Sbm_core.Diff_resub.run ~config aig) in
+      Fmt.pr "  node budget %8d: gain %3d, %.2fs@." budget gain dt)
+    [ 100; 10_000; 1_000_000 ];
+
+  Fmt.pr "@.== Ablation 5: MSPF engines — BDDs (IV-C) vs truth tables [1] ==@.";
+  Fmt.pr "  (paper: \"a BDD-based version ... works on larger sub-circuits than@.";
+  Fmt.pr "   those considered in [1]\"; the TT engine is capped at %d window leaves)@."
+    (Sbm_truthtable.Tt.max_vars - 1);
+  List.iter
+    (fun b ->
+      let aig0 = Epfl.generate b in
+      let tt_copy = Aig.copy aig0 in
+      let g_tt, t_tt = time (fun () -> Sbm_core.Mspf_tt.run tt_copy) in
+      let bdd_copy = Aig.copy aig0 in
+      let g_bdd, t_bdd = time (fun () -> Sbm_core.Mspf.run bdd_copy) in
+      Fmt.pr "  %-9s (%4d nodes): TT gain %3d (%.1fs) | BDD gain %3d (%.1fs)@."
+        (Epfl.name b) (Aig.size aig0) g_tt t_tt g_bdd t_bdd)
+    [ Epfl.Cavlc; Epfl.Router; Epfl.Priority ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table/figure. *)
+
+let timing () =
+  let open Bechamel in
+  let fig1_aig = fig1_network () in
+  let fig1_part = Sbm_partition.Partition.whole fig1_aig in
+  let t1_aig = Epfl.generate Epfl.Cavlc in
+  let t2_aig = Epfl.generate Epfl.Router in
+  let t3_aig = Epfl.generate Epfl.Ctrl in
+  let s3b_aig = Epfl.generate Epfl.Cavlc in
+  let tests =
+    Test.make_grouped ~name:"sbm"
+      [
+        (* Fig. 1: one Boolean-difference computation (Alg. 1). *)
+        Test.make ~name:"fig1/boolean-difference"
+          (Staged.stage (fun () ->
+               let ctx = Sbm_core.Bdd_bridge.build fig1_aig fig1_part in
+               let members = Sbm_core.Bdd_bridge.members ctx in
+               if Array.length members >= 2 then
+                 ignore
+                   (Sbm_core.Boolean_difference.compute ctx
+                      Sbm_core.Boolean_difference.default_config
+                      ~f:members.(Array.length members - 1)
+                      ~g:members.(0))));
+        (* Table I: LUT-6 area mapping. *)
+        Test.make ~name:"table1/lut6-map"
+          (Staged.stage (fun () -> ignore (Sbm_lutmap.Lut_map.map t1_aig)));
+        (* Table II: one gradient-engine move (rewriting). *)
+        Test.make ~name:"table2/rewrite-move"
+          (Staged.stage (fun () ->
+               let copy = Aig.copy t2_aig in
+               ignore (Sbm_aig.Rewrite.run copy)));
+        (* Table III: technology mapping + STA + power. *)
+        Test.make ~name:"table3/map-sta-power"
+          (Staged.stage (fun () ->
+               let netlist = Sbm_asic.Mapper.map t3_aig in
+               ignore (Sbm_asic.Sta.analyze netlist);
+               ignore (Sbm_asic.Power.dynamic ~rounds:2 netlist)));
+        (* Section III-B: monolithic difference resubstitution. *)
+        Test.make ~name:"sec3b/diff-monolithic"
+          (Staged.stage (fun () ->
+               let copy = Aig.copy s3b_aig in
+               let config =
+                 { Sbm_core.Diff_resub.default_config with monolithic = true }
+               in
+               ignore (Sbm_core.Diff_resub.run ~config copy)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 2.0) ~kde:None () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Fmt.pr "@.== Timing (Bechamel, monotonic clock) ==@.";
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some (t :: _) ->
+        let ms = t /. 1e6 in
+        Fmt.pr "  %-28s %10.3f ms/run@." name ms
+      | Some [] | None -> Fmt.pr "  %-28s (no estimate)@." name)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let flag f = List.mem f args in
+  let full = flag "--full" in
+  let effort = if flag "--high" then `High else `Low in
+  let commands = List.filter (fun a -> not (String.length a > 2 && String.sub a 0 2 = "--")) args in
+  let run = function
+    | "fig1" -> fig1 ()
+    | "table1" -> table1 ~full ~effort ()
+    | "table2" -> table2 ~full ~effort ()
+    | "table3" -> table3 ()
+    | "sec3b" -> sec3b ()
+    | "ablation" -> ablation ()
+    | "timing" -> timing ()
+    | other -> Fmt.epr "unknown experiment: %s@." other
+  in
+  match commands with
+  | [] ->
+    fig1 ();
+    table1 ~full ~effort ();
+    table2 ~full ~effort ();
+    table3 ();
+    sec3b ();
+    ablation ()
+  | cmds -> List.iter run cmds

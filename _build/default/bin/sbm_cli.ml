@@ -1,0 +1,196 @@
+(* sbm: command-line driver for the Scalable Boolean Methods flow.
+
+   Subcommands:
+     generate  — emit an EPFL-style benchmark as AAG
+     opt       — optimize an AAG with the baseline or SBM flow
+     stats     — print network statistics
+     lutmap    — map to LUT-K and report area/depth
+     asic      — map to standard cells and report area/timing/power
+     cec       — equivalence-check two AAG files *)
+
+open Cmdliner
+
+let setup_logs level =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level
+
+let read_aig path = Sbm_aig.Aiger.read_file path
+
+let aig_arg =
+  let doc = "Input network in ASCII AIGER (aag) format." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.aag" ~doc)
+
+let output_arg =
+  let doc = "Write the result to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.aag" ~doc)
+
+let logs_arg =
+  let env = Cmd.Env.info "SBM_VERBOSITY" in
+  Logs_cli.level ~env ()
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let run path () =
+    let aig = read_aig path in
+    Fmt.pr "%a@." Sbm_aig.Aig.pp_stats aig
+  in
+  let term = Term.(const run $ aig_arg $ const ()) in
+  Cmd.v (Cmd.info "stats" ~doc:"Print size, depth and I/O counts of a network") term
+
+(* --- generate --- *)
+
+let generate_cmd =
+  let bench_arg =
+    let doc =
+      "Benchmark name: one of "
+      ^ String.concat ", " (List.map Sbm_epfl.Epfl.name Sbm_epfl.Epfl.all)
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+  in
+  let scale_arg =
+    let doc = "Width scale in (0,1]: shrinks arithmetic operands." in
+    Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc)
+  in
+  let run name scale output =
+    match Sbm_epfl.Epfl.of_name name with
+    | None -> `Error (false, "unknown benchmark: " ^ name)
+    | Some b ->
+      let aig = Sbm_epfl.Epfl.generate ~scale b in
+      let text = Sbm_aig.Aiger.write aig in
+      (match output with
+      | Some path ->
+        Sbm_aig.Aiger.write_file aig path;
+        Fmt.pr "%s: %a -> %s@." name Sbm_aig.Aig.pp_stats aig path
+      | None -> print_string text);
+      `Ok ()
+  in
+  let term = Term.(ret (const run $ bench_arg $ scale_arg $ output_arg)) in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate an EPFL-style benchmark") term
+
+(* --- opt --- *)
+
+let opt_cmd =
+  let flow_arg =
+    let doc = "Flow to run: baseline | sbm | sbm-low | gradient | diff | mspf." in
+    Arg.(value & opt string "sbm" & info [ "flow" ] ~docv:"FLOW" ~doc)
+  in
+  let verify_arg =
+    let doc = "Check combinational equivalence of the result." in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let run level path flow verify output =
+    setup_logs level;
+    let aig = read_aig path in
+    let before = Sbm_aig.Aig.size aig in
+    let t0 = Unix.gettimeofday () in
+    let optimized =
+      match flow with
+      | "baseline" -> `Ok (Sbm_core.Flow.baseline aig)
+      | "sbm" -> `Ok (Sbm_core.Flow.sbm aig)
+      | "sbm-low" -> `Ok (Sbm_core.Flow.sbm ~effort:Sbm_core.Flow.Low aig)
+      | "gradient" ->
+        let copy = Sbm_aig.Aig.copy aig in
+        let optimized, _ = Sbm_core.Gradient.run copy in
+        `Ok optimized
+      | "diff" ->
+        let copy = Sbm_aig.Aig.copy aig in
+        ignore (Sbm_core.Diff_resub.run copy);
+        `Ok (fst (Sbm_aig.Aig.compact copy))
+      | "mspf" ->
+        let copy = Sbm_aig.Aig.copy aig in
+        ignore (Sbm_core.Mspf.run copy);
+        `Ok (fst (Sbm_aig.Aig.compact copy))
+      | other -> `Error (false, "unknown flow: " ^ other)
+    in
+    match optimized with
+    | `Error _ as e -> e
+    | `Ok optimized ->
+      let dt = Unix.gettimeofday () -. t0 in
+      Fmt.pr "size: %d -> %d (%.1f%%), depth %d, %.2fs@." before
+        (Sbm_aig.Aig.size optimized)
+        (100.0
+        *. float_of_int (before - Sbm_aig.Aig.size optimized)
+        /. float_of_int (max 1 before))
+        (Sbm_aig.Aig.depth optimized) dt;
+      if verify then begin
+        match Sbm_cec.Cec.check aig optimized with
+        | Sbm_cec.Cec.Equivalent -> Fmt.pr "equivalence: proven@."
+        | Sbm_cec.Cec.Counterexample _ -> Fmt.pr "equivalence: FAILED@."
+        | Sbm_cec.Cec.Unknown -> Fmt.pr "equivalence: unknown (budget)@."
+      end;
+      Option.iter (Sbm_aig.Aiger.write_file optimized) output;
+      `Ok ()
+  in
+  let term = Term.(ret (const run $ logs_arg $ aig_arg $ flow_arg $ verify_arg $ output_arg)) in
+  Cmd.v (Cmd.info "opt" ~doc:"Optimize a network") term
+
+(* --- lutmap --- *)
+
+let lutmap_cmd =
+  let k_arg =
+    let doc = "LUT input count." in
+    Arg.(value & opt int 6 & info [ "k" ] ~docv:"K" ~doc)
+  in
+  let run path k =
+    let aig = read_aig path in
+    let mapping = Sbm_lutmap.Lut_map.map ~k aig in
+    Fmt.pr "LUT-%d count: %d, levels: %d@." k mapping.Sbm_lutmap.Lut_map.lut_count
+      mapping.Sbm_lutmap.Lut_map.depth
+  in
+  let term = Term.(const run $ aig_arg $ k_arg) in
+  Cmd.v (Cmd.info "lutmap" ~doc:"Map to K-input LUTs (area-oriented)") term
+
+(* --- asic --- *)
+
+let asic_cmd =
+  let clock_arg =
+    let doc = "Clock period for slack analysis (default: critical path)." in
+    Arg.(value & opt (some float) None & info [ "clock" ] ~docv:"T" ~doc)
+  in
+  let run path clock =
+    let aig = read_aig path in
+    let netlist = Sbm_asic.Mapper.map aig in
+    let report = Sbm_asic.Sta.analyze ?clock netlist in
+    let power = Sbm_asic.Power.dynamic netlist in
+    Fmt.pr "cells: %d, area: %.1f@." (Array.length netlist.Sbm_asic.Netlist.gates)
+      (Sbm_asic.Netlist.area netlist);
+    Fmt.pr "critical path: %.3f, wns: %.3f, tns: %.3f@."
+      report.Sbm_asic.Sta.arrival_max report.Sbm_asic.Sta.wns report.Sbm_asic.Sta.tns;
+    Fmt.pr "dynamic power (normalized): %.2f@." power
+  in
+  let term = Term.(const run $ aig_arg $ clock_arg) in
+  Cmd.v (Cmd.info "asic" ~doc:"Map to standard cells; report area/timing/power") term
+
+(* --- cec --- *)
+
+let cec_cmd =
+  let other_arg =
+    let doc = "Second network." in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"OTHER.aag" ~doc)
+  in
+  let run path other =
+    let a = read_aig path in
+    let b = read_aig other in
+    match Sbm_cec.Cec.check a b with
+    | Sbm_cec.Cec.Equivalent ->
+      Fmt.pr "equivalent@.";
+      `Ok ()
+    | Sbm_cec.Cec.Counterexample cex ->
+      let bits =
+        String.concat "" (List.map (fun b -> if b then "1" else "0") (Array.to_list cex))
+      in
+      Fmt.pr "NOT equivalent (counterexample: %s)@." bits;
+      `Error (false, "networks differ")
+    | Sbm_cec.Cec.Unknown ->
+      Fmt.pr "unknown (resource limit)@.";
+      `Error (false, "inconclusive")
+  in
+  let term = Term.(ret (const run $ aig_arg $ other_arg)) in
+  Cmd.v (Cmd.info "cec" ~doc:"Combinational equivalence check") term
+
+let () =
+  let doc = "Scalable Boolean Methods in a modern synthesis flow" in
+  let info = Cmd.info "sbm" ~version:"1.0.0" ~doc in
+  let group = Cmd.group info [ stats_cmd; generate_cmd; opt_cmd; lutmap_cmd; asic_cmd; cec_cmd ] in
+  exit (Cmd.eval group)

@@ -1,0 +1,1 @@
+examples/asic_session.ml: Float Fmt Sbm_aig Sbm_asic Sbm_cec Sbm_core Sbm_epfl

@@ -1,0 +1,1 @@
+examples/asic_session.mli:

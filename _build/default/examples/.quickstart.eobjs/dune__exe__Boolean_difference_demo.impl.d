@@ -1,0 +1,1 @@
+examples/boolean_difference_demo.ml: Fmt Sbm_aig Sbm_cec Sbm_core Sbm_partition

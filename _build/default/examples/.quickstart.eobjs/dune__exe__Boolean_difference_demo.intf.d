@@ -1,0 +1,1 @@
+examples/boolean_difference_demo.mli:

@@ -1,0 +1,1 @@
+examples/epfl_session.ml: Fmt List Sbm_aig Sbm_cec Sbm_core Sbm_epfl Sbm_lutmap

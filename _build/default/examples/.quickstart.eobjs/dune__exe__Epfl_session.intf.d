@@ -1,0 +1,1 @@
+examples/epfl_session.mli:

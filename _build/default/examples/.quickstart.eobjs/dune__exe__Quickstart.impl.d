@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt List Sbm_aig Sbm_cec Sbm_core Sbm_lutmap

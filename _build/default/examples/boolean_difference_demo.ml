@@ -1,0 +1,65 @@
+(* Reproduction of the paper's Figure 1 scenario: a function f over
+   x1..x5 that contains a subfunction g, rewritten as f = (df/dg) ^ g
+   by the Boolean-difference engine when the difference network is
+   small.
+
+   Run with:  dune exec examples/boolean_difference_demo.exe *)
+
+module Aig = Sbm_aig.Aig
+module Partition = Sbm_partition.Partition
+
+let () =
+  (* Fig. 1(a): a 5-input network computing f and g (g in gray in the
+     paper). g = (x1|x2) & x3; f agrees with g except on a thin slice,
+     so the difference f^g has a compact implementation. *)
+  let aig = Aig.create () in
+  let x1 = Aig.add_input aig in
+  let x2 = Aig.add_input aig in
+  let x3 = Aig.add_input aig in
+  let x4 = Aig.add_input aig in
+  let x5 = Aig.add_input aig in
+  let g = Aig.band aig (Aig.bor aig x1 x2) x3 in
+  (* f = g xor (x4 & x5), but implemented two-level from primary
+     inputs with no structural sharing with g — the shape Alg. 2 is
+     designed to untangle. *)
+  let cube lits = Aig.band_list aig lits in
+  let f =
+    Aig.bor_list aig
+      [
+        cube [ x1; x3; Aig.lnot x4 ];
+        cube [ x1; x3; Aig.lnot x5 ];
+        cube [ x2; x3; Aig.lnot x4 ];
+        cube [ x2; x3; Aig.lnot x5 ];
+        cube [ Aig.lnot x1; Aig.lnot x2; x4; x5 ];
+        cube [ Aig.lnot x3; x4; x5 ];
+      ]
+  in
+  ignore (Aig.add_output aig f);
+  ignore (Aig.add_output aig g);
+
+  Fmt.pr "network (Fig. 1a): %a@." Aig.pp_stats aig;
+
+  (* Show the Boolean-difference computation directly (Alg. 1). *)
+  let part = Partition.whole aig in
+  let ctx = Sbm_core.Bdd_bridge.build aig part in
+  let fn = Aig.node_of f and gn = Aig.node_of g in
+  (match
+     Sbm_core.Boolean_difference.compute ctx
+       Sbm_core.Boolean_difference.default_config ~f:fn ~g:gn
+   with
+  | Some candidate ->
+    let gain = Aig.gain_of_replacement aig ~root:fn ~candidate in
+    Fmt.pr "Alg.1 found a candidate: f = (df/dg) xor g, exact gain = %d nodes@." gain;
+    Aig.delete_dangling aig (Aig.node_of candidate)
+  | None -> Fmt.pr "Alg.1 filtered the pair@.");
+
+  (* Now run the full resubstitution flow (Alg. 2). *)
+  let before = Aig.size aig in
+  let original = Aig.copy aig in
+  let total = Sbm_core.Diff_resub.run aig in
+  let aig, _ = Aig.compact aig in
+  Fmt.pr "Alg.2 rewrote the network: %d -> %d nodes (gain %d)@." before
+    (Aig.size aig) total;
+  (match Sbm_cec.Cec.check original aig with
+  | Sbm_cec.Cec.Equivalent -> Fmt.pr "equivalence: proven@."
+  | _ -> failwith "Boolean difference broke the network!")

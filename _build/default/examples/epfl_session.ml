@@ -1,0 +1,28 @@
+(* An EPFL-competition session: generate benchmarks, run the SBM flow,
+   map to LUT-6 and compare against the baseline flow — the workflow
+   behind Table I of the paper, on runtime-friendly widths.
+
+   Run with:  dune exec examples/epfl_session.exe *)
+
+module Aig = Sbm_aig.Aig
+module Epfl = Sbm_epfl.Epfl
+
+let () =
+  let benchmarks =
+    [ (Epfl.Priority, 0.5); (Epfl.Cavlc, 1.0); (Epfl.Router, 1.0); (Epfl.Int2float, 1.0) ]
+  in
+  Fmt.pr "%-10s %9s %9s | %11s %11s@." "bench" "AIG" "opt AIG" "LUT6 base"
+    "LUT6 sbm";
+  List.iter
+    (fun (b, scale) ->
+      let aig = Epfl.generate ~scale b in
+      let baseline = Sbm_core.Flow.baseline aig in
+      let optimized = Sbm_core.Flow.sbm ~effort:Sbm_core.Flow.Low aig in
+      assert (Sbm_cec.Cec.equiv aig optimized);
+      let m_base = Sbm_lutmap.Lut_map.map baseline in
+      let m_sbm = Sbm_lutmap.Lut_map.map optimized in
+      Fmt.pr "%-10s %9d %9d | %6d / %2d %6d / %2d@." (Epfl.name b) (Aig.size aig)
+        (Aig.size optimized) m_base.Sbm_lutmap.Lut_map.lut_count
+        m_base.Sbm_lutmap.Lut_map.depth m_sbm.Sbm_lutmap.Lut_map.lut_count
+        m_sbm.Sbm_lutmap.Lut_map.depth)
+    benchmarks

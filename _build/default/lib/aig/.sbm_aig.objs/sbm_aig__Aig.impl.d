@@ -1,0 +1,1 @@
+lib/aig/aig.ml: Array Format Hashtbl List Printf Queue Sbm_util Seq Stdlib

@@ -1,0 +1,1 @@
+lib/aig/aiger.ml: Aig Array Buffer Char Fun List Printf String

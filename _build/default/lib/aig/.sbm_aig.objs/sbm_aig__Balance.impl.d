@@ -1,0 +1,1 @@
+lib/aig/balance.ml: Aig Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/aig/refactor.ml: Aig Array Hashtbl List Sbm_truthtable Stdlib Synth

@@ -1,0 +1,1 @@
+lib/aig/refactor.mli: Aig Sbm_truthtable

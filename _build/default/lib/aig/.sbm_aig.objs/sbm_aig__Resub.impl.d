@@ -1,0 +1,1 @@
+lib/aig/resub.ml: Aig Array Hashtbl List Printf Refactor Sbm_truthtable Sys

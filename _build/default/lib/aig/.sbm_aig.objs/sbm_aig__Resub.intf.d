@@ -1,0 +1,1 @@
+lib/aig/resub.mli: Aig

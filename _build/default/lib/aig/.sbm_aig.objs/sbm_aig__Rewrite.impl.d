@@ -1,0 +1,1 @@
+lib/aig/rewrite.ml: Aig Array Cut List Synth

@@ -1,0 +1,1 @@
+lib/aig/sim.ml: Aig Array Int64 Sbm_util

@@ -1,0 +1,1 @@
+lib/aig/sim.mli: Aig Sbm_util

@@ -1,0 +1,1 @@
+lib/aig/synth.ml: Aig Array Hashtbl List Sbm_truthtable

@@ -1,0 +1,645 @@
+module Vec = Sbm_util.Vec
+
+type lit = int
+
+let lit_of node compl = (node lsl 1) lor (if compl then 1 else 0)
+let node_of l = l lsr 1
+let is_compl l = l land 1 = 1
+let lnot l = l lxor 1
+let lpos l = l land -2
+let const0 = 0
+let const1 = 1
+
+(* fanin0.(n) = -1 marks a PI or the constant node (node 0). *)
+type t = {
+  mutable fanin0 : int array;
+  mutable fanin1 : int array;
+  mutable nrefs : int array;
+  mutable dead : bool array;
+  mutable trav : int array;
+  mutable fanouts : Vec.t array;
+  mutable out_uses : Vec.t array;
+  mutable n : int;
+  mutable trav_id : int;
+  mutable num_live_ands : int;
+  inputs : Vec.t; (* node ids *)
+  outs : Vec.t; (* literals *)
+  strash : (int * int, int) Hashtbl.t;
+}
+
+let create ?(expected = 64) () =
+  let cap = max expected 8 in
+  let aig =
+    {
+      fanin0 = Array.make cap (-1);
+      fanin1 = Array.make cap (-1);
+      nrefs = Array.make cap 0;
+      dead = Array.make cap false;
+      trav = Array.make cap 0;
+      fanouts = Array.init cap (fun _ -> Vec.create ~capacity:2 ());
+      out_uses = Array.init cap (fun _ -> Vec.create ~capacity:1 ());
+      n = 1;
+      trav_id = 0;
+      num_live_ands = 0;
+      inputs = Vec.create ();
+      outs = Vec.create ();
+      strash = Hashtbl.create 1024;
+    }
+  in
+  aig
+
+let num_inputs aig = Vec.size aig.inputs
+let num_outputs aig = Vec.size aig.outs
+let num_nodes aig = aig.n
+let is_const _ node = node = 0
+let is_dead aig node = aig.dead.(node)
+let is_input aig node = node > 0 && aig.fanin0.(node) = -1 && not aig.dead.(node)
+let is_and aig node = aig.fanin0.(node) >= 0 && not aig.dead.(node)
+let fanin0 aig node = aig.fanin0.(node)
+let fanin1 aig node = aig.fanin1.(node)
+let nref aig node = aig.nrefs.(node)
+let input_lit aig i = lit_of (Vec.get aig.inputs i) false
+let output_lit aig i = Vec.get aig.outs i
+let outputs aig = Vec.to_array aig.outs
+
+let input_index aig node =
+  (* PI nodes are allocated in order; binary search the inputs vector. *)
+  let rec go lo hi =
+    if lo > hi then invalid_arg "Aig.input_index: not an input"
+    else begin
+      let mid = (lo + hi) / 2 in
+      let v = Vec.get aig.inputs mid in
+      if v = node then mid else if v < node then go (mid + 1) hi else go lo (mid - 1)
+    end
+  in
+  go 0 (Vec.size aig.inputs - 1)
+
+let grow aig =
+  let cap = Array.length aig.fanin0 in
+  let ncap = 2 * cap in
+  let ext a fill =
+    let a' = Array.make ncap fill in
+    Array.blit a 0 a' 0 cap;
+    a'
+  in
+  aig.fanin0 <- ext aig.fanin0 (-1);
+  aig.fanin1 <- ext aig.fanin1 (-1);
+  aig.nrefs <- ext aig.nrefs 0;
+  aig.trav <- ext aig.trav 0;
+  let dead' = Array.make ncap false in
+  Array.blit aig.dead 0 dead' 0 cap;
+  aig.dead <- dead';
+  let fo' = Array.init ncap (fun i -> if i < cap then aig.fanouts.(i) else Vec.create ~capacity:2 ()) in
+  aig.fanouts <- fo';
+  let ou' = Array.init ncap (fun i -> if i < cap then aig.out_uses.(i) else Vec.create ~capacity:1 ()) in
+  aig.out_uses <- ou'
+
+let alloc aig =
+  if aig.n >= Array.length aig.fanin0 then grow aig;
+  let node = aig.n in
+  aig.n <- node + 1;
+  node
+
+let add_input aig =
+  let node = alloc aig in
+  Vec.push aig.inputs node;
+  lit_of node false
+
+let fanout_nodes aig node =
+  let seen = Hashtbl.create 8 in
+  Vec.fold
+    (fun acc fo ->
+      if aig.dead.(fo) || Hashtbl.mem seen fo then acc
+      else begin
+        Hashtbl.add seen fo ();
+        fo :: acc
+      end)
+    [] aig.fanouts.(node)
+
+let band aig a b =
+  let bad l = node_of l >= aig.n || aig.dead.(node_of l) in
+  if bad a || bad b then invalid_arg "Aig.band: dead or invalid literal";
+  if a = b then a
+  else if a = lnot b then const0
+  else if a = const0 || b = const0 then const0
+  else if a = const1 then b
+  else if b = const1 then a
+  else begin
+    let a, b = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt aig.strash (a, b) with
+    | Some node -> lit_of node false
+    | None ->
+      let node = alloc aig in
+      aig.fanin0.(node) <- a;
+      aig.fanin1.(node) <- b;
+      aig.nrefs.(node_of a) <- aig.nrefs.(node_of a) + 1;
+      aig.nrefs.(node_of b) <- aig.nrefs.(node_of b) + 1;
+      Vec.push aig.fanouts.(node_of a) node;
+      Vec.push aig.fanouts.(node_of b) node;
+      Hashtbl.add aig.strash (a, b) node;
+      aig.num_live_ands <- aig.num_live_ands + 1;
+      lit_of node false
+  end
+
+let bor aig a b = lnot (band aig (lnot a) (lnot b))
+
+let bxor aig a b =
+  (* a^b = (a & ~b) | (~a & b) *)
+  let p = band aig a (lnot b) in
+  let q = band aig (lnot a) b in
+  bor aig p q
+
+let bxnor aig a b = lnot (bxor aig a b)
+
+let bmux aig sel t e = bor aig (band aig sel t) (band aig (lnot sel) e)
+
+let band_list aig = function
+  | [] -> const1
+  | x :: xs -> List.fold_left (band aig) x xs
+
+let bor_list aig = function
+  | [] -> const0
+  | x :: xs -> List.fold_left (bor aig) x xs
+
+let add_output aig l =
+  if node_of l >= aig.n || aig.dead.(node_of l) then invalid_arg "Aig.add_output";
+  let idx = Vec.size aig.outs in
+  Vec.push aig.outs l;
+  let v = node_of l in
+  aig.nrefs.(v) <- aig.nrefs.(v) + 1;
+  Vec.push aig.out_uses.(v) idx;
+  idx
+
+(* Release one cone rooted at an unreferenced AND node. *)
+let kill_cone aig root =
+  let stack = Vec.create () in
+  Vec.push stack root;
+  while not (Vec.is_empty stack) do
+    let v = Vec.pop stack in
+    if is_and aig v && aig.nrefs.(v) = 0 then begin
+      let f0 = aig.fanin0.(v) and f1 = aig.fanin1.(v) in
+      let a, b = if f0 < f1 then (f0, f1) else (f1, f0) in
+      (match Hashtbl.find_opt aig.strash (a, b) with
+      | Some m when m = v -> Hashtbl.remove aig.strash (a, b)
+      | Some _ | None -> ());
+      aig.dead.(v) <- true;
+      aig.num_live_ands <- aig.num_live_ands - 1;
+      Vec.clear aig.fanouts.(v);
+      List.iter
+        (fun f ->
+          let w = node_of f in
+          Vec.remove aig.fanouts.(w) v;
+          aig.nrefs.(w) <- aig.nrefs.(w) - 1;
+          if aig.nrefs.(w) = 0 then Vec.push stack w)
+        [ f0; f1 ]
+    end
+  done
+
+let delete_dangling aig node =
+  if is_and aig node && aig.nrefs.(node) = 0 then kill_cone aig node
+
+let pin aig l =
+  let v = node_of l in
+  if aig.dead.(v) then invalid_arg "Aig.pin: dead literal";
+  aig.nrefs.(v) <- aig.nrefs.(v) + 1
+
+let unpin ?(collect = true) aig l =
+  let v = node_of l in
+  aig.nrefs.(v) <- aig.nrefs.(v) - 1;
+  if collect && aig.nrefs.(v) = 0 then kill_cone aig v
+
+let set_output aig i l =
+  if node_of l >= aig.n || aig.dead.(node_of l) then invalid_arg "Aig.set_output";
+  let old = Vec.get aig.outs i in
+  let ov = node_of old in
+  Vec.set aig.outs i l;
+  let v = node_of l in
+  aig.nrefs.(v) <- aig.nrefs.(v) + 1;
+  Vec.push aig.out_uses.(v) i;
+  Vec.remove aig.out_uses.(ov) i;
+  aig.nrefs.(ov) <- aig.nrefs.(ov) - 1;
+  if aig.nrefs.(ov) = 0 then kill_cone aig ov
+
+(* In-place replacement with cascading structural re-hashing.
+   Invariants maintained across the loop:
+   - every queued pair (o, nl) has nl's node pinned with one extra
+     reference, so merge targets cannot be garbage-collected before
+     their turn;
+   - once a node's references have been moved, it is recorded in the
+     forwarding table, and later queue entries resolve through it, so
+     references are never moved onto a dismantled node. *)
+(* Traversal id helper (shared by the cone walks below). *)
+let new_trav aig =
+  aig.trav_id <- aig.trav_id + 1;
+  aig.trav_id
+
+let in_tfi aig ~node ~root =
+  let id = new_trav aig in
+  let stack = Vec.create () in
+  let found = ref false in
+  Vec.push stack root;
+  while (not !found) && not (Vec.is_empty stack) do
+    let v = Vec.pop stack in
+    if aig.trav.(v) <> id then begin
+      aig.trav.(v) <- id;
+      if v = node then found := true
+      else if is_and aig v then begin
+        Vec.push stack (node_of aig.fanin0.(v));
+        Vec.push stack (node_of aig.fanin1.(v))
+      end
+    end
+  done;
+  !found
+
+let replace aig root lit =
+  if not (is_and aig root) then invalid_arg "Aig.replace: root must be a live AND";
+  if node_of lit >= aig.n || aig.dead.(node_of lit) then invalid_arg "Aig.replace: dead literal";
+  if node_of lit = root then invalid_arg "Aig.replace: self-replacement";
+  (* The replacement cone must not contain the root: structural
+     hashing can silently rebuild the root inside a speculative
+     candidate (e.g. root = a & ~b inside an a-xor-b candidate), and
+     rewiring would then close a combinational cycle. *)
+  if in_tfi aig ~node:root ~root:(node_of lit) then
+    invalid_arg "Aig.replace: candidate cone contains the root (cycle)";
+  let queue = Queue.create () in
+  let forward : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let rec resolve l =
+    match Hashtbl.find_opt forward (node_of l) with
+    | Some r -> resolve (r lxor (l land 1))
+    | None -> l
+  in
+  (* Every queue-entry target stays pinned until the whole call
+     completes, so forwarding-chain ends can never be dismantled while
+     references may still be moved onto them. *)
+  let pinned = Vec.create () in
+  let pin l =
+    let v = node_of l in
+    aig.nrefs.(v) <- aig.nrefs.(v) + 1;
+    Vec.push pinned v
+  in
+  pin lit;
+  Queue.add (root, lit) queue;
+  while not (Queue.is_empty queue) do
+    let o, nl0 = Queue.take queue in
+    let nl = resolve nl0 in
+    if aig.dead.(o) || o = node_of nl then ()
+    else begin
+      Hashtbl.replace forward o nl;
+      (* Move primary-output references. *)
+      let out_idxs = Vec.to_array aig.out_uses.(o) in
+      Array.iter
+        (fun idx ->
+          let cur = Vec.get aig.outs idx in
+          if node_of cur = o then begin
+            let nlit = nl lxor (cur land 1) in
+            Vec.set aig.outs idx nlit;
+            let v = node_of nlit in
+            aig.nrefs.(v) <- aig.nrefs.(v) + 1;
+            Vec.push aig.out_uses.(v) idx;
+            Vec.remove aig.out_uses.(o) idx;
+            aig.nrefs.(o) <- aig.nrefs.(o) - 1
+          end)
+        out_idxs;
+      (* Move fanin references, rehashing each fanout. *)
+      let fos = Vec.to_array aig.fanouts.(o) in
+      Array.iter
+        (fun fo ->
+          if (not aig.dead.(fo))
+             && (node_of aig.fanin0.(fo) = o || node_of aig.fanin1.(fo) = o)
+          then begin
+            let f0 = aig.fanin0.(fo) and f1 = aig.fanin1.(fo) in
+            let a0, b0 = if f0 < f1 then (f0, f1) else (f1, f0) in
+            (match Hashtbl.find_opt aig.strash (a0, b0) with
+            | Some m when m = fo -> Hashtbl.remove aig.strash (a0, b0)
+            | Some _ | None -> ());
+            let subst f =
+              if node_of f = o then begin
+                let nf = nl lxor (f land 1) in
+                let v = node_of nf in
+                aig.nrefs.(v) <- aig.nrefs.(v) + 1;
+                Vec.push aig.fanouts.(v) fo;
+                Vec.remove aig.fanouts.(o) fo;
+                aig.nrefs.(o) <- aig.nrefs.(o) - 1;
+                nf
+              end
+              else f
+            in
+            let nf0 = subst f0 in
+            let nf1 = subst f1 in
+            let a, b = if nf0 < nf1 then (nf0, nf1) else (nf1, nf0) in
+            aig.fanin0.(fo) <- a;
+            aig.fanin1.(fo) <- b;
+            let equiv =
+              if a = b then Some a
+              else if a = lnot b then Some const0
+              else if a = const0 then Some const0
+              else if a = const1 then Some b
+              else
+                match Hashtbl.find_opt aig.strash (a, b) with
+                | Some m when m <> fo -> Some (lit_of m false)
+                | Some _ -> None
+                | None ->
+                  Hashtbl.add aig.strash (a, b) fo;
+                  None
+            in
+            match equiv with
+            | Some e ->
+              pin e;
+              Queue.add (fo, e) queue
+            | None -> ()
+          end)
+        fos;
+      if aig.nrefs.(o) = 0 then kill_cone aig o
+    end
+  done;
+  Vec.iter
+    (fun v ->
+      aig.nrefs.(v) <- aig.nrefs.(v) - 1;
+      if aig.nrefs.(v) = 0 then kill_cone aig v)
+    pinned
+
+let topo aig =
+  let id = new_trav aig in
+  let order = Vec.create ~capacity:aig.n () in
+  (* Iterative post-order DFS: the stack stores (node, expanded?). *)
+  let stack = Vec.create () in
+  let push_root v = if aig.trav.(v) <> id then Vec.push stack (v lsl 1) in
+  Vec.iter (fun l -> push_root (node_of l)) aig.outs;
+  Vec.iter (fun v -> push_root v) aig.inputs;
+  let process () =
+    while not (Vec.is_empty stack) do
+      let e = Vec.pop stack in
+      let v = e lsr 1 and expanded = e land 1 = 1 in
+      if expanded then Vec.push order v
+      else if aig.trav.(v) <> id then begin
+        aig.trav.(v) <- id;
+        Vec.push stack ((v lsl 1) lor 1);
+        if is_and aig v then begin
+          Vec.push stack (node_of aig.fanin0.(v) lsl 1);
+          Vec.push stack (node_of aig.fanin1.(v) lsl 1)
+        end
+      end
+    done
+  in
+  process ();
+  (* Exclude the constant node from the order. *)
+  Array.of_seq (Seq.filter (fun v -> v <> 0) (Array.to_seq (Vec.to_array order)))
+
+let levels aig =
+  let lv = Array.make aig.n (-1) in
+  lv.(0) <- 0;
+  let order = topo aig in
+  Array.iter
+    (fun v ->
+      if is_input aig v then lv.(v) <- 0
+      else if is_and aig v then
+        lv.(v) <-
+          1 + max lv.(node_of aig.fanin0.(v)) lv.(node_of aig.fanin1.(v)))
+    order;
+  lv
+
+let depth aig =
+  let lv = levels aig in
+  Vec.fold (fun acc l -> max acc lv.(node_of l)) 0 aig.outs
+
+let size aig =
+  let id = new_trav aig in
+  let count = ref 0 in
+  let stack = Vec.create () in
+  let visit v =
+    if aig.trav.(v) <> id then begin
+      aig.trav.(v) <- id;
+      Vec.push stack v
+    end
+  in
+  Vec.iter (fun l -> visit (node_of l)) aig.outs;
+  while not (Vec.is_empty stack) do
+    let v = Vec.pop stack in
+    if is_and aig v then begin
+      incr count;
+      visit (node_of aig.fanin0.(v));
+      visit (node_of aig.fanin1.(v))
+    end
+  done;
+  !count
+
+let support aig node =
+  let id = new_trav aig in
+  let stack = Vec.create () in
+  let pis = ref [] in
+  Vec.push stack node;
+  while not (Vec.is_empty stack) do
+    let v = Vec.pop stack in
+    if aig.trav.(v) <> id then begin
+      aig.trav.(v) <- id;
+      if is_input aig v then pis := v :: !pis
+      else if is_and aig v then begin
+        Vec.push stack (node_of aig.fanin0.(v));
+        Vec.push stack (node_of aig.fanin1.(v))
+      end
+    end
+  done;
+  List.sort Stdlib.compare !pis
+
+(* Simulated deletion: decrement fanin references of [root]'s cone,
+   counting AND nodes whose count reaches zero. *)
+let rec deref_mffc aig root count =
+  List.iter
+    (fun f ->
+      let v = node_of f in
+      aig.nrefs.(v) <- aig.nrefs.(v) - 1;
+      if aig.nrefs.(v) = 0 && is_and aig v then begin
+        incr count;
+        deref_mffc aig v count
+      end)
+    [ aig.fanin0.(root); aig.fanin1.(root) ]
+
+let rec reref_mffc aig root =
+  List.iter
+    (fun f ->
+      let v = node_of f in
+      if aig.nrefs.(v) = 0 && is_and aig v then reref_mffc aig v;
+      aig.nrefs.(v) <- aig.nrefs.(v) + 1)
+    [ aig.fanin0.(root); aig.fanin1.(root) ]
+
+let mffc_size aig node =
+  if not (is_and aig node) then 0
+  else begin
+    let count = ref 1 in
+    deref_mffc aig node count;
+    reref_mffc aig node;
+    !count
+  end
+
+type checkpoint = int
+
+let mark_created aig = aig.n
+
+let fresh_since aig cp =
+  let count = ref 0 in
+  for v = cp to aig.n - 1 do
+    if is_and aig v then incr count
+  done;
+  !count
+
+let gain_of_replacement aig ~root ~candidate =
+  if not (is_and aig root) then invalid_arg "Aig.gain_of_replacement";
+  let cv = node_of candidate in
+  (* Count the AND nodes that exist only to support the candidate. *)
+  let added = ref 0 in
+  let rec virtual_kill v =
+    if is_and aig v && aig.nrefs.(v) = 0 then begin
+      incr added;
+      List.iter
+        (fun f ->
+          let w = node_of f in
+          aig.nrefs.(w) <- aig.nrefs.(w) - 1;
+          virtual_kill w)
+        [ aig.fanin0.(v); aig.fanin1.(v) ]
+    end
+  in
+  let rec virtual_unkill v =
+    if is_and aig v && aig.nrefs.(v) = 0 then
+      List.iter
+        (fun f ->
+          let w = node_of f in
+          virtual_unkill w;
+          aig.nrefs.(w) <- aig.nrefs.(w) + 1)
+        [ aig.fanin0.(v); aig.fanin1.(v) ]
+  in
+  virtual_kill cv;
+  virtual_unkill cv;
+  (* Pin the candidate, then measure the MFFC of [root] under
+     sharing with the candidate cone. *)
+  aig.nrefs.(cv) <- aig.nrefs.(cv) + 1;
+  let saved = ref 1 in
+  deref_mffc aig root saved;
+  reref_mffc aig root;
+  aig.nrefs.(cv) <- aig.nrefs.(cv) - 1;
+  !saved - !added
+
+let copy aig =
+  {
+    aig with
+    fanin0 = Array.copy aig.fanin0;
+    fanin1 = Array.copy aig.fanin1;
+    nrefs = Array.copy aig.nrefs;
+    dead = Array.copy aig.dead;
+    trav = Array.copy aig.trav;
+    fanouts = Array.map Vec.copy aig.fanouts;
+    out_uses = Array.map Vec.copy aig.out_uses;
+    inputs = Vec.copy aig.inputs;
+    outs = Vec.copy aig.outs;
+    strash = Hashtbl.copy aig.strash;
+  }
+
+let compact aig =
+  let fresh = create ~expected:(aig.n + 1) () in
+  let map = Array.make aig.n (-1) in
+  Vec.iter
+    (fun v ->
+      let l = add_input fresh in
+      map.(v) <- l)
+    aig.inputs;
+  map.(0) <- const0;
+  let order = topo aig in
+  Array.iter
+    (fun v ->
+      if is_and aig v then begin
+        let f0 = aig.fanin0.(v) and f1 = aig.fanin1.(v) in
+        let m f = map.(node_of f) lxor (f land 1) in
+        map.(v) <- band fresh (m f0) (m f1)
+      end)
+    order;
+  Vec.iter
+    (fun l ->
+      let nl = map.(node_of l) in
+      if nl < 0 then invalid_arg "Aig.compact: unreachable output node";
+      ignore (add_output fresh (nl lxor (l land 1))))
+    aig.outs;
+  let remap l =
+    let v = node_of l in
+    if v >= Array.length map || map.(v) < 0 then invalid_arg "Aig.compact: unmapped literal"
+    else map.(v) lxor (l land 1)
+  in
+  (fresh, remap)
+
+let check aig =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  (* Recount references. *)
+  let refs = Array.make aig.n 0 in
+  for v = 0 to aig.n - 1 do
+    if is_and aig v then begin
+      let f0 = aig.fanin0.(v) and f1 = aig.fanin1.(v) in
+      if f0 > f1 then fail "node %d: fanins not ordered" v;
+      List.iter
+        (fun f ->
+          let w = node_of f in
+          if w >= aig.n then fail "node %d: fanin out of range" v;
+          if aig.dead.(w) then fail "node %d: dead fanin %d" v w;
+          refs.(w) <- refs.(w) + 1)
+        [ f0; f1 ]
+    end
+  done;
+  Vec.iter
+    (fun l ->
+      let w = node_of l in
+      if aig.dead.(w) then fail "output references dead node %d" w;
+      refs.(w) <- refs.(w) + 1)
+    aig.outs;
+  for v = 0 to aig.n - 1 do
+    if not aig.dead.(v) && refs.(v) <> aig.nrefs.(v) then
+      fail "node %d: nref %d but counted %d" v aig.nrefs.(v) refs.(v)
+  done;
+  (* Strash consistency: every live AND is hashed under its key. *)
+  for v = 0 to aig.n - 1 do
+    if is_and aig v then begin
+      match Hashtbl.find_opt aig.strash (aig.fanin0.(v), aig.fanin1.(v)) with
+      | Some m when m = v -> ()
+      | Some m -> fail "node %d: strash maps its key to %d" v m
+      | None -> fail "node %d: missing from strash" v
+    end
+  done;
+  Hashtbl.iter
+    (fun (a, b) v ->
+      if aig.dead.(v) then fail "strash contains dead node %d" v;
+      if aig.fanin0.(v) <> a || aig.fanin1.(v) <> b then
+        fail "strash key mismatch for node %d" v)
+    aig.strash;
+  (* Fanout lists: one entry per fanin reference. *)
+  let focount = Array.make aig.n 0 in
+  for v = 0 to aig.n - 1 do
+    if is_and aig v then begin
+      focount.(node_of aig.fanin0.(v)) <- focount.(node_of aig.fanin0.(v)) + 1;
+      focount.(node_of aig.fanin1.(v)) <- focount.(node_of aig.fanin1.(v)) + 1
+    end
+  done;
+  for v = 0 to aig.n - 1 do
+    if not aig.dead.(v) then begin
+      let live_entries =
+        Vec.fold (fun acc fo -> if is_and aig fo then acc + 1 else acc) 0 aig.fanouts.(v)
+      in
+      if live_entries <> focount.(v) then
+        fail "node %d: fanout entries %d but fanin references %d" v live_entries focount.(v)
+    end
+  done;
+  (* Acyclicity: a topological order must assign every live AND a
+     position after both fanins. *)
+  let order = topo aig in
+  let pos = Array.make aig.n (-1) in
+  Array.iteri (fun i v -> pos.(v) <- i) order;
+  Array.iter
+    (fun v ->
+      if is_and aig v then begin
+        let p0 = pos.(node_of aig.fanin0.(v)) in
+        let p1 = pos.(node_of aig.fanin1.(v)) in
+        let ok p = node_of aig.fanin0.(v) = 0 || p >= 0 in
+        if (not (ok p0)) || p0 >= pos.(v) then fail "node %d: fanin0 not before node" v;
+        if (not (ok p1)) || (p1 >= pos.(v) && node_of aig.fanin1.(v) <> 0) then
+          fail "node %d: fanin1 not before node" v
+      end)
+    order
+
+let pp_stats fmt aig =
+  Format.fprintf fmt "i/o = %d/%d  and = %d  depth = %d" (num_inputs aig)
+    (num_outputs aig) (size aig) (depth aig)

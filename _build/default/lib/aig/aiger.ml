@@ -1,0 +1,222 @@
+let write aig =
+  let buf = Buffer.create 4096 in
+  let order = Aig.topo aig in
+  let ninputs = Aig.num_inputs aig in
+  let nands = Aig.size aig in
+  (* Renumber: input i gets variable i+1; ANDs follow topologically. *)
+  let var_of = Array.make (Aig.num_nodes aig) (-1) in
+  for i = 0 to ninputs - 1 do
+    var_of.(Aig.node_of (Aig.input_lit aig i)) <- i + 1
+  done;
+  let next = ref (ninputs + 1) in
+  Array.iter
+    (fun v ->
+      if Aig.is_and aig v then begin
+        var_of.(v) <- !next;
+        incr next
+      end)
+    order;
+  let maxvar = !next - 1 in
+  let lit_out l =
+    let v = Aig.node_of l in
+    let base = if v = 0 then 0 else 2 * var_of.(v) in
+    base lor (l land 1)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "aag %d %d 0 %d %d\n" maxvar ninputs (Aig.num_outputs aig) nands);
+  for i = 0 to ninputs - 1 do
+    Buffer.add_string buf (Printf.sprintf "%d\n" (2 * (i + 1)))
+  done;
+  Array.iter
+    (fun l -> Buffer.add_string buf (Printf.sprintf "%d\n" (lit_out l)))
+    (Aig.outputs aig);
+  Array.iter
+    (fun v ->
+      if Aig.is_and aig v then
+        Buffer.add_string buf
+          (Printf.sprintf "%d %d %d\n" (2 * var_of.(v))
+             (lit_out (Aig.fanin0 aig v))
+             (lit_out (Aig.fanin1 aig v))))
+    order;
+  Buffer.contents buf
+
+let write_file aig path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (write aig))
+
+let read s =
+  let lines = String.split_on_char '\n' s in
+  let lines = List.filter (fun l -> String.trim l <> "") lines in
+  match lines with
+  | [] -> failwith "Aiger.read: empty input"
+  | header :: rest ->
+    let maxvar, ninputs, nlatches, noutputs, nands =
+      match String.split_on_char ' ' (String.trim header) with
+      | [ "aag"; m; i; l; o; a ] ->
+        (int_of_string m, int_of_string i, int_of_string l, int_of_string o, int_of_string a)
+      | _ -> failwith "Aiger.read: bad header"
+    in
+    if nlatches <> 0 then failwith "Aiger.read: latches unsupported";
+    let aig = Aig.create ~expected:(maxvar + 2) () in
+    (* map from aiger variable to our literal *)
+    let map = Array.make (maxvar + 1) (-1) in
+    map.(0) <- Aig.const0;
+    let lit_in l =
+      let v = l / 2 in
+      if v > maxvar || map.(v) < 0 then failwith "Aiger.read: undefined literal";
+      map.(v) lxor (l land 1)
+    in
+    let rest = Array.of_list rest in
+    if Array.length rest < ninputs + noutputs + nands then
+      failwith "Aiger.read: truncated file";
+    for i = 0 to ninputs - 1 do
+      let l = int_of_string (String.trim rest.(i)) in
+      if l mod 2 <> 0 then failwith "Aiger.read: complemented input";
+      map.(l / 2) <- Aig.add_input aig
+    done;
+    (* AND definitions may reference later variables only in malformed
+       files; process in order, as the format requires lhs > rhs. *)
+    for i = 0 to nands - 1 do
+      let line = String.trim rest.(ninputs + noutputs + i) in
+      match String.split_on_char ' ' line with
+      | [ lhs; rhs0; rhs1 ] ->
+        let lhs = int_of_string lhs in
+        if lhs mod 2 <> 0 then failwith "Aiger.read: complemented AND lhs";
+        let f0 = lit_in (int_of_string rhs0) in
+        let f1 = lit_in (int_of_string rhs1) in
+        map.(lhs / 2) <- Aig.band aig f0 f1
+      | _ -> failwith "Aiger.read: bad AND line"
+    done;
+    for i = 0 to noutputs - 1 do
+      let l = int_of_string (String.trim rest.(ninputs + i)) in
+      ignore (Aig.add_output aig (lit_in l))
+    done;
+    aig
+
+(* Binary AIGER: the AND section stores, for each AND in variable
+   order, the two differences (lhs - rhs0) and (rhs0 - rhs1) as
+   LEB128-style 7-bit varints. *)
+
+let write_varint buf x =
+  let x = ref x in
+  while !x >= 0x80 do
+    Buffer.add_char buf (Char.chr (0x80 lor (!x land 0x7f)));
+    x := !x lsr 7
+  done;
+  Buffer.add_char buf (Char.chr !x)
+
+let write_binary aig =
+  let buf = Buffer.create 4096 in
+  let order = Aig.topo aig in
+  let ninputs = Aig.num_inputs aig in
+  let nands = Aig.size aig in
+  let var_of = Array.make (Aig.num_nodes aig) (-1) in
+  for i = 0 to ninputs - 1 do
+    var_of.(Aig.node_of (Aig.input_lit aig i)) <- i + 1
+  done;
+  let next = ref (ninputs + 1) in
+  Array.iter
+    (fun v ->
+      if Aig.is_and aig v then begin
+        var_of.(v) <- !next;
+        incr next
+      end)
+    order;
+  let maxvar = !next - 1 in
+  let lit_out l =
+    let v = Aig.node_of l in
+    let base = if v = 0 then 0 else 2 * var_of.(v) in
+    base lor (l land 1)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "aig %d %d 0 %d %d\n" maxvar ninputs (Aig.num_outputs aig) nands);
+  (* In binary mode, input literals are implicit. *)
+  Array.iter
+    (fun l -> Buffer.add_string buf (Printf.sprintf "%d\n" (lit_out l)))
+    (Aig.outputs aig);
+  Array.iter
+    (fun v ->
+      if Aig.is_and aig v then begin
+        let lhs = 2 * var_of.(v) in
+        let r0 = lit_out (Aig.fanin0 aig v) in
+        let r1 = lit_out (Aig.fanin1 aig v) in
+        (* The format requires lhs > rhs0 >= rhs1. *)
+        let r0, r1 = if r0 >= r1 then (r0, r1) else (r1, r0) in
+        write_varint buf (lhs - r0);
+        write_varint buf (r0 - r1)
+      end)
+    order;
+  Buffer.contents buf
+
+let read_binary s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let line () =
+    let start = !pos in
+    while !pos < len && s.[!pos] <> '\n' do
+      incr pos
+    done;
+    let l = String.sub s start (!pos - start) in
+    if !pos < len then incr pos;
+    l
+  in
+  let header = line () in
+  let maxvar, ninputs, nlatches, noutputs, nands =
+    match String.split_on_char ' ' (String.trim header) with
+    | [ "aig"; m; i; l; o; a ] ->
+      (int_of_string m, int_of_string i, int_of_string l, int_of_string o, int_of_string a)
+    | _ -> failwith "Aiger.read_binary: bad header"
+  in
+  if nlatches <> 0 then failwith "Aiger.read_binary: latches unsupported";
+  let out_lits = Array.init noutputs (fun _ -> int_of_string (String.trim (line ()))) in
+  let read_varint () =
+    let x = ref 0 in
+    let shift = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      if !pos >= len then failwith "Aiger.read_binary: truncated varint";
+      let byte = Char.code s.[!pos] in
+      incr pos;
+      x := !x lor ((byte land 0x7f) lsl !shift);
+      shift := !shift + 7;
+      if byte < 0x80 then continue_ := false
+    done;
+    !x
+  in
+  let aig = Aig.create ~expected:(maxvar + 2) () in
+  let map = Array.make (maxvar + 1) (-1) in
+  map.(0) <- Aig.const0;
+  for i = 1 to ninputs do
+    map.(i) <- Aig.add_input aig
+  done;
+  let lit_in l =
+    let v = l / 2 in
+    if v > maxvar || map.(v) < 0 then failwith "Aiger.read_binary: undefined literal";
+    map.(v) lxor (l land 1)
+  in
+  for i = 0 to nands - 1 do
+    let lhs = 2 * (ninputs + 1 + i) in
+    let d0 = read_varint () in
+    let d1 = read_varint () in
+    let r0 = lhs - d0 in
+    let r1 = r0 - d1 in
+    if r0 < 0 || r1 < 0 then failwith "Aiger.read_binary: bad deltas";
+    map.(lhs / 2) <- Aig.band aig (lit_in r0) (lit_in r1)
+  done;
+  Array.iter (fun l -> ignore (Aig.add_output aig (lit_in l))) out_lits;
+  aig
+
+let read_file path =
+  let content =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        really_input_string ic n)
+  in
+  if String.length content >= 4 && String.sub content 0 4 = "aig " then
+    read_binary content
+  else read content

@@ -1,0 +1,28 @@
+(** ASCII AIGER (AAG) reading and writing.
+
+    Combinational subset only (no latches): enough to exchange
+    networks with ABC/mockturtle-style tools and to persist EPFL-style
+    benchmarks. *)
+
+(** [write aig] renders the network in [aag] format. Nodes are
+    renumbered (inputs first, then ANDs topologically). *)
+val write : Aig.t -> string
+
+(** [write_file aig path] writes {!write}'s output to a file. *)
+val write_file : Aig.t -> string -> unit
+
+(** [read s] parses an [aag] string.
+    @raise Failure on malformed input or latch sections. *)
+val read : string -> Aig.t
+
+(** [read_file path] parses the file at [path]; both [aag] (ASCII)
+    and [aig] (binary) headers are accepted. *)
+val read_file : string -> Aig.t
+
+(** [write_binary aig] renders the network in the binary [aig] format
+    (delta-encoded AND section), the format the EPFL suite
+    distributes. *)
+val write_binary : Aig.t -> string
+
+(** [read_binary s] parses a binary [aig] string. *)
+val read_binary : string -> Aig.t

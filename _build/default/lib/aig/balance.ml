@@ -1,0 +1,77 @@
+(* Leaves of the maximal AND tree rooted at literal [l] in the old
+   AIG: descend through non-complemented, single-fanout AND nodes. *)
+let super_leaves aig l =
+  let leaves = ref [] in
+  let rec go l top =
+    let v = Aig.node_of l in
+    if (not (Aig.is_compl l)) && Aig.is_and aig v && (top || Aig.nref aig v = 1)
+    then begin
+      go (Aig.fanin0 aig v) false;
+      go (Aig.fanin1 aig v) false
+    end
+    else leaves := l :: !leaves
+  in
+  go l true;
+  !leaves
+
+let run aig =
+  let fresh = Aig.create ~expected:(Aig.num_nodes aig) () in
+  let map = Array.make (Aig.num_nodes aig) Aig.const0 in
+  let level = Hashtbl.create 256 in
+  let level_of l =
+    match Hashtbl.find_opt level (Aig.node_of l) with Some d -> d | None -> 0
+  in
+  for i = 0 to Aig.num_inputs aig - 1 do
+    map.(Aig.node_of (Aig.input_lit aig i)) <- Aig.add_input fresh
+  done;
+  let order = Aig.topo aig in
+  Array.iter
+    (fun v ->
+      if Aig.is_and aig v then begin
+        let leaves = super_leaves aig (Aig.lit_of v false) in
+        let mapped =
+          List.map (fun l -> map.(Aig.node_of l) lxor (l land 1)) leaves
+        in
+        (* Combine lowest-level operands first. *)
+        let module Pq = struct
+          let items = ref (List.sort (fun a b -> compare (level_of a) (level_of b)) mapped)
+
+          let pop () =
+            match !items with
+            | [] -> invalid_arg "Balance: empty tree"
+            | x :: rest ->
+              items := rest;
+              x
+
+          let insert x =
+            let rec ins = function
+              | [] -> [ x ]
+              | y :: rest ->
+                if level_of x <= level_of y then x :: y :: rest else y :: ins rest
+            in
+            items := ins !items
+
+          let size () = List.length !items
+        end in
+        let rec combine () =
+          if Pq.size () = 1 then Pq.pop ()
+          else begin
+            let a = Pq.pop () in
+            let b = Pq.pop () in
+            let r = Aig.band fresh a b in
+            if not (Hashtbl.mem level (Aig.node_of r)) then
+              Hashtbl.replace level (Aig.node_of r)
+                (1 + max (level_of a) (level_of b));
+            Pq.insert r;
+            combine ()
+          end
+        in
+        map.(v) <- combine ()
+      end)
+    order;
+  Array.iter
+    (fun l ->
+      let nl = map.(Aig.node_of l) lxor (l land 1) in
+      ignore (Aig.add_output fresh nl))
+    (Aig.outputs aig);
+  fresh

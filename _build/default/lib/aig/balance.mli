@@ -1,0 +1,11 @@
+(** AND-tree balancing.
+
+    Rebuilds the AIG bottom-up, decomposing maximal single-fanout AND
+    trees into their leaves and recombining the leaves lowest-level
+    first (Huffman style). Reduces depth without increasing size; the
+    flow runs it to keep "a tight control on the number of levels"
+    (paper, Section V-A). *)
+
+(** [run aig] is a freshly built, balanced AIG with the same I/O
+    signature and functionality. *)
+val run : Aig.t -> Aig.t

@@ -1,0 +1,179 @@
+type cut = { leaves : int array; tt : int64 }
+
+let tt_mask m = if m >= 6 then -1L else Int64.sub (Int64.shift_left 1L (1 lsl m)) 1L
+
+let var_pattern = [|
+  0xAAAAAAAAAAAAAAAAL;
+  0xCCCCCCCCCCCCCCCCL;
+  0xF0F0F0F0F0F0F0F0L;
+  0xFF00FF00FF00FF00L;
+  0xFFFF0000FFFF0000L;
+  0xFFFFFFFF00000000L;
+|]
+
+let tt_var m j =
+  if j < 0 || j >= m || m > 6 then invalid_arg "Cut.tt_var";
+  Int64.logand var_pattern.(j) (tt_mask m)
+
+let stretch tt leaves super =
+  let m = Array.length leaves in
+  let m' = Array.length super in
+  if m = m' then tt
+  else begin
+    let r = ref 0L in
+    for idx = 0 to (1 lsl m') - 1 do
+      let a = ref 0 in
+      let j = ref 0 in
+      for i = 0 to m' - 1 do
+        if !j < m && leaves.(!j) = super.(i) then begin
+          if (idx lsr i) land 1 = 1 then a := !a lor (1 lsl !j);
+          incr j
+        end
+      done;
+      if Int64.logand (Int64.shift_right_logical tt !a) 1L = 1L then
+        r := Int64.logor !r (Int64.shift_left 1L idx)
+    done;
+    !r
+  end
+
+(* Sorted-array union; None if the union exceeds k. *)
+let merge_leaves k a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make k 0 in
+  let rec go i j n =
+    if n > k then None
+    else if i = la && j = lb then Some (Array.sub out 0 n)
+    else if n = k then None
+    else if i = la then (out.(n) <- b.(j); go i (j + 1) (n + 1))
+    else if j = lb then (out.(n) <- a.(i); go (i + 1) j (n + 1))
+    else if a.(i) = b.(j) then (out.(n) <- a.(i); go (i + 1) (j + 1) (n + 1))
+    else if a.(i) < b.(j) then (out.(n) <- a.(i); go (i + 1) j (n + 1))
+    else (out.(n) <- b.(j); go i (j + 1) (n + 1))
+  in
+  go 0 0 0
+
+let cut_compare c1 c2 =
+  let n = compare (Array.length c1.leaves) (Array.length c2.leaves) in
+  if n <> 0 then n else compare c1.leaves c2.leaves
+
+(* c1 dominates c2 if leaves(c1) is a subset of leaves(c2). *)
+let dominates c1 c2 =
+  let l1 = c1.leaves and l2 = c2.leaves in
+  let n1 = Array.length l1 and n2 = Array.length l2 in
+  n1 <= n2
+  &&
+  let rec go i j =
+    if i = n1 then true
+    else if j = n2 then false
+    else if l1.(i) = l2.(j) then go (i + 1) (j + 1)
+    else if l1.(i) > l2.(j) then go i (j + 1)
+    else false
+  in
+  go 0 0
+
+let filter_dominated cuts =
+  let rec go kept = function
+    | [] -> List.rev kept
+    | c :: rest ->
+      if List.exists (fun k -> dominates k c) kept then go kept rest
+      else go (c :: List.filter (fun k -> not (dominates c k)) kept) rest
+  in
+  go [] cuts
+
+let enumerate aig ~k ~max_cuts =
+  if k < 2 || k > 6 then invalid_arg "Cut.enumerate: k must be in [2,6]";
+  let sets = Array.make (Aig.num_nodes aig) [] in
+  let trivial v = { leaves = [| v |]; tt = tt_var 1 0 } in
+  let order = Aig.topo aig in
+  Array.iter
+    (fun v ->
+      if Aig.is_input aig v then sets.(v) <- [ trivial v ]
+      else if Aig.is_and aig v then begin
+        let f0 = Aig.fanin0 aig v and f1 = Aig.fanin1 aig v in
+        let v0 = Aig.node_of f0 and v1 = Aig.node_of f1 in
+        let cuts0 = if v0 = 0 then [ { leaves = [||]; tt = 0L } ] else sets.(v0) in
+        let cuts1 = if v1 = 0 then [ { leaves = [||]; tt = 0L } ] else sets.(v1) in
+        let results = ref [] in
+        List.iter
+          (fun c0 ->
+            List.iter
+              (fun c1 ->
+                match merge_leaves k c0.leaves c1.leaves with
+                | None -> ()
+                | Some leaves ->
+                  let m = Array.length leaves in
+                  let t0 = stretch c0.tt c0.leaves leaves in
+                  let t1 = stretch c1.tt c1.leaves leaves in
+                  let t0 = if Aig.is_compl f0 then Int64.lognot t0 else t0 in
+                  let t1 = if Aig.is_compl f1 then Int64.lognot t1 else t1 in
+                  let tt = Int64.logand (Int64.logand t0 t1) (tt_mask m) in
+                  results := { leaves; tt } :: !results)
+              cuts1)
+          cuts0;
+        let cuts = List.sort_uniq cut_compare !results in
+        let cuts = filter_dominated cuts in
+        let cuts =
+          let rec take n = function
+            | [] -> []
+            | _ when n = 0 -> []
+            | c :: rest -> c :: take (n - 1) rest
+          in
+          take max_cuts cuts
+        in
+        sets.(v) <- trivial v :: cuts
+      end)
+    order;
+  sets
+
+let local aig root ~k ~max_cuts ~depth =
+  if k < 2 || k > 6 then invalid_arg "Cut.local: k must be in [2,6]";
+  let memo = Hashtbl.create 64 in
+  let trivial v = [ { leaves = [| v |]; tt = tt_var 1 0 } ] in
+  let rec cuts_of v d =
+    match Hashtbl.find_opt memo v with
+    | Some cs -> cs
+    | None ->
+      let cs =
+        if v = 0 then [ { leaves = [||]; tt = 0L } ]
+        else if d = 0 || not (Aig.is_and aig v) then trivial v
+        else begin
+          let f0 = Aig.fanin0 aig v and f1 = Aig.fanin1 aig v in
+          let cuts0 = cuts_of (Aig.node_of f0) (d - 1) in
+          let cuts1 = cuts_of (Aig.node_of f1) (d - 1) in
+          let results = ref [] in
+          List.iter
+            (fun c0 ->
+              List.iter
+                (fun c1 ->
+                  match merge_leaves k c0.leaves c1.leaves with
+                  | None -> ()
+                  | Some leaves ->
+                    let m = Array.length leaves in
+                    let t0 = stretch c0.tt c0.leaves leaves in
+                    let t1 = stretch c1.tt c1.leaves leaves in
+                    let t0 = if Aig.is_compl f0 then Int64.lognot t0 else t0 in
+                    let t1 = if Aig.is_compl f1 then Int64.lognot t1 else t1 in
+                    let tt = Int64.logand (Int64.logand t0 t1) (tt_mask m) in
+                    results := { leaves; tt } :: !results)
+                cuts1)
+            cuts0;
+          let cs = filter_dominated (List.sort_uniq cut_compare !results) in
+          let rec take n = function
+            | [] -> []
+            | _ when n = 0 -> []
+            | c :: rest -> c :: take (n - 1) rest
+          in
+          let cs = take max_cuts cs in
+          if List.exists (fun c -> Array.length c.leaves = 1) cs then cs
+          else trivial v @ cs
+        end
+      in
+      Hashtbl.add memo v cs;
+      cs
+  in
+  cuts_of root depth
+
+let cut_tt_full c =
+  let module Tt = Sbm_truthtable.Tt in
+  let m = Array.length c.leaves in
+  Tt.of_bits m (fun i -> Int64.logand (Int64.shift_right_logical c.tt i) 1L = 1L)

@@ -1,0 +1,14 @@
+(** DAG-aware AIG rewriting (cf. Mishchenko et al., DAC'06 — the
+    paper's reference [12] and the "rewriting" move of the gradient
+    engine).
+
+    For every AND node, 4-input cuts are enumerated against the live
+    structure, the cut function is resynthesized through {!Synth}, and
+    the replacement is committed when the exact gain (MFFC saving
+    minus fresh logic, sharing included) is positive — or zero when
+    [zero_gain] is set, which reshapes the network to escape local
+    minima (paper, Section III-D). *)
+
+(** [run ?zero_gain aig] rewrites every node once, in topological
+    order. Returns the total node-count gain (>= 0). *)
+val run : ?zero_gain:bool -> Aig.t -> int

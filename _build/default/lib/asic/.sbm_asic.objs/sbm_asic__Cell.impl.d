@@ -1,0 +1,1 @@
+lib/asic/cell.ml: Array Hashtbl Int64 List

@@ -1,0 +1,1 @@
+lib/asic/cell.mli: Hashtbl

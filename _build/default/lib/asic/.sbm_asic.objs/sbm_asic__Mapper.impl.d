@@ -1,0 +1,1 @@
+lib/asic/mapper.ml: Array Cell Hashtbl Int64 List Netlist Sbm_aig

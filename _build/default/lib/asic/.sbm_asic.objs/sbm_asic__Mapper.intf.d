@@ -1,0 +1,1 @@
+lib/asic/mapper.mli: Netlist Sbm_aig

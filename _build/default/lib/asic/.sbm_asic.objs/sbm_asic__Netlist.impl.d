@@ -1,0 +1,1 @@
+lib/asic/netlist.ml: Array Cell Int64

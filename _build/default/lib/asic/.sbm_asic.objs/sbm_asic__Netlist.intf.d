@@ -1,0 +1,1 @@
+lib/asic/netlist.mli: Cell

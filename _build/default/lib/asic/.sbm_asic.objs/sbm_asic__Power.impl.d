@@ -1,0 +1,1 @@
+lib/asic/power.ml: Array Cell Int64 Netlist Sbm_util Sta

@@ -1,0 +1,1 @@
+lib/asic/sta.ml: Array Cell Float Netlist

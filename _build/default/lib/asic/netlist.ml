@@ -1,0 +1,52 @@
+type gate = { cell : Cell.t; fanins : int array; out : int }
+
+type t = {
+  num_inputs : int;
+  num_nets : int;
+  gates : gate array;
+  outputs : int array;
+}
+
+let area t = Array.fold_left (fun acc g -> acc +. g.cell.Cell.area) 0.0 t.gates
+
+let eval t bits =
+  if Array.length bits <> t.num_inputs then invalid_arg "Netlist.eval";
+  let values = Array.make t.num_nets false in
+  Array.blit bits 0 values 0 t.num_inputs;
+  Array.iter
+    (fun g ->
+      let idx = ref 0 in
+      Array.iteri (fun p net -> if values.(net) then idx := !idx lor (1 lsl p)) g.fanins;
+      values.(g.out) <-
+        Int64.logand (Int64.shift_right_logical g.cell.Cell.tt !idx) 1L = 1L)
+    t.gates;
+  Array.map (fun net -> values.(net)) t.outputs
+
+let fanout_counts t =
+  let counts = Array.make t.num_nets 0 in
+  Array.iter
+    (fun g -> Array.iter (fun net -> counts.(net) <- counts.(net) + 1) g.fanins)
+    t.gates;
+  Array.iter (fun net -> counts.(net) <- counts.(net) + 1) t.outputs;
+  counts
+
+let check t =
+  let defined = Array.make t.num_nets false in
+  for i = 0 to t.num_inputs - 1 do
+    defined.(i) <- true
+  done;
+  Array.iter
+    (fun g ->
+      Array.iter
+        (fun net ->
+          if net < 0 || net >= t.num_nets then failwith "Netlist.check: net range";
+          if not defined.(net) then failwith "Netlist.check: use before def")
+        g.fanins;
+      if defined.(g.out) then failwith "Netlist.check: double definition";
+      if Array.length g.fanins <> g.cell.Cell.arity then
+        failwith "Netlist.check: arity mismatch";
+      defined.(g.out) <- true)
+    t.gates;
+  Array.iter
+    (fun net -> if not defined.(net) then failwith "Netlist.check: undefined output")
+    t.outputs

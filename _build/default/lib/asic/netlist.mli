@@ -1,0 +1,30 @@
+(** Mapped gate-level netlists.
+
+    Nets are integers: net [i] for [i < num_inputs] is primary input
+    [i]; the remaining nets are gate outputs. *)
+
+type gate = {
+  cell : Cell.t;
+  fanins : int array; (** nets, in cell pin order *)
+  out : int; (** output net *)
+}
+
+type t = {
+  num_inputs : int;
+  num_nets : int;
+  gates : gate array; (** topological order *)
+  outputs : int array; (** nets *)
+}
+
+(** [area t] is the total cell area. *)
+val area : t -> float
+
+(** [eval t bits] simulates one input assignment (test hook). *)
+val eval : t -> bool array -> bool array
+
+(** [fanout_counts t] is the number of gate/output pins driven by each
+    net. *)
+val fanout_counts : t -> int array
+
+(** [check t] validates topological consistency; raises [Failure]. *)
+val check : t -> unit

@@ -1,0 +1,76 @@
+module Rng = Sbm_util.Rng
+
+let popcount64 w =
+  let rec go w acc = if w = 0L then acc else go (Int64.logand w (Int64.sub w 1L)) (acc + 1) in
+  go w 0
+
+(* 64-way parallel netlist simulation. *)
+let simulate64 netlist words =
+  let values = Array.make netlist.Netlist.num_nets 0L in
+  Array.blit words 0 values 0 netlist.Netlist.num_inputs;
+  Array.iter
+    (fun g ->
+      let m = Array.length g.Netlist.fanins in
+      let out = ref 0L in
+      (* Evaluate the cell truth table bit-parallel over minterms. *)
+      for minterm = 0 to (1 lsl m) - 1 do
+        if Int64.logand (Int64.shift_right_logical g.Netlist.cell.Cell.tt minterm) 1L = 1L
+        then begin
+          let conj = ref (-1L) in
+          for p = 0 to m - 1 do
+            let v = values.(g.Netlist.fanins.(p)) in
+            let v = if (minterm lsr p) land 1 = 1 then v else Int64.lognot v in
+            conj := Int64.logand !conj v
+          done;
+          out := Int64.logor !out !conj
+        end
+      done;
+      values.(g.Netlist.out) <- !out)
+    netlist.Netlist.gates;
+  values
+
+let dynamic ?(rounds = 8) ?(seed = 0x9a11) netlist =
+  let rng = Rng.create seed in
+  let loads = ref None in
+  let get_loads () =
+    match !loads with
+    | Some l -> l
+    | None ->
+      let fanouts = Netlist.fanout_counts netlist in
+      let l = Array.make netlist.Netlist.num_nets 0.0 in
+      Array.iter
+        (fun g ->
+          Array.iter
+            (fun net -> l.(net) <- l.(net) +. g.Netlist.cell.Cell.input_cap)
+            g.Netlist.fanins)
+        netlist.Netlist.gates;
+      Array.iteri (fun net x -> l.(net) <- x +. Sta.wire_cap fanouts.(net)) l;
+      loads := Some l;
+      l
+  in
+  let l = get_loads () in
+  let toggles = Array.make netlist.Netlist.num_nets 0 in
+  let prev = Array.make netlist.Netlist.num_nets 0L in
+  let bits = ref 0 in
+  for round = 0 to rounds - 1 do
+    let words =
+      Array.init netlist.Netlist.num_inputs (fun _ -> Rng.next64 rng)
+    in
+    let values = simulate64 netlist words in
+    if round > 0 then begin
+      for net = 0 to netlist.Netlist.num_nets - 1 do
+        toggles.(net) <- toggles.(net) + popcount64 (Int64.logxor values.(net) prev.(net))
+      done;
+      bits := !bits + 64
+    end;
+    Array.blit values 0 prev 0 netlist.Netlist.num_nets
+  done;
+  if !bits = 0 then 0.0
+  else begin
+    let total = ref 0.0 in
+    for net = 0 to netlist.Netlist.num_nets - 1 do
+      let rate = float_of_int toggles.(net) /. float_of_int !bits in
+      total := !total +. (rate *. l.(net))
+    done;
+    !total
+  end

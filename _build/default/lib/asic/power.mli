@@ -1,0 +1,10 @@
+(** Switching-activity-based dynamic power estimation.
+
+    [dynamic] simulates random vectors through the mapped netlist,
+    measures per-net toggle rates and weights them by the net's
+    capacitive load — "dynamic power of the circuit without
+    considering the clock" (Table III's metric), in normalized
+    units. *)
+
+(** [dynamic ?rounds ?seed netlist] estimates total dynamic power. *)
+val dynamic : ?rounds:int -> ?seed:int -> Netlist.t -> float

@@ -1,0 +1,55 @@
+type report = {
+  arrival_max : float;
+  wns : float;
+  tns : float;
+  slacks : float array;
+}
+
+(* Fanout-based wire-load model: grows slightly super-linearly, as
+   higher-fanout nets route longer. *)
+let wire_cap fanouts =
+  let f = float_of_int fanouts in
+  (0.35 *. f) +. (0.05 *. f *. f)
+
+let output_pin_cap = 1.0
+
+let net_loads netlist =
+  let loads = Array.make netlist.Netlist.num_nets 0.0 in
+  let fanouts = Netlist.fanout_counts netlist in
+  Array.iter
+    (fun g ->
+      Array.iter
+        (fun net -> loads.(net) <- loads.(net) +. g.Netlist.cell.Cell.input_cap)
+        g.Netlist.fanins)
+    netlist.Netlist.gates;
+  Array.iter
+    (fun net -> loads.(net) <- loads.(net) +. output_pin_cap)
+    netlist.Netlist.outputs;
+  Array.iteri (fun net l -> loads.(net) <- l +. wire_cap fanouts.(net)) loads;
+  loads
+
+let analyze ?clock netlist =
+  let loads = net_loads netlist in
+  let arrivals = Array.make netlist.Netlist.num_nets 0.0 in
+  Array.iter
+    (fun g ->
+      let worst_in =
+        Array.fold_left (fun acc net -> Float.max acc arrivals.(net)) 0.0 g.Netlist.fanins
+      in
+      let delay =
+        g.Netlist.cell.Cell.intrinsic
+        +. (g.Netlist.cell.Cell.drive *. loads.(g.Netlist.out) *. 0.1)
+      in
+      arrivals.(g.Netlist.out) <- worst_in +. delay)
+    netlist.Netlist.gates;
+  let arrival_max =
+    Array.fold_left
+      (fun acc net -> Float.max acc arrivals.(net))
+      0.0 netlist.Netlist.outputs
+  in
+  let clock = match clock with Some c -> c | None -> arrival_max in
+  let slacks = Array.map (fun net -> clock -. arrivals.(net)) netlist.Netlist.outputs in
+  let wns = Array.fold_left Float.min infinity slacks in
+  let wns = if wns = infinity then 0.0 else Float.min wns 0.0 in
+  let tns = Array.fold_left (fun acc s -> acc +. Float.min s 0.0) 0.0 slacks in
+  { arrival_max; wns; tns; slacks }

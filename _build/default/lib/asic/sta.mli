@@ -1,0 +1,23 @@
+(** Static timing analysis with a wire-load model.
+
+    Linear delay model: gate delay = intrinsic + drive x output load,
+    where the load sums consumer pin capacitances and a fanout-based
+    wire-load estimate (the "placement proxy" — the paper's numbers
+    are post place & route, ours come from this model applied
+    identically to both flows). *)
+
+type report = {
+  arrival_max : float; (** critical-path delay *)
+  wns : float; (** worst negative slack (0 when timing met) *)
+  tns : float; (** total negative slack over all outputs *)
+  slacks : float array; (** per primary output *)
+}
+
+(** [analyze ?clock netlist] computes arrivals and slacks. When
+    [clock] is omitted, it is set to the critical-path delay (zero
+    slack everywhere). *)
+val analyze : ?clock:float -> Netlist.t -> report
+
+(** [wire_cap fanouts] is the wire-load capacitance estimate used by
+    {!analyze} (exposed for tests and the power model). *)
+val wire_cap : int -> float

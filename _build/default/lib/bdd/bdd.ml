@@ -1,0 +1,333 @@
+type t = int
+
+exception Limit
+
+(* Node 0 = terminal false, node 1 = terminal true. Internal nodes
+   store (var, low, high) in parallel growable arrays; the unique table
+   guarantees strong canonicity (paper Section IV-C relies on it for
+   cheap global queries). *)
+type man = {
+  mutable var_of : int array;
+  mutable low_of : int array;
+  mutable high_of : int array;
+  mutable n : int;
+  unique : (int * int * int, int) Hashtbl.t;
+  cache : (int * int * int * int, int) Hashtbl.t;
+  node_limit : int;
+}
+
+let terminal_var = max_int
+
+let create ?(node_limit = max_int) () =
+  let cap = 1024 in
+  let man =
+    {
+      var_of = Array.make cap terminal_var;
+      low_of = Array.make cap (-1);
+      high_of = Array.make cap (-1);
+      n = 2;
+      unique = Hashtbl.create 4096;
+      cache = Hashtbl.create 4096;
+      node_limit;
+    }
+  in
+  man
+
+let num_nodes man = man.n
+let zero _ = 0
+let one _ = 1
+let is_zero _ b = b = 0
+let is_one _ b = b = 1
+
+let var man b =
+  if b < 2 then invalid_arg "Bdd.var: terminal";
+  man.var_of.(b)
+
+let low man b =
+  if b < 2 then invalid_arg "Bdd.low: terminal";
+  man.low_of.(b)
+
+let high man b =
+  if b < 2 then invalid_arg "Bdd.high: terminal";
+  man.high_of.(b)
+
+let grow man =
+  let cap = Array.length man.var_of in
+  let ncap = 2 * cap in
+  let extend a fill =
+    let a' = Array.make ncap fill in
+    Array.blit a 0 a' 0 cap;
+    a'
+  in
+  man.var_of <- extend man.var_of terminal_var;
+  man.low_of <- extend man.low_of (-1);
+  man.high_of <- extend man.high_of (-1)
+
+let mk man v lo hi =
+  if lo = hi then lo
+  else
+    match Hashtbl.find_opt man.unique (v, lo, hi) with
+    | Some node -> node
+    | None ->
+      if man.n >= man.node_limit then raise Limit;
+      if man.n >= Array.length man.var_of then grow man;
+      let node = man.n in
+      man.n <- node + 1;
+      man.var_of.(node) <- v;
+      man.low_of.(node) <- lo;
+      man.high_of.(node) <- hi;
+      Hashtbl.add man.unique (v, lo, hi) node;
+      node
+
+let ithvar man i =
+  if i < 0 then invalid_arg "Bdd.ithvar";
+  mk man i 0 1
+
+let topvar man b = if b < 2 then terminal_var else man.var_of.(b)
+
+(* Opcodes for the computed cache. *)
+let op_and = 0
+let op_xor = 1
+let op_ite = 3
+let op_exists = 4
+let op_compose_base = 16 (* op_compose_base + var *)
+
+let rec mand man a b =
+  if a = 0 || b = 0 then 0
+  else if a = 1 then b
+  else if b = 1 then a
+  else if a = b then a
+  else begin
+    let a, b = if a < b then (a, b) else (b, a) in
+    let key = (op_and, a, b, 0) in
+    match Hashtbl.find_opt man.cache key with
+    | Some r -> r
+    | None ->
+      let va = topvar man a and vb = topvar man b in
+      let v = min va vb in
+      let a0, a1 = if va = v then (man.low_of.(a), man.high_of.(a)) else (a, a) in
+      let b0, b1 = if vb = v then (man.low_of.(b), man.high_of.(b)) else (b, b) in
+      let lo = mand man a0 b0 in
+      let hi = mand man a1 b1 in
+      let r = mk man v lo hi in
+      Hashtbl.add man.cache key r;
+      r
+  end
+
+let rec mxor man a b =
+  if a = b then 0
+  else if a = 0 then b
+  else if b = 0 then a
+  else begin
+    let a, b = if a < b then (a, b) else (b, a) in
+    let key = (op_xor, a, b, 0) in
+    match Hashtbl.find_opt man.cache key with
+    | Some r -> r
+    | None ->
+      let va = topvar man a and vb = topvar man b in
+      let v = min va vb in
+      let a0, a1 = if va = v then (man.low_of.(a), man.high_of.(a)) else (a, a) in
+      let b0, b1 = if vb = v then (man.low_of.(b), man.high_of.(b)) else (b, b) in
+      let lo = mxor man a0 b0 in
+      let hi = mxor man a1 b1 in
+      let r = mk man v lo hi in
+      Hashtbl.add man.cache key r;
+      r
+  end
+
+let mnot man a = mxor man a 1
+let mor man a b = mnot man (mand man (mnot man a) (mnot man b))
+let mxnor man a b = mnot man (mxor man a b)
+
+let rec ite man c a b =
+  if c = 1 then a
+  else if c = 0 then b
+  else if a = b then a
+  else if a = 1 && b = 0 then c
+  else begin
+    let key = (op_ite, c, a, b) in
+    match Hashtbl.find_opt man.cache key with
+    | Some r -> r
+    | None ->
+      let v = min (topvar man c) (min (topvar man a) (topvar man b)) in
+      let cof x side =
+        if topvar man x = v then (if side then man.high_of.(x) else man.low_of.(x))
+        else x
+      in
+      let lo = ite man (cof c false) (cof a false) (cof b false) in
+      let hi = ite man (cof c true) (cof a true) (cof b true) in
+      let r = mk man v lo hi in
+      Hashtbl.add man.cache key r;
+      r
+  end
+
+let restrict man b i v =
+  let rec go b =
+    if b < 2 then b
+    else begin
+      let bv = man.var_of.(b) in
+      if bv > i then b
+      else if bv = i then (if v then man.high_of.(b) else man.low_of.(b))
+      else begin
+        let key = ((if v then 6 else 5), b, i, 0) in
+        match Hashtbl.find_opt man.cache key with
+        | Some r -> r
+        | None ->
+          let r = mk man bv (go man.low_of.(b)) (go man.high_of.(b)) in
+          Hashtbl.add man.cache key r;
+          r
+      end
+    end
+  in
+  go b
+
+let compose man b i g =
+  let rec go b =
+    if b < 2 then b
+    else begin
+      let bv = man.var_of.(b) in
+      if bv > i then b
+      else begin
+        let key = (op_compose_base + i, b, g, 0) in
+        match Hashtbl.find_opt man.cache key with
+        | Some r -> r
+        | None ->
+          let r =
+            if bv = i then ite man g man.high_of.(b) man.low_of.(b)
+            else begin
+              let lo = go man.low_of.(b) in
+              let hi = go man.high_of.(b) in
+              (* The substituted children may have top variables above
+                 [bv]; rebuild with ite on the variable. *)
+              ite man (ithvar man bv) hi lo
+            end
+          in
+          Hashtbl.add man.cache key r;
+          r
+      end
+    end
+  in
+  go b
+
+let exists man b vars =
+  let sorted = List.sort_uniq Stdlib.compare vars in
+  let is_quantified v = List.mem v sorted in
+  let rec go b =
+    if b < 2 then b
+    else begin
+      let key = (op_exists, b, Hashtbl.hash sorted, 0) in
+      match Hashtbl.find_opt man.cache key with
+      | Some r -> r
+      | None ->
+        let v = man.var_of.(b) in
+        let lo = go man.low_of.(b) in
+        let hi = go man.high_of.(b) in
+        let r = if is_quantified v then mor man lo hi else ite man (ithvar man v) hi lo in
+        Hashtbl.add man.cache key r;
+        r
+    end
+  in
+  go b
+
+let iter_reachable man b f =
+  let seen = Hashtbl.create 64 in
+  let rec go b =
+    if b >= 2 && not (Hashtbl.mem seen b) then begin
+      Hashtbl.add seen b ();
+      f b;
+      go man.low_of.(b);
+      go man.high_of.(b)
+    end
+  in
+  go b
+
+let support man b =
+  let vars = Hashtbl.create 16 in
+  iter_reachable man b (fun node -> Hashtbl.replace vars man.var_of.(node) ());
+  List.sort Stdlib.compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+
+let size man b =
+  let count = ref 0 in
+  iter_reachable man b (fun _ -> incr count);
+  !count
+
+let count_sat man b ~nvars =
+  let memo = Hashtbl.create 64 in
+  (* fraction of assignments under [b] *)
+  let rec frac b =
+    if b = 0 then 0.0
+    else if b = 1 then 1.0
+    else
+      match Hashtbl.find_opt memo b with
+      | Some f -> f
+      | None ->
+        let f = 0.5 *. (frac man.low_of.(b) +. frac man.high_of.(b)) in
+        Hashtbl.add memo b f;
+        f
+  in
+  frac b *. (2.0 ** float_of_int nvars)
+
+let eval man b assignment =
+  let rec go b =
+    if b = 0 then false
+    else if b = 1 then true
+    else if (assignment lsr man.var_of.(b)) land 1 = 1 then go man.high_of.(b)
+    else go man.low_of.(b)
+  in
+  go b
+
+let any_sat man b =
+  let rec go b acc =
+    if b = 0 then None
+    else if b = 1 then Some (List.rev acc)
+    else begin
+      let v = man.var_of.(b) in
+      if man.high_of.(b) <> 0 then go man.high_of.(b) ((v, true) :: acc)
+      else go man.low_of.(b) ((v, false) :: acc)
+    end
+  in
+  go b []
+
+let of_tt man tt =
+  let n = Sbm_truthtable.Tt.num_vars tt in
+  let memo = Hashtbl.create 64 in
+  let rec build tt i =
+    match Hashtbl.find_opt memo (tt, i) with
+    | Some b -> b
+    | None ->
+      let b =
+        if Sbm_truthtable.Tt.is_const0 tt then 0
+        else if Sbm_truthtable.Tt.is_const1 tt then 1
+        else begin
+          assert (i < n);
+          let lo = build (Sbm_truthtable.Tt.cofactor0 tt i) (i + 1) in
+          let hi = build (Sbm_truthtable.Tt.cofactor1 tt i) (i + 1) in
+          mk man i lo hi
+        end
+      in
+      Hashtbl.add memo (tt, i) b;
+      b
+  in
+  build tt 0
+
+let to_tt man b ~nvars =
+  let module Tt = Sbm_truthtable.Tt in
+  let memo = Hashtbl.create 64 in
+  let rec go b =
+    if b = 0 then Tt.const0 nvars
+    else if b = 1 then Tt.const1 nvars
+    else
+      match Hashtbl.find_opt memo b with
+      | Some tt -> tt
+      | None ->
+        let v = man.var_of.(b) in
+        if v >= nvars then invalid_arg "Bdd.to_tt: support exceeds nvars";
+        let tt =
+          Tt.ite (Tt.var nvars v) (go man.high_of.(b)) (go man.low_of.(b))
+        in
+        Hashtbl.add memo b tt;
+        tt
+  in
+  go b
+
+let clear_cache man = Hashtbl.reset man.cache

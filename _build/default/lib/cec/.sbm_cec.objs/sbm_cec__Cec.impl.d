@@ -1,0 +1,1 @@
+lib/cec/cec.ml: Array Int64 List Sbm_aig Sbm_sat Sbm_util

@@ -1,0 +1,1 @@
+lib/cec/cec.mli: Sbm_aig

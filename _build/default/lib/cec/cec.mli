@@ -1,0 +1,21 @@
+(** Combinational equivalence checking.
+
+    The in-house stand-in for the "industrial formal equivalence
+    checking flow" the paper verifies its benchmarks with: fast random
+    simulation to hunt for counterexamples, then a SAT miter for the
+    proof. Every optimization engine in this repository is gated by
+    this check in the test-suite. *)
+
+type result =
+  | Equivalent
+  | Counterexample of bool array (** an input assignment that differs *)
+  | Unknown (** resource limit hit *)
+
+(** [check ?sim_rounds ?conflict_limit a b] compares two networks with
+    identical input and output counts.
+    @raise Invalid_argument on I/O signature mismatch. *)
+val check :
+  ?sim_rounds:int -> ?conflict_limit:int -> Sbm_aig.Aig.t -> Sbm_aig.Aig.t -> result
+
+(** [equiv a b] is [check a b = Equivalent] with the defaults. *)
+val equiv : Sbm_aig.Aig.t -> Sbm_aig.Aig.t -> bool

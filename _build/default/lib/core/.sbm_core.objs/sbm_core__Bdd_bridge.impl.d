@@ -1,0 +1,1 @@
+lib/core/bdd_bridge.ml: Array Hashtbl List Option Sbm_aig Sbm_bdd Sbm_partition Seq

@@ -1,0 +1,1 @@
+lib/core/bdd_bridge.mli: Sbm_aig Sbm_bdd Sbm_partition

@@ -1,0 +1,1 @@
+lib/core/boolean_difference.ml: Bdd_bridge Sbm_aig Sbm_bdd

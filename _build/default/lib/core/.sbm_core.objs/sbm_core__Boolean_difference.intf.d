@@ -1,0 +1,1 @@
+lib/core/boolean_difference.mli: Bdd_bridge Sbm_aig

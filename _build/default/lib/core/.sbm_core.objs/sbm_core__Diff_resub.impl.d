@@ -1,0 +1,1 @@
+lib/core/diff_resub.ml: Array Bdd_bridge Boolean_difference Int64 List Sbm_aig Sbm_bdd Sbm_partition Sbm_util

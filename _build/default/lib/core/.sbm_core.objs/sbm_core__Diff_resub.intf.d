@@ -1,0 +1,1 @@
+lib/core/diff_resub.mli: Boolean_difference Sbm_aig Sbm_partition

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Diff_resub Gradient Hetero_kernel Logs Mspf Sbm_aig Sbm_sat

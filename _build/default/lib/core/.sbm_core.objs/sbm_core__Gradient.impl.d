@@ -1,0 +1,1 @@
+lib/core/gradient.ml: Hashtbl Hetero_kernel List Mspf Option Queue Sbm_aig Sbm_partition

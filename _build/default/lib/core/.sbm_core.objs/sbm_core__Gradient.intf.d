@@ -1,0 +1,1 @@
+lib/core/gradient.mli: Sbm_aig

@@ -1,0 +1,1 @@
+lib/core/hetero_kernel.ml: Array Hashtbl List Option Sbm_aig Sbm_sop

@@ -1,0 +1,1 @@
+lib/core/hetero_kernel.mli: Sbm_aig

@@ -1,0 +1,1 @@
+lib/core/mspf.ml: Array Bdd_bridge Hashtbl List Option Sbm_aig Sbm_bdd Sbm_partition

@@ -1,0 +1,1 @@
+lib/core/mspf.mli: Sbm_aig Sbm_partition

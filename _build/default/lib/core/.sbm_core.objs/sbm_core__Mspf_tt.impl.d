@@ -1,0 +1,1 @@
+lib/core/mspf_tt.ml: Array Hashtbl List Option Sbm_aig Sbm_partition Sbm_truthtable Seq

@@ -1,0 +1,1 @@
+lib/core/mspf_tt.mli: Sbm_aig Sbm_partition

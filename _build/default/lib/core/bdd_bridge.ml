@@ -1,0 +1,139 @@
+module Aig = Sbm_aig.Aig
+module Bdd = Sbm_bdd.Bdd
+module Partition = Sbm_partition.Partition
+
+type t = {
+  aig : Aig.t;
+  man : Bdd.man;
+  member_set : (int, unit) Hashtbl.t;
+  mutable order : int array; (* live members, current topological order *)
+  mutable roots : int array;
+  leaves : int array;
+  node_bdd : (int, Bdd.t) Hashtbl.t;
+  by_bdd : (Bdd.t, int) Hashtbl.t;
+  leaf_lits : Aig.lit array;
+}
+
+let man t = t.man
+let aig t = t.aig
+let members t = t.order
+let leaves t = t.leaves
+let roots t = t.roots
+
+(* Current topological order of the live members, against the live
+   graph (partition orders go stale after in-place surgery). *)
+let live_order t =
+  let order = Aig.topo t.aig in
+  Array.of_seq
+    (Seq.filter
+       (fun v -> Hashtbl.mem t.member_set v && Aig.is_and t.aig v)
+       (Array.to_seq order))
+
+(* Members with references from outside the member set (outputs or
+   external fanouts): the observability boundary. *)
+let live_roots t =
+  let aig = t.aig in
+  Array.of_seq
+    (Seq.filter
+       (fun v ->
+         let member_refs =
+           List.fold_left
+             (fun acc fo ->
+               if Hashtbl.mem t.member_set fo then
+                 acc
+                 + (if Aig.node_of (Aig.fanin0 aig fo) = v then 1 else 0)
+                 + (if Aig.node_of (Aig.fanin1 aig fo) = v then 1 else 0)
+               else acc)
+             0 (Aig.fanout_nodes aig v)
+         in
+         Aig.nref aig v > member_refs)
+       (Array.to_seq t.order))
+
+let compute_bdds t =
+  Hashtbl.reset t.node_bdd;
+  Hashtbl.reset t.by_bdd;
+  t.order <- live_order t;
+  t.roots <- live_roots t;
+  let aig = t.aig in
+  try
+    Array.iteri
+      (fun i v ->
+        let b = Bdd.ithvar t.man i in
+        Hashtbl.replace t.node_bdd v b;
+        if not (Hashtbl.mem t.by_bdd b) then Hashtbl.replace t.by_bdd b v)
+      t.leaves;
+    Array.iter
+      (fun v ->
+        let fanin_bdd f =
+          let w = Aig.node_of f in
+          let base = if w = 0 then Some (Bdd.zero t.man) else Hashtbl.find_opt t.node_bdd w in
+          Option.map
+            (fun b -> if Aig.is_compl f then Bdd.mnot t.man b else b)
+            base
+        in
+        match (fanin_bdd (Aig.fanin0 aig v), fanin_bdd (Aig.fanin1 aig v)) with
+        | Some b0, Some b1 -> (
+          (* Budget overrun: the node keeps "a BDD of size 0" — i.e.
+             stays absent — and the flow continues (paper III-C). *)
+          match Bdd.mand t.man b0 b1 with
+          | b ->
+            Hashtbl.replace t.node_bdd v b;
+            if not (Hashtbl.mem t.by_bdd b) then Hashtbl.replace t.by_bdd b v
+          | exception Bdd.Limit -> ())
+        | _ -> ())
+      t.order
+  with Bdd.Limit ->
+    (* Even variable allocation overran: leave the table partial. *)
+    ()
+
+let build ?(node_limit = 1_000_000) aig part =
+  let member_set = Hashtbl.create 256 in
+  Array.iter (fun v -> Hashtbl.replace member_set v ()) part.Partition.nodes;
+  let t =
+    {
+      aig;
+      man = Bdd.create ~node_limit ();
+      member_set;
+      order = part.Partition.nodes;
+      roots = part.Partition.roots;
+      leaves = part.Partition.leaves;
+      node_bdd = Hashtbl.create 256;
+      by_bdd = Hashtbl.create 256;
+      leaf_lits = Array.map (fun v -> Aig.lit_of v false) part.Partition.leaves;
+    }
+  in
+  compute_bdds t;
+  t
+
+let refresh t = compute_bdds t
+
+let bdd_of_node t v = Hashtbl.find_opt t.node_bdd v
+
+let node_of_bdd t b =
+  match Hashtbl.find_opt t.by_bdd b with
+  | Some v when not (Aig.is_dead t.aig v) -> Some (v, false)
+  | _ -> (
+    match Bdd.mnot t.man b with
+    | nb -> (
+      match Hashtbl.find_opt t.by_bdd nb with
+      | Some v when not (Aig.is_dead t.aig v) -> Some (v, true)
+      | _ -> None)
+    | exception Bdd.Limit -> None)
+
+let to_aig_lit t b =
+  let memo = Hashtbl.create 64 in
+  let rec conv b =
+    if Bdd.is_zero t.man b then Aig.const0
+    else if Bdd.is_one t.man b then Aig.const1
+    else
+      match Hashtbl.find_opt memo b with
+      | Some l -> l
+      | None ->
+        let v = Bdd.var t.man b in
+        let hi = conv (Bdd.high t.man b) in
+        let lo = conv (Bdd.low t.man b) in
+        let l = Aig.bmux t.aig t.leaf_lits.(v) hi lo in
+        Hashtbl.replace memo b l;
+        l
+  in
+  conv b

@@ -1,0 +1,146 @@
+module Aig = Sbm_aig.Aig
+module Bdd = Sbm_bdd.Bdd
+module Partition = Sbm_partition.Partition
+
+type config = {
+  diff : Boolean_difference.config;
+  limits : Partition.limits;
+  bdd_node_limit : int;
+  max_pairs : int;
+  accept_zero : bool;
+  monolithic : bool;
+  overlap : float;
+  signature_filter : bool;
+  objective : [ `Size | `Depth ];
+}
+
+let default_config =
+  {
+    diff = Boolean_difference.default_config;
+    limits = Partition.default_limits;
+    bdd_node_limit = 200_000;
+    max_pairs = 64;
+    accept_zero = false;
+    monolithic = false;
+    overlap = 0.0;
+    signature_filter = true;
+    objective = `Size;
+  }
+
+let popcount64 w =
+  let rec go w acc = if w = 0L then acc else go (Int64.logand w (Int64.sub w 1L)) (acc + 1) in
+  go w 0
+
+(* Structural filters of Section III-B: the pair must share support,
+   and [f] must not lie in the cone of [g] (a difference implementation
+   referencing [g] would then feed [f] back into itself). *)
+let good_candidates ctx ~f ~g =
+  let aig = Bdd_bridge.aig ctx in
+  (not (Aig.is_dead aig f))
+  && (not (Aig.is_dead aig g))
+  && f <> g
+  &&
+  let man = Bdd_bridge.man ctx in
+  match (Bdd_bridge.bdd_of_node ctx f, Bdd_bridge.bdd_of_node ctx g) with
+  | Some bf, Some bg -> (
+    match (Bdd.support man bf, Bdd.support man bg) with
+    | sf, sg ->
+      let shared = List.exists (fun v -> List.mem v sg) sf in
+      shared && not (Aig.in_tfi aig ~node:f ~root:g)
+    | exception Bdd.Limit -> false)
+  | _ -> false
+
+(* Functional filtering (Section III-B): a 64-pattern signature per
+   node; pairs whose difference toggles on almost every pattern are
+   unlikely to admit a small difference BDD, so they are skipped
+   before any BDD work. *)
+let signature_threshold = 52
+
+let run_partition aig config signatures part total =
+  let ctx = Bdd_bridge.build ~node_limit:config.bdd_node_limit aig part in
+  let members = Bdd_bridge.members ctx in
+  (* Depth objective: levels are refreshed after every accepted
+     rewrite (replacement cascades can move many nodes). *)
+  let levels = ref (if config.objective = `Depth then Some (Aig.levels aig) else None) in
+  let depth_ok f candidate =
+    match !levels with
+    | None -> true
+    | Some lv ->
+      (* Fresh candidate nodes have no cached level; compute the
+         candidate root's level through its (already-levelled)
+         fanins. *)
+      let rec level_of v =
+        if v < Array.length lv && lv.(v) >= 0 then lv.(v)
+        else if not (Aig.is_and aig v) then 0
+        else
+          1
+          + max
+              (level_of (Aig.node_of (Aig.fanin0 aig v)))
+              (level_of (Aig.node_of (Aig.fanin1 aig v)))
+      in
+      level_of (Aig.node_of candidate) <= level_of f
+  in
+  let signature_ok f g =
+    match signatures with
+    | None -> true
+    | Some values ->
+      let d = Int64.logxor values.(f) values.(g) in
+      let ones = popcount64 d in
+      min ones (64 - ones) <= signature_threshold
+  in
+  Array.iter
+    (fun f ->
+      if Aig.is_and aig f then begin
+        let pairs = ref 0 in
+        let replaced = ref false in
+        Array.iter
+          (fun g ->
+            if
+              (not !replaced)
+              && !pairs < config.max_pairs
+              && Aig.is_and aig g
+              && signature_ok f g
+              && good_candidates ctx ~f ~g
+            then begin
+              incr pairs;
+              match Boolean_difference.compute ctx config.diff ~f ~g with
+              | None -> ()
+              | Some candidate ->
+                if
+                  Aig.node_of candidate <> f
+                  && (not (Aig.in_tfi aig ~node:f ~root:(Aig.node_of candidate)))
+                  && depth_ok f candidate
+                then begin
+                  let gain = Aig.gain_of_replacement aig ~root:f ~candidate in
+                  (* Alg. 2 line 13: accept when not larger. *)
+                  if gain > 0 || (config.accept_zero && gain = 0) then begin
+                    Aig.replace aig f candidate;
+                    total := !total + gain;
+                    replaced := true;
+                    if config.objective = `Depth then levels := Some (Aig.levels aig)
+                  end
+                  else Aig.delete_dangling aig (Aig.node_of candidate)
+                end
+                else Aig.delete_dangling aig (Aig.node_of candidate)
+            end)
+          members
+      end)
+    members
+
+let run ?(config = default_config) aig =
+  let total = ref 0 in
+  let parts =
+    if config.monolithic then [ Partition.whole aig ]
+    else if config.overlap > 0.0 then
+      Partition.compute_overlapping aig config.limits ~overlap:config.overlap
+    else Partition.compute aig config.limits
+  in
+  let signatures =
+    if config.signature_filter then begin
+      let rng = Sbm_util.Rng.create 0xd1ff in
+      Some (Sbm_aig.Sim.simulate aig (Sbm_aig.Sim.random_inputs aig rng))
+    end
+    else None
+  in
+  List.iter (fun part -> run_partition aig config signatures part total) parts;
+  !total

@@ -1,0 +1,36 @@
+(** Resubstitution flow based on Boolean difference (paper Alg. 2).
+
+    Partitions the network (Section III-B), precomputes per-partition
+    BDDs, scans candidate node pairs under structural and functional
+    filters, and commits a Boolean-difference rewrite whenever it
+    shrinks the network — or keeps it equal-size when [accept_zero]
+    is set, "reshaping the network ... and helping escape local
+    minima" (Section III-D). *)
+
+type config = {
+  diff : Boolean_difference.config;
+  limits : Sbm_partition.Partition.limits;
+  bdd_node_limit : int; (** manager budget — the paper's memory cap *)
+  max_pairs : int; (** max pairs tried per node [f] (Section III-B) *)
+  accept_zero : bool;
+  monolithic : bool; (** single whole-network partition *)
+  overlap : float;
+      (** 0 = distinct partitions; > 0 extends each partition into its
+          neighbor ("distinct or overlapping", Section III-D) *)
+  signature_filter : bool;
+      (** functional filtering "similar to [1]" (Section III-B):
+          simulation signatures prune pairs whose difference toggles
+          on most patterns and is therefore unlikely to have a small
+          BDD *)
+  objective : [ `Size | `Depth ];
+      (** [`Size] is the paper's focus; [`Depth] implements the
+          sketched extension ("depth reducing techniques could be
+          developed in a similar manner", Section III-A): a rewrite is
+          also required not to increase the node's level. *)
+}
+
+val default_config : config
+
+(** [run ?config aig] applies the flow in place; returns the total
+    size gain. *)
+val run : ?config:config -> Sbm_aig.Aig.t -> int

@@ -1,0 +1,84 @@
+module Aig = Sbm_aig.Aig
+
+type effort = Low | High
+
+let keep_better aig candidate =
+  if Aig.size candidate <= Aig.size aig then candidate else aig
+
+(* resyn2rs-like algebraic/AIG script. *)
+let baseline aig0 =
+  let aig = ref (fst (Aig.compact aig0)) in
+  let step f = aig := f !aig in
+  let in_place f = step (fun a -> ignore (f a); a) in
+  step (fun a -> keep_better a (Sbm_aig.Balance.run a));
+  in_place (fun a -> Sbm_aig.Rewrite.run a);
+  in_place (fun a -> Sbm_aig.Refactor.run ~max_leaves:8 ~min_mffc:2 a);
+  step (fun a -> keep_better a (Sbm_aig.Balance.run a));
+  in_place (fun a -> Sbm_aig.Resub.run ~max_leaves:8 ~max_divisors:30 a);
+  in_place (fun a -> Sbm_aig.Rewrite.run a);
+  in_place (fun a -> Sbm_aig.Rewrite.run ~zero_gain:true a);
+  step (fun a -> keep_better a (Sbm_aig.Balance.run a));
+  in_place (fun a -> Sbm_aig.Resub.run ~max_leaves:10 ~max_divisors:40 a);
+  in_place (fun a -> Sbm_aig.Refactor.run ~zero_gain:true ~max_leaves:10 ~min_mffc:2 a);
+  in_place (fun a -> Sbm_aig.Rewrite.run ~zero_gain:true a);
+  step (fun a -> keep_better a (Sbm_aig.Balance.run a));
+  fst (Aig.compact !aig)
+
+let sbm_iteration ~effort aig0 =
+  let aig = ref aig0 in
+  let checkpoint name =
+    Logs.debug (fun m -> m "flow: %s -> size %d" name (Aig.size !aig))
+  in
+  (* 1. AIG optimization: state-of-the-art script + gradient engine. *)
+  aig := baseline !aig;
+  checkpoint "baseline";
+  (* The paper's cost budget (100) counts partition-local moves; our
+     moves sweep the whole network, so the flow uses a smaller global
+     budget with the same semantics. *)
+  let budget = match effort with Low -> 12 | High -> 30 in
+  let optimized, _stats =
+    Gradient.run ~config:{ Gradient.default_config with budget } !aig
+  in
+  aig := keep_better !aig optimized;
+  checkpoint "gradient";
+  (* 2. Heterogeneous elimination for kernel extraction on
+     medium-large partitions. *)
+  aig := keep_better !aig (Hetero_kernel.run !aig);
+  checkpoint "hetero-kernel";
+  (* 3. Enhanced MSPF computation on medium partitions with BDDs. *)
+  ignore (Mspf.run !aig);
+  aig := fst (Aig.compact !aig);
+  checkpoint "mspf";
+  (* 4. Collapse and Boolean decomposition on reconvergent MFFCs. *)
+  ignore
+    (Sbm_aig.Refactor.run
+       ~max_leaves:(match effort with Low -> 10 | High -> 12)
+       ~min_mffc:2 !aig);
+  checkpoint "collapse-decompose";
+  (* 5. Boolean-difference-based optimization, to unveil hard-to-find
+     rewrites and escape local minima. *)
+  let dconfig =
+    { Diff_resub.default_config with accept_zero = (effort = High) }
+  in
+  ignore (Diff_resub.run ~config:dconfig !aig);
+  aig := fst (Aig.compact !aig);
+  checkpoint "boolean-difference";
+  (* 6. SAT sweeping and redundancy removal. *)
+  let swept, _ = Sbm_sat.Sweep.run !aig in
+  aig := keep_better !aig swept;
+  ignore (Sbm_sat.Redundancy.run ~max_candidates:(match effort with Low -> 50 | High -> 200) !aig);
+  aig := fst (Aig.compact !aig);
+  checkpoint "sat-sweep";
+  !aig
+
+let sbm_once ?(effort = High) aig0 =
+  let aig, _ = Aig.compact aig0 in
+  sbm_iteration ~effort aig
+
+let sbm ?(effort = High) aig0 =
+  (* The optimization flow is iterated twice, with different
+     efforts (Section V-A). *)
+  let aig, _ = Aig.compact aig0 in
+  let aig = sbm_iteration ~effort:Low aig in
+  let aig = sbm_iteration ~effort aig in
+  aig

@@ -1,0 +1,28 @@
+(** Synthesis flows (paper Section V-A).
+
+    [baseline] is the conventional algebraic/AIG script standing in
+    for "state-of-the-art methods [1]" (a resyn2rs-style sequence of
+    balancing, rewriting, refactoring and resubstitution).
+
+    [sbm] is the paper's Boolean resynthesis script: AIG optimization
+    (baseline + the gradient engine), heterogeneous elimination for
+    kernel extraction on partitioned networks, enhanced MSPF with
+    BDDs, collapse & Boolean decomposition on reconvergent MFFCs
+    (refactoring with wide cuts), Boolean-difference optimization to
+    escape local minima, and SAT sweeping + redundancy removal — the
+    whole sequence iterated twice with different efforts, every step
+    returning to the AIG representation. *)
+
+type effort = Low | High
+
+(** [baseline aig] is the optimized network under the baseline
+    script. The input is not modified. *)
+val baseline : Sbm_aig.Aig.t -> Sbm_aig.Aig.t
+
+(** [sbm ?effort aig] runs the full SBM script (default [High]).
+    The input is not modified. *)
+val sbm : ?effort:effort -> Sbm_aig.Aig.t -> Sbm_aig.Aig.t
+
+(** [sbm_once ?effort aig] is a single iteration of the script (the
+    Low-effort half), for runtime-sensitive callers. *)
+val sbm_once : ?effort:effort -> Sbm_aig.Aig.t -> Sbm_aig.Aig.t

@@ -1,0 +1,190 @@
+module Aig = Sbm_aig.Aig
+
+type selection = Waterfall | Parallel
+
+type config = {
+  budget : int;
+  k : int;
+  min_gradient : float;
+  selection : selection;
+  zero_gain_moves : bool;
+}
+
+let default_config =
+  {
+    budget = 100;
+    k = 20;
+    min_gradient = 0.03;
+    selection = Waterfall;
+    zero_gain_moves = true;
+  }
+
+type stats = {
+  moves_tried : int;
+  moves_gained : int;
+  total_gain : int;
+  budget_extensions : int;
+  move_log : (string * int) list;
+}
+
+(* A move transforms the AIG (possibly returning a rebuilt one) and
+   reports its exact size gain. All moves guarantee gain >= 0: pure
+   in-place passes only commit improving changes, and rebuilding moves
+   fall back to the input when they lose. *)
+type move = { name : string; cost : int; apply : Aig.t -> Aig.t * int }
+
+let in_place name cost pass =
+  { name; cost; apply = (fun aig -> (aig, pass aig)) }
+
+let rebuilding name cost build =
+  {
+    name;
+    cost;
+    apply =
+      (fun aig ->
+        let before = Aig.size aig in
+        let candidate = build aig in
+        let after = Aig.size candidate in
+        if after <= before then (candidate, before - after) else (aig, 0));
+  }
+
+let moves ~zero_gain =
+  [
+    in_place "rewrite" 1 (fun aig -> Sbm_aig.Rewrite.run aig);
+    rebuilding "balance" 1 (fun aig -> Sbm_aig.Balance.run aig);
+    in_place "refactor" 2 (fun aig -> Sbm_aig.Refactor.run ~max_leaves:8 ~min_mffc:2 aig);
+    in_place "resub" 2 (fun aig -> Sbm_aig.Resub.run ~max_leaves:6 ~max_divisors:20 aig);
+    in_place "rewrite -z" 2 (fun aig ->
+        if zero_gain then Sbm_aig.Rewrite.run ~zero_gain:true aig
+        else Sbm_aig.Rewrite.run aig);
+    rebuilding "eliminate & kernel" 3 (fun aig ->
+        Hetero_kernel.run
+          ~config:{ Hetero_kernel.default_config with partition_size = 60 }
+          aig);
+    in_place "refactor -h" 4 (fun aig -> Sbm_aig.Refactor.run ~max_leaves:12 ~min_mffc:2 aig);
+    in_place "resub -h" 5 (fun aig ->
+        Sbm_aig.Resub.run ~max_leaves:9 ~max_divisors:60 aig);
+    in_place "mspf resub" 6 (fun aig ->
+        Mspf.run
+          ~config:
+            {
+              Mspf.default_config with
+              limits = { Sbm_partition.Partition.default_limits with max_nodes = 150 };
+            }
+          aig);
+    rebuilding "eliminate & kernel -h" 6 (fun aig -> Hetero_kernel.run aig);
+  ]
+
+let run ?(config = default_config) aig0 =
+  let aig = ref aig0 in
+  let all_moves = moves ~zero_gain:config.zero_gain_moves in
+  let max_cost = List.fold_left (fun acc m -> max acc m.cost) 1 all_moves in
+  let success : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
+  let stat name gained =
+    let s, t = Option.value ~default:(0, 0) (Hashtbl.find_opt success name) in
+    Hashtbl.replace success name ((s + if gained then 1 else 0), t + 1)
+  in
+  let priority m =
+    let s, t = Option.value ~default:(0, 0) (Hashtbl.find_opt success m.name) in
+    if t = 0 then 0.5 else float_of_int s /. float_of_int t
+  in
+  let budget = ref config.budget in
+  let tier = ref 1 in
+  let tried = ref 0 in
+  let gained = ref 0 in
+  let total_gain = ref 0 in
+  let extensions = ref 0 in
+  let log = ref [] in
+  let recent = Queue.create () in
+  let initial_size = max 1 (Aig.size aig0) in
+  let push_gain g =
+    Queue.add g recent;
+    if Queue.length recent > config.k then ignore (Queue.take recent)
+  in
+  let gradient () =
+    if Queue.length recent < config.k then 1.0
+    else
+      let s = Queue.fold (fun acc g -> acc + g) 0 recent in
+      float_of_int s /. float_of_int initial_size
+  in
+  let continue_ = ref true in
+  while !continue_ && !budget > 0 do
+    (* Candidate moves at the current tier, most promising first
+       (recorded success, then cheapness). *)
+    let tier_moves =
+      List.filter (fun m -> m.cost <= !tier) all_moves
+      |> List.sort (fun a b ->
+             let c = compare (priority b) (priority a) in
+             if c <> 0 then c else compare a.cost b.cost)
+    in
+    let apply_one m =
+      budget := !budget - m.cost;
+      incr tried;
+      let next, gain = m.apply !aig in
+      aig := next;
+      stat m.name (gain > 0);
+      if gain > 0 then begin
+        incr gained;
+        total_gain := !total_gain + gain
+      end;
+      log := (m.name, gain) :: !log;
+      gain
+    in
+    let round_gain =
+      match config.selection with
+      | Waterfall ->
+        (* First successful move wins; the rest are not tried. *)
+        let rec go = function
+          | [] -> 0
+          | m :: rest ->
+            let g = apply_one m in
+            if g > 0 || !budget <= 0 then g else go rest
+        in
+        go tier_moves
+      | Parallel ->
+        (* Evaluate all moves on copies; commit the best. *)
+        let best = ref None in
+        List.iter
+          (fun m ->
+            if !budget > 0 then begin
+              budget := !budget - m.cost;
+              incr tried;
+              let copy = Aig.copy !aig in
+              let next, gain = m.apply copy in
+              stat m.name (gain > 0);
+              log := (m.name, gain) :: !log;
+              match !best with
+              | Some (bg, _, _) when bg >= gain -> ()
+              | Some _ | None -> best := Some (gain, m, next)
+            end)
+          tier_moves;
+        (match !best with
+        | Some (gain, _, next) when gain > 0 ->
+          aig := next;
+          incr gained;
+          total_gain := !total_gain + gain;
+          gain
+        | Some _ | None -> 0)
+    in
+    push_gain round_gain;
+    if round_gain = 0 then begin
+      if !tier >= max_cost then continue_ := false else incr tier
+    end
+    else begin
+      (* Gains at a cheap tier: stay greedy. Extend the budget while
+         the optimization trend is good enough. *)
+      if gradient () >= config.min_gradient && !budget < config.budget then begin
+        budget := !budget + (config.budget / 2);
+        incr extensions
+      end
+    end;
+    if Queue.length recent >= config.k && gradient () <= 0.0 then continue_ := false
+  done;
+  ( !aig,
+    {
+      moves_tried = !tried;
+      moves_gained = !gained;
+      total_gain = !total_gain;
+      budget_extensions = !extensions;
+      move_log = List.rev !log;
+    } )

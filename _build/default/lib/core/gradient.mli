@@ -1,0 +1,41 @@
+(** Gradient-based AIG minimization (paper Section IV-A).
+
+    Instead of a fixed script, the engine learns online which local
+    moves pay off. Moves are primitive transformations with an
+    associated cost (their runtime complexity class); most exist in
+    low- and high-effort variants. Selection is waterfall: cheap moves
+    are iterated while they gain; at a local minimum (gain 0) more
+    expensive moves enter. Per-move success statistics reorder future
+    attempts; a cost budget bounds the run and is automatically
+    extended while the gain gradient over the last [k] iterations
+    exceeds [min_gradient] (paper defaults: budget 100, k = 20,
+    gradient 3%). *)
+
+type selection = Waterfall | Parallel
+
+type config = {
+  budget : int;
+  k : int;
+  min_gradient : float;
+  selection : selection;
+      (** [Waterfall] applies the first gaining move (the paper's
+          recommended tradeoff); [Parallel] evaluates all moves at the
+          current tier and applies the best. *)
+  zero_gain_moves : bool; (** allow network-reshaping zero-gain moves *)
+}
+
+val default_config : config
+
+(** Statistics of one run (exposed for the ablation bench). *)
+type stats = {
+  moves_tried : int;
+  moves_gained : int;
+  total_gain : int;
+  budget_extensions : int;
+  move_log : (string * int) list; (** move name, gain — chronological *)
+}
+
+(** [run ?config aig] optimizes and returns the (possibly rebuilt)
+    AIG together with run statistics. The result never has more nodes
+    than the input. *)
+val run : ?config:config -> Sbm_aig.Aig.t -> Sbm_aig.Aig.t * stats

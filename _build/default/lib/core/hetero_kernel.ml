@@ -1,0 +1,125 @@
+module Aig = Sbm_aig.Aig
+module Network = Sbm_sop.Network
+module Sop = Sbm_sop.Sop
+
+type config = {
+  thresholds : int list;
+  partition_size : int;
+  max_cubes : int;
+  extract_passes : int;
+}
+
+let default_config =
+  {
+    thresholds = [ -1; 2; 5; 20; 50; 100; 200; 300 ];
+    partition_size = 100;
+    max_cubes = 64;
+    extract_passes = 20;
+  }
+
+(* Literal count restricted to a node set plus nodes created after a
+   mark. *)
+let partition_lits net ~member ~mark =
+  List.fold_left
+    (fun acc n ->
+      if member n || n >= mark then acc + Sop.num_lits (Network.cover net n) else acc)
+    0
+    (Network.internal_nodes net)
+
+(* Fanout map over live internal nodes. *)
+let fanout_map net =
+  let map : (int, int list) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun c ->
+          Array.iter
+            (fun l ->
+              let v = Sop.var_of l in
+              let prev = Option.value ~default:[] (Hashtbl.find_opt map v) in
+              if not (List.mem n prev) then Hashtbl.replace map v (n :: prev))
+            c)
+        (Network.cover net n))
+    (Network.internal_nodes net);
+  map
+
+let optimize_partition net config part_nodes =
+  let member_set = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace member_set n ()) part_nodes;
+  let member n = Hashtbl.mem member_set n in
+  let fanouts = fanout_map net in
+  (* A node may be eliminated only when its fanouts stay inside the
+     partition (so rollbacks touch member covers only). *)
+  let mark = Network.mark net in
+  let eliminable n =
+    (member n || n >= mark)
+    && List.for_all
+         (fun m -> member m || m >= mark)
+         (Option.value ~default:[] (Hashtbl.find_opt fanouts n))
+  in
+  let snapshot () =
+    List.filter_map
+      (fun n -> if member n then Some (n, Network.cover net n) else None)
+      (Network.internal_nodes net)
+  in
+  let saved = snapshot () in
+  let rollback () =
+    Network.truncate net mark;
+    List.iter
+      (fun (n, cv) ->
+        Network.revive net n;
+        Network.set_cover net n cv)
+      saved
+  in
+  let trial threshold =
+    ignore
+      (Network.eliminate net ~threshold ~max_cubes:config.max_cubes ~only:eliminable ());
+    ignore
+      (Network.extract_kernels net
+         ~only:(fun n -> member n || n >= mark)
+         ~max_passes:config.extract_passes ());
+    ignore
+      (Network.extract_cubes net
+         ~only:(fun n -> member n || n >= mark)
+         ~max_passes:config.extract_passes ());
+    partition_lits net ~member ~mark
+  in
+  let before = partition_lits net ~member ~mark in
+  (* Try each threshold, recording the literal count; keep the best. *)
+  let best = ref None in
+  List.iter
+    (fun threshold ->
+      let lits = trial threshold in
+      (match !best with
+      | Some (bl, _) when bl <= lits -> ()
+      | Some _ | None -> best := Some (lits, threshold));
+      rollback ())
+    config.thresholds;
+  match !best with
+  | Some (lits, threshold) when lits < before ->
+    ignore (trial threshold)
+  | Some _ | None -> ()
+
+(* Chunk the internal nodes into partitions of bounded size. *)
+let partitions_of net size =
+  let nodes = Network.internal_nodes net in
+  let rec chunk acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if n >= size then chunk (List.rev cur :: acc) [ x ] 1 rest
+      else chunk acc (x :: cur) (n + 1) rest
+  in
+  chunk [] [] 0 nodes
+
+let run ?(config = default_config) aig =
+  let net = Network.of_aig aig in
+  let parts = partitions_of net config.partition_size in
+  List.iter (fun part -> optimize_partition net config part) parts;
+  Network.to_aig net
+
+let run_homogeneous ~threshold ?(config = default_config) aig =
+  let net = Network.of_aig aig in
+  ignore (Network.eliminate net ~threshold ~max_cubes:config.max_cubes ());
+  ignore (Network.extract_kernels net ~max_passes:config.extract_passes ());
+  ignore (Network.extract_cubes net ~max_passes:config.extract_passes ());
+  Network.to_aig net

@@ -1,0 +1,201 @@
+module Aig = Sbm_aig.Aig
+module Bdd = Sbm_bdd.Bdd
+module Partition = Sbm_partition.Partition
+
+type config = {
+  limits : Partition.limits;
+  bdd_node_limit : int;
+  max_candidates : int;
+}
+
+let default_config =
+  { limits = Partition.default_limits; bdd_node_limit = 200_000; max_candidates = 64 }
+
+(* Rebuild the BDDs of the partition cone above [n], reading [n] as
+   the free variable [vn]. Returns a lookup giving, for each root, its
+   function over leaves + vn, or None if anything overran the budget. *)
+let cofactor_functions ctx n vn =
+  let aig = Bdd_bridge.aig ctx in
+  let man = Bdd_bridge.man ctx in
+  let above : (int, Bdd.t) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.replace above n vn;
+  let lookup v =
+    match Hashtbl.find_opt above v with
+    | Some b -> Some b
+    | None -> Bdd_bridge.bdd_of_node ctx v
+  in
+  try
+    Array.iter
+      (fun v ->
+        if v <> n && Aig.is_and aig v && not (Aig.is_dead aig v) then begin
+          let w0 = Aig.node_of (Aig.fanin0 aig v) in
+          let w1 = Aig.node_of (Aig.fanin1 aig v) in
+          if Hashtbl.mem above w0 || Hashtbl.mem above w1 then begin
+            let fanin_bdd f =
+              let w = Aig.node_of f in
+              let base = if w = 0 then Some (Bdd.zero man) else lookup w in
+              Option.map (fun b -> if Aig.is_compl f then Bdd.mnot man b else b) base
+            in
+            match (fanin_bdd (Aig.fanin0 aig v), fanin_bdd (Aig.fanin1 aig v)) with
+            | Some b0, Some b1 -> Hashtbl.replace above v (Bdd.mand man b0 b1)
+            | _ -> raise Bdd.Limit
+          end
+        end)
+      (Bdd_bridge.members ctx);
+    Some lookup
+  with Bdd.Limit -> None
+
+(* mspf(n) = conjunction over roots of xnor(f0, f1); bdd(0) means no
+   freedom, bdd(1) means the node is unobservable. *)
+let compute_mspf ctx n =
+  let man = Bdd_bridge.man ctx in
+  let nvars = Array.length (Bdd_bridge.leaves ctx) in
+  match Bdd.ithvar man nvars with
+  | exception Bdd.Limit -> None
+  | vn -> (
+  match cofactor_functions ctx n vn with
+  | None -> None
+  | Some lookup -> (
+    try
+      let mspf = ref (Bdd.one man) in
+      let roots = Bdd_bridge.roots ctx in
+      let aig = Bdd_bridge.aig ctx in
+      Array.iter
+        (fun r ->
+          if (not (Bdd.is_zero man !mspf)) && not (Aig.is_dead aig r) then begin
+            match lookup r with
+            | None -> raise Bdd.Limit
+            | Some fr ->
+              let f0 = Bdd.restrict man fr nvars false in
+              let f1 = Bdd.restrict man fr nvars true in
+              (* dc(po) is zero: roots are externally observable. *)
+              let insensitive = Bdd.mxnor man f0 f1 in
+              mspf := Bdd.mand man !mspf insensitive
+          end)
+        roots;
+      Some !mspf
+    with Bdd.Limit -> None))
+
+(* Search for connectable substitutes: candidates agreeing with [n]
+   on the care set. *)
+let connectable ctx config n mspf =
+  let man = Bdd_bridge.man ctx in
+  let aig = Bdd_bridge.aig ctx in
+  match Bdd_bridge.bdd_of_node ctx n with
+  | None -> []
+  | Some bn -> (
+    try
+      let care = Bdd.mnot man mspf in
+      let n_care = Bdd.mand man bn care in
+      let candidates = ref [] in
+      let examined = ref 0 in
+      let consider v =
+        if
+          !examined < config.max_candidates
+          && v <> n
+          && (not (Aig.is_dead aig v))
+          && not (Aig.in_tfi aig ~node:n ~root:v)
+        then begin
+          match Bdd_bridge.bdd_of_node ctx v with
+          | None -> ()
+          | Some bv ->
+            incr examined;
+            if Bdd.mand man bv care = n_care then
+              candidates := Aig.lit_of v false :: !candidates
+            else if Bdd.mand man (Bdd.mnot man bv) care = n_care then
+              candidates := Aig.lit_of v true :: !candidates
+        end
+      in
+      Array.iter consider (Bdd_bridge.leaves ctx);
+      Array.iter consider (Bdd_bridge.members ctx);
+      (* Constants are permissible substitutes too. *)
+      if Bdd.is_zero man n_care then candidates := Aig.const0 :: !candidates
+      else if n_care = care then candidates := Aig.const1 :: !candidates;
+      !candidates
+    with Bdd.Limit -> [])
+
+(* Members lying in the transitive fanin of a partition leaf: the
+   partition is not convex around them, so the leaf-as-free-variable
+   model would under-approximate their observability. MSPF skips
+   them. *)
+let members_in_leaf_cones ctx =
+  let aig = Bdd_bridge.aig ctx in
+  let tainted = Hashtbl.create 64 in
+  let visited = Hashtbl.create 256 in
+  let stack = ref [] in
+  Array.iter
+    (fun leaf -> if Aig.is_and aig leaf then stack := leaf :: !stack)
+    (Bdd_bridge.leaves ctx);
+  let member_set = Hashtbl.create 64 in
+  Array.iter (fun v -> Hashtbl.replace member_set v ()) (Bdd_bridge.members ctx);
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | v :: rest ->
+      stack := rest;
+      if not (Hashtbl.mem visited v) then begin
+        Hashtbl.add visited v ();
+        if Hashtbl.mem member_set v then Hashtbl.replace tainted v ();
+        if Aig.is_and aig v then begin
+          stack := Aig.node_of (Aig.fanin0 aig v) :: Aig.node_of (Aig.fanin1 aig v) :: !stack
+        end
+      end
+  done;
+  tainted
+
+let run_partition aig config part total =
+  let ctx = Bdd_bridge.build ~node_limit:config.bdd_node_limit aig part in
+  let tainted = ref (members_in_leaf_cones ctx) in
+  let members = Bdd_bridge.members ctx in
+  (* Sort by estimated saving: larger MFFCs first (Section IV-C). *)
+  let by_saving =
+    Array.to_list members
+    |> List.filter (fun v -> Aig.is_and aig v)
+    |> List.map (fun v -> (Aig.mffc_size aig v, v))
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+    |> List.map snd
+  in
+  List.iter
+    (fun n ->
+      if Aig.is_and aig n && (not (Aig.is_dead aig n)) && not (Hashtbl.mem !tainted n)
+      then begin
+        match compute_mspf ctx n with
+        | None -> ()
+        | Some mspf ->
+          let man = Bdd_bridge.man ctx in
+          if not (Bdd.is_zero man mspf) then begin
+            let candidates = connectable ctx config n mspf in
+            (* Among all connectable fanins, try an irredundant
+               subset: the best-gain candidate. *)
+            let best =
+              List.fold_left
+                (fun acc candidate ->
+                  if Aig.node_of candidate = n then acc
+                  else begin
+                    let gain = Aig.gain_of_replacement aig ~root:n ~candidate in
+                    match acc with
+                    | Some (bg, _) when bg >= gain -> acc
+                    | Some _ | None -> Some (gain, candidate)
+                  end)
+                None candidates
+            in
+            match best with
+            | Some (gain, candidate) when gain > 0 ->
+              Aig.replace aig n candidate;
+              total := !total + gain;
+              (* The substitution is permissible but not necessarily
+                 equivalence-preserving inside the partition: refresh
+                 the cached functions, the member order, the root set
+                 and the convexity taint against the new structure. *)
+              Bdd_bridge.refresh ctx;
+              tainted := members_in_leaf_cones ctx
+            | Some _ | None -> ()
+          end
+      end)
+    by_saving
+
+let run ?(config = default_config) aig =
+  let total = ref 0 in
+  let parts = Partition.compute aig config.limits in
+  List.iter (fun part -> run_partition aig config part total) parts;
+  !total

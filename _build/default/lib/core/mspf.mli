@@ -1,0 +1,32 @@
+(** MSPF computation with BDDs (paper Section IV-C).
+
+    For each node of a partition, the Maximum Set of Permissible
+    Functions is derived from the partition roots' sensitivity:
+    [mspf(n) = ∧_i ((¬f0(po_i) xor f1(po_i)) ∨ dc(po_i))], where
+    [f0]/[f1] are the roots' cofactors with respect to [n], computed
+    by rebuilding the root BDDs with a free variable in place of [n].
+    Optimization uses the permissible set two ways:
+
+    - a node with [mspf = 1] is unobservable and collapses to a
+      constant;
+    - "connectable" substitutes — nodes [m] with
+      [bdd(m) ∧ ¬mspf(n) = bdd(n) ∧ ¬mspf(n)] — replace [n] outright.
+      Strong canonicity makes the query a hash-consed comparison, and
+      {e many} candidates are examined, keeping the best (the paper's
+      enhancement over single-candidate truth-table MSPF).
+
+    Partition roots are treated as fully observable ([dc = 0]),
+    which is conservative and keeps the method sound without global
+    BDDs. *)
+
+type config = {
+  limits : Sbm_partition.Partition.limits;
+  bdd_node_limit : int;
+  max_candidates : int; (** substitute candidates examined per node *)
+}
+
+val default_config : config
+
+(** [run ?config aig] applies MSPF-based optimization in place and
+    returns the total size gain. *)
+val run : ?config:config -> Sbm_aig.Aig.t -> int

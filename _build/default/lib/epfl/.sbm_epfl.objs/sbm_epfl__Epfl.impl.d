@@ -1,0 +1,1 @@
+lib/epfl/epfl.ml: Array Float Hashtbl List Sbm_aig Sbm_util Word

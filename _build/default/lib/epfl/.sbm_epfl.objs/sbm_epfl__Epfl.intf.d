@@ -1,0 +1,1 @@
+lib/epfl/epfl.mli: Sbm_aig

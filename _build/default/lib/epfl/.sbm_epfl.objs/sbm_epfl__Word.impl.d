@@ -1,0 +1,1 @@
+lib/epfl/word.ml: Array Sbm_aig

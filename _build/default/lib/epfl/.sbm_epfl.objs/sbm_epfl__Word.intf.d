@@ -1,0 +1,1 @@
+lib/epfl/word.mli: Sbm_aig

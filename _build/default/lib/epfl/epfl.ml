@@ -1,0 +1,423 @@
+module Aig = Sbm_aig.Aig
+module Rng = Sbm_util.Rng
+
+type benchmark =
+  | Adder
+  | Bar
+  | Div
+  | Hypotenuse
+  | Log2
+  | Max
+  | Mult
+  | Sin
+  | Sqrt
+  | Square
+  | Arbiter
+  | Cavlc
+  | Ctrl
+  | Dec
+  | I2c
+  | Int2float
+  | Mem_ctrl
+  | Priority
+  | Router
+  | Voter
+
+let all =
+  [
+    Adder; Bar; Div; Hypotenuse; Log2; Max; Mult; Sin; Sqrt; Square;
+    Arbiter; Cavlc; Ctrl; Dec; I2c; Int2float; Mem_ctrl; Priority; Router; Voter;
+  ]
+
+let table1_set =
+  [ Arbiter; Div; I2c; Log2; Max; Mem_ctrl; Mult; Priority; Sin; Hypotenuse; Sqrt; Square ]
+
+let table2_set =
+  [
+    Arbiter; Cavlc; Div; I2c; Log2; Mem_ctrl; Mult; Router; Sin; Hypotenuse;
+    Sqrt; Square; Voter;
+  ]
+
+let name = function
+  | Adder -> "adder"
+  | Bar -> "bar"
+  | Div -> "div"
+  | Hypotenuse -> "hypotenuse"
+  | Log2 -> "log2"
+  | Max -> "max"
+  | Mult -> "mult"
+  | Sin -> "sin"
+  | Sqrt -> "sqrt"
+  | Square -> "square"
+  | Arbiter -> "arbiter"
+  | Cavlc -> "cavlc"
+  | Ctrl -> "ctrl"
+  | Dec -> "dec"
+  | I2c -> "i2c"
+  | Int2float -> "int2float"
+  | Mem_ctrl -> "mem_ctrl"
+  | Priority -> "priority"
+  | Router -> "router"
+  | Voter -> "voter"
+
+let of_name s = List.find_opt (fun b -> name b = s) all
+
+let io_signature = function
+  | Adder -> (256, 129)
+  | Bar -> (135, 128)
+  | Div -> (128, 128)
+  | Hypotenuse -> (256, 128)
+  | Log2 -> (32, 32)
+  | Max -> (512, 130)
+  | Mult -> (128, 128)
+  | Sin -> (24, 25)
+  | Sqrt -> (128, 64)
+  | Square -> (64, 128)
+  | Arbiter -> (256, 129)
+  | Cavlc -> (10, 11)
+  | Ctrl -> (7, 26)
+  | Dec -> (8, 256)
+  | I2c -> (147, 142)
+  | Int2float -> (11, 7)
+  | Mem_ctrl -> (1204, 1231)
+  | Priority -> (128, 8)
+  | Router -> (60, 30)
+  | Voter -> (1001, 1)
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic benchmarks: real implementations. *)
+
+let scaled scale w =
+  let s = max 2 (int_of_float (float_of_int w *. scale)) in
+  if s mod 2 = 1 then s + 1 else s
+
+let gen_adder aig w =
+  let a = Word.inputs aig w in
+  let b = Word.inputs aig w in
+  Word.outputs aig (Word.add aig a b)
+
+let gen_bar aig w =
+  let data = Word.inputs aig w in
+  let log =
+    let rec go l = if 1 lsl l >= w then l else go (l + 1) in
+    go 1
+  in
+  let amount = Word.inputs aig log in
+  Word.outputs aig (Word.shift_left aig data amount)
+
+let gen_div aig w =
+  let a = Word.inputs aig w in
+  let b = Word.inputs aig w in
+  let q, r = Word.divmod aig a b in
+  Word.outputs aig q;
+  Word.outputs aig r
+
+let gen_hypotenuse aig w =
+  let a = Word.inputs aig w in
+  let b = Word.inputs aig w in
+  let a2 = Word.square aig a in
+  let b2 = Word.square aig b in
+  let sum = Word.add aig a2 b2 in
+  (* Full precision (2w+2 bits), then saturate the root to w bits:
+     sqrt(a^2+b^2) can exceed 2^w - 1 by half a bit. *)
+  let sum = Word.zero_extend sum (2 * (w + 1)) in
+  let root = Word.isqrt aig sum in
+  let overflow = root.(w) in
+  let out = Array.init w (fun i -> Sbm_aig.Aig.bor aig root.(i) overflow) in
+  Word.outputs aig out
+
+let msb_encode aig bits width =
+  (* Index of the highest set bit: scan low to high so the highest
+     wins the final mux. *)
+  let index = ref (Word.const aig ~width 0) in
+  Array.iteri
+    (fun i b -> index := Word.mux aig b (Word.const aig ~width i) !index)
+    bits;
+  !index
+
+let gen_log2 aig w =
+  let x = Word.inputs aig w in
+  let log =
+    let rec go l = if 1 lsl l >= w then l else go (l + 1) in
+    go 1
+  in
+  let e = msb_encode aig x log in
+  (* Normalize x to [2^(w-1), 2^w): shift left by (w-1 - e). *)
+  let shift_amount, _ = Word.sub aig (Word.const aig ~width:log (w - 1)) e in
+  let y = Word.shift_left aig x shift_amount in
+  (* Fraction bits by repeated squaring on reduced precision. *)
+  let precision = min 16 w in
+  let frac_bits = w - log in
+  let top = Array.sub y (w - precision) precision in
+  let cur = ref top in
+  let frac = Array.make frac_bits Aig.const0 in
+  for i = 0 to frac_bits - 1 do
+    let sq = Word.mul aig !cur !cur in
+    (* cur in [1,2) as fixed point with MSB weight 1; sq in [1,4) over
+       2*precision bits; bit (2*precision-1) tells if sq >= 2. *)
+    let ge2 = sq.(2 * precision - 1) in
+    frac.(i) <- ge2;
+    let hi = Array.sub sq precision precision in
+    let lo = Array.sub sq (precision - 1) precision in
+    cur := Word.mux aig ge2 hi lo
+  done;
+  (* Output: exponent then fraction, MSB-aligned to w bits. *)
+  let out = Array.append (Array.of_list (List.rev (Array.to_list frac))) e in
+  Word.outputs aig (Array.sub (Word.zero_extend out w) 0 w)
+
+let gen_max aig w =
+  let words = Array.init 4 (fun _ -> Word.inputs aig w) in
+  let pick a b =
+    let ge = Word.uge aig a b in
+    (Word.mux aig ge a b, ge)
+  in
+  let m01, ge01 = pick words.(0) words.(1) in
+  let m23, ge23 = pick words.(2) words.(3) in
+  let mx, ge_final = pick m01 m23 in
+  Word.outputs aig mx;
+  (* 2-bit index of the winning word. *)
+  let low_bit = Aig.bmux aig ge_final (Aig.lnot ge01) (Aig.lnot ge23) in
+  let high_bit = Aig.lnot ge_final in
+  Word.outputs aig [| low_bit; high_bit |]
+
+let gen_mult aig w =
+  let a = Word.inputs aig w in
+  let b = Word.inputs aig w in
+  Word.outputs aig (Word.mul aig a b)
+
+(* Conditional add/subtract: d=1 computes a-b, d=0 computes a+b. *)
+let addsub aig d a b =
+  let w = Array.length a in
+  let out = Array.make w Aig.const0 in
+  let carry = ref d in
+  for i = 0 to w - 1 do
+    let bi = Aig.bxor aig b.(i) d in
+    let s1 = Aig.bxor aig a.(i) bi in
+    out.(i) <- Aig.bxor aig s1 !carry;
+    carry := Aig.bor aig (Aig.band aig a.(i) bi) (Aig.band aig s1 !carry)
+  done;
+  out
+
+let arctan_table w iterations =
+  (* atan(2^-i) in turns scaled to w-bit fixed point (2^w = pi/2). *)
+  Array.init iterations (fun i ->
+      let angle = atan (Float.pow 2.0 (float_of_int (-i))) /. (Float.pi /. 2.0) in
+      int_of_float (angle *. Float.pow 2.0 (float_of_int (w - 1))))
+
+let gen_sin aig w =
+  let angle = Word.inputs aig w in
+  let iw = w + 2 in
+  let iterations = w in
+  let atans = arctan_table iw iterations in
+  (* CORDIC gain compensation: x starts at 1/K. *)
+  let gain = ref 1.0 in
+  for i = 0 to iterations - 1 do
+    gain := !gain *. sqrt (1.0 +. Float.pow 2.0 (float_of_int (-2 * i)))
+  done;
+  let x0 = int_of_float (Float.pow 2.0 (float_of_int (iw - 2)) /. !gain) in
+  let x = ref (Word.const aig ~width:iw x0) in
+  let y = ref (Word.const aig ~width:iw 0) in
+  let z = ref (Word.zero_extend angle iw) in
+  for i = 0 to iterations - 1 do
+    let d = !z.(iw - 1) in
+    (* d=1: z negative, rotate clockwise. *)
+    let xs = Array.init iw (fun j -> if j + i < iw then !x.(j + i) else Aig.const0) in
+    let ys = Array.init iw (fun j -> if j + i < iw then !y.(j + i) else Aig.const0) in
+    let x' = addsub aig (Aig.lnot d) !x ys in
+    let y' = addsub aig d !y xs in
+    let z' = addsub aig (Aig.lnot d) !z (Word.const aig ~width:iw atans.(i)) in
+    x := x';
+    y := y';
+    z := z'
+  done;
+  Word.outputs aig (Array.sub !y 0 (w + 1))
+
+let gen_sqrt aig w =
+  let x = Word.inputs aig w in
+  Word.outputs aig (Word.isqrt aig x)
+
+let gen_square aig w =
+  let a = Word.inputs aig w in
+  Word.outputs aig (Word.square aig a)
+
+(* ------------------------------------------------------------------ *)
+(* Control benchmarks. *)
+
+let gen_arbiter aig n =
+  let req = Array.init n (fun _ -> Aig.add_input aig) in
+  let mask = Array.init n (fun _ -> Aig.add_input aig) in
+  let chain bits =
+    (* One-hot first set bit, by a ripple prefix-OR. *)
+    let grants = Array.make n Aig.const0 in
+    let seen = ref Aig.const0 in
+    for i = 0 to n - 1 do
+      grants.(i) <- Aig.band aig bits.(i) (Aig.lnot !seen);
+      seen := Aig.bor aig !seen bits.(i)
+    done;
+    (grants, !seen)
+  in
+  let masked = Array.init n (fun i -> Aig.band aig req.(i) mask.(i)) in
+  let g1, any1 = chain masked in
+  let g2, any2 = chain req in
+  for i = 0 to n - 1 do
+    ignore (Aig.add_output aig (Aig.bmux aig any1 g1.(i) g2.(i)))
+  done;
+  ignore (Aig.add_output aig (Aig.bor aig any1 any2))
+
+let gen_priority aig n =
+  let bits = Array.init n (fun _ -> Aig.add_input aig) in
+  let index, valid = Word.priority_encode aig bits in
+  Word.outputs aig index;
+  ignore (Aig.add_output aig valid)
+
+let gen_voter aig n =
+  let bits = Array.init n (fun _ -> Aig.add_input aig) in
+  let count = Word.popcount aig bits in
+  let width = Array.length count in
+  let threshold = Word.const aig ~width ((n / 2) + 1) in
+  ignore (Aig.add_output aig (Word.uge aig count threshold))
+
+let gen_dec aig n =
+  let bits = Array.init n (fun _ -> Aig.add_input aig) in
+  for v = 0 to (1 lsl n) - 1 do
+    let lits =
+      List.init n (fun i -> if (v lsr i) land 1 = 1 then bits.(i) else Aig.lnot bits.(i))
+    in
+    ignore (Aig.add_output aig (Aig.band_list aig lits))
+  done
+
+let gen_int2float aig =
+  (* 11-bit two's-complement integer to a tiny float:
+     sign (1) | exponent (4) | mantissa (2). *)
+  let x = Word.inputs aig 11 in
+  let sign = x.(10) in
+  let neg, _ = Word.sub aig (Word.const aig ~width:11 0) x in
+  let mag = Word.mux aig sign neg x in
+  let e = msb_encode aig mag 4 in
+  (* Mantissa: the two bits below the leading one. *)
+  let shift, _ = Word.sub aig (Word.const aig ~width:4 10) e in
+  let normalized = Word.shift_left aig mag (Word.zero_extend shift 4) in
+  let m = [| normalized.(8); normalized.(9) |] in
+  ignore (Aig.add_output aig sign);
+  Word.outputs aig e;
+  Word.outputs aig m
+
+(* Structured random control logic: a deterministic pool of mixed
+   gates with reconvergence, standing in for FSM next-state/output
+   logic (see DESIGN.md substitutions). *)
+let gen_control aig ~seed ~inputs ~outputs ~gates =
+  let rng = Rng.create seed in
+  let pool = Sbm_util.Vec.create ~capacity:(inputs + gates) () in
+  let in_pool = Hashtbl.create (inputs + gates) in
+  let push l =
+    let v = Aig.node_of l in
+    if not (Hashtbl.mem in_pool v) then begin
+      Hashtbl.add in_pool v ();
+      Sbm_util.Vec.push pool (Aig.lpos l)
+    end
+  in
+  for _ = 1 to inputs do
+    push (Aig.add_input aig)
+  done;
+  let pick () =
+    let n = Sbm_util.Vec.size pool in
+    (* Mild recency bias gives the netlist depth without starving
+       variety (a uniform and a recent window, mixed). *)
+    let idx =
+      if Rng.bool rng then Rng.int rng n
+      else n - 1 - Rng.int rng (max 1 (min n (inputs + (n / 2))))
+    in
+    let l = Sbm_util.Vec.get pool idx in
+    if Rng.bool rng then Aig.lnot l else l
+  in
+  let created = ref 0 in
+  let attempts = ref 0 in
+  let size_before = Aig.num_nodes aig in
+  while !created < gates && !attempts < gates * 50 do
+    incr attempts;
+    let l =
+      match Rng.int rng 5 with
+      | 0 -> Aig.band aig (pick ()) (pick ())
+      | 1 -> Aig.bor aig (pick ()) (pick ())
+      | 2 -> Aig.bxor aig (pick ()) (pick ())
+      | 3 -> Aig.bmux aig (pick ()) (pick ()) (pick ())
+      | _ ->
+        (* majority of three: common in control logic *)
+        let a = pick () and b = pick () and c = pick () in
+        Aig.bor aig
+          (Aig.band aig a b)
+          (Aig.bor aig (Aig.band aig a c) (Aig.band aig b c))
+    in
+    if Aig.is_and aig (Aig.node_of l) then push l;
+    created := Aig.num_nodes aig - size_before
+  done;
+  let n = Sbm_util.Vec.size pool in
+  for _ = 1 to outputs do
+    (* Outputs read mostly deep nodes. *)
+    let idx = n - 1 - Rng.int rng (max 1 (n / 3)) in
+    let l = Sbm_util.Vec.get pool idx in
+    ignore (Aig.add_output aig (if Rng.bool rng then Aig.lnot l else l))
+  done
+
+let random_control ~seed ~inputs ~outputs ~gates =
+  let aig = Aig.create ~expected:(4 * gates) () in
+  gen_control aig ~seed ~inputs ~outputs ~gates;
+  fst (Aig.compact aig)
+
+let generate ?(scale = 1.0) b =
+  if scale <= 0.0 || scale > 1.0 then invalid_arg "Epfl.generate: scale";
+  let aig = Aig.create ~expected:4096 () in
+  let s w = scaled scale w in
+  (match b with
+  | Adder -> gen_adder aig (s 128)
+  | Bar -> gen_bar aig (s 128)
+  | Div -> gen_div aig (s 64)
+  | Hypotenuse -> gen_hypotenuse aig (s 128)
+  | Log2 -> gen_log2 aig (s 32)
+  | Max -> gen_max aig (s 128)
+  | Mult -> gen_mult aig (s 64)
+  | Sin -> gen_sin aig (s 24)
+  | Sqrt -> gen_sqrt aig (s 128)
+  | Square -> gen_square aig (s 64)
+  | Arbiter -> gen_arbiter aig (s 128)
+  | Priority -> gen_priority aig (s 128)
+  | Voter -> gen_voter aig (if scale >= 1.0 then 1001 else (2 * s 500) + 1)
+  | Dec -> gen_dec aig 8
+  | Int2float -> gen_int2float aig
+  | Cavlc -> gen_control aig ~seed:0xCA71C ~inputs:10 ~outputs:11 ~gates:350
+  | Ctrl -> gen_control aig ~seed:0xC781 ~inputs:7 ~outputs:26 ~gates:120
+  | Router -> gen_control aig ~seed:0x80073 ~inputs:60 ~outputs:30 ~gates:200
+  | I2c -> gen_control aig ~seed:0x12C ~inputs:147 ~outputs:142 ~gates:1100
+  | Mem_ctrl -> gen_control aig ~seed:0x3E3C ~inputs:1204 ~outputs:1231 ~gates:8000);
+  fst (Aig.compact aig)
+
+let paper_lut6 = function
+  | Arbiter -> Some (365, 117)
+  | Div -> Some (3267, 1211)
+  | I2c -> Some (207, 15)
+  | Log2 -> Some (6567, 119)
+  | Max -> Some (522, 189)
+  | Mem_ctrl -> Some (2086, 23)
+  | Mult -> Some (4920, 93)
+  | Priority -> Some (103, 26)
+  | Sin -> Some (1227, 55)
+  | Hypotenuse -> Some (40377, 4530)
+  | Sqrt -> Some (3075, 1106)
+  | Square -> Some (3242, 76)
+  | Adder | Bar | Cavlc | Ctrl | Dec | Int2float | Router | Voter -> None
+
+let paper_aig = function
+  | Arbiter -> Some (879, 228)
+  | Cavlc -> Some (483, 78)
+  | Div -> Some (19250, 6228)
+  | I2c -> Some (710, 25)
+  | Log2 -> Some (30522, 348)
+  | Mem_ctrl -> Some (7644, 40)
+  | Mult -> Some (25371, 317)
+  | Router -> Some (96, 21)
+  | Sin -> Some (4987, 153)
+  | Hypotenuse -> Some (209460, 24926)
+  | Sqrt -> Some (19706, 5399)
+  | Square -> Some (17010, 343)
+  | Voter -> Some (9817, 66)
+  | Adder | Bar | Ctrl | Dec | Int2float | Max | Priority -> None

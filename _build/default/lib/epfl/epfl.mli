@@ -1,0 +1,74 @@
+(** EPFL-style benchmark generators.
+
+    The offline container cannot fetch the EPFL suite, so each
+    benchmark is regenerated from its functional definition with the
+    suite's exact I/O signature (see DESIGN.md, substitution table).
+    Arithmetic circuits (adder, bar, div, hypotenuse, log2, max,
+    mult, sin, sqrt, square) are real implementations of the intended
+    function; control circuits (arbiter, cavlc, ctrl, i2c, int2float,
+    mem_ctrl, priority, router, voter, dec) are either real (priority,
+    voter, dec, int2float, arbiter) or seeded structured random logic
+    with matching signature and size class (cavlc, ctrl, i2c,
+    mem_ctrl, router).
+
+    [generate] is deterministic: equal benchmarks produce identical
+    networks. [scale] shrinks word widths for runtime-bounded
+    experiments (the bench harness reports which scale it ran). *)
+
+type benchmark =
+  | Adder
+  | Bar
+  | Div
+  | Hypotenuse
+  | Log2
+  | Max
+  | Mult
+  | Sin
+  | Sqrt
+  | Square
+  | Arbiter
+  | Cavlc
+  | Ctrl
+  | Dec
+  | I2c
+  | Int2float
+  | Mem_ctrl
+  | Priority
+  | Router
+  | Voter
+
+(** All benchmarks, arithmetic first. *)
+val all : benchmark list
+
+(** The MtM ("more than a million") arithmetic subset used by
+    Tables I and II. *)
+val table1_set : benchmark list
+val table2_set : benchmark list
+
+val name : benchmark -> string
+val of_name : string -> benchmark option
+
+(** [io_signature b] is the paper's (inputs, outputs) for the
+    benchmark at scale 1.0. *)
+val io_signature : benchmark -> int * int
+
+(** [generate ?scale b] constructs the network. [scale] in (0, 1]
+    divides word widths (arithmetic benchmarks only; control
+    benchmarks ignore it). Default 1.0. *)
+val generate : ?scale:float -> benchmark -> Sbm_aig.Aig.t
+
+(** [random_control ~seed ~inputs ~outputs ~gates] is the seeded
+    structured-random control-logic generator behind cavlc / i2c /
+    mem_ctrl / router, exposed so the ASIC evaluation (Table III) can
+    draw a population of distinct control-dominated designs. *)
+val random_control :
+  seed:int -> inputs:int -> outputs:int -> gates:int -> Sbm_aig.Aig.t
+
+(** Paper reference values for the experiment harness. *)
+
+(** [paper_lut6 b] is (LUT-6 count, levels) from Table I, if the
+    benchmark appears there. *)
+val paper_lut6 : benchmark -> (int * int) option
+
+(** [paper_aig b] is (AIG size, levels) from Table II, if present. *)
+val paper_aig : benchmark -> (int * int) option

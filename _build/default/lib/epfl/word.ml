@@ -1,0 +1,168 @@
+module Aig = Sbm_aig.Aig
+
+type word = Aig.lit array
+type aig = Aig.t
+
+let inputs aig n = Array.init n (fun _ -> Aig.add_input aig)
+
+let const _ ~width v =
+  if v < 0 then invalid_arg "Word.const";
+  Array.init width (fun i -> if (v lsr i) land 1 = 1 then Aig.const1 else Aig.const0)
+
+let zero_extend w n =
+  if n < Array.length w then invalid_arg "Word.zero_extend";
+  Array.init n (fun i -> if i < Array.length w then w.(i) else Aig.const0)
+
+let full_adder aig a b cin =
+  let s1 = Aig.bxor aig a b in
+  let sum = Aig.bxor aig s1 cin in
+  let c1 = Aig.band aig a b in
+  let c2 = Aig.band aig s1 cin in
+  (sum, Aig.bor aig c1 c2)
+
+let add aig a b =
+  let w = Array.length a in
+  if Array.length b <> w then invalid_arg "Word.add";
+  let out = Array.make (w + 1) Aig.const0 in
+  let carry = ref Aig.const0 in
+  for i = 0 to w - 1 do
+    let s, c = full_adder aig a.(i) b.(i) !carry in
+    out.(i) <- s;
+    carry := c
+  done;
+  out.(w) <- !carry;
+  out
+
+let sub aig a b =
+  let w = Array.length a in
+  if Array.length b <> w then invalid_arg "Word.sub";
+  (* a - b = a + ~b + 1 *)
+  let out = Array.make w Aig.const0 in
+  let carry = ref Aig.const1 in
+  for i = 0 to w - 1 do
+    let s, c = full_adder aig a.(i) (Aig.lnot b.(i)) !carry in
+    out.(i) <- s;
+    carry := c
+  done;
+  (out, Aig.lnot !carry)
+
+let uge aig a b =
+  let _, borrow = sub aig a b in
+  Aig.lnot borrow
+
+let equal aig a b =
+  let w = Array.length a in
+  if Array.length b <> w then invalid_arg "Word.equal";
+  let bits = Array.to_list (Array.mapi (fun i x -> Aig.bxnor aig x b.(i)) a) in
+  Aig.band_list aig bits
+
+let mux aig sel t e =
+  let w = Array.length t in
+  if Array.length e <> w then invalid_arg "Word.mux";
+  Array.init w (fun i -> Aig.bmux aig sel t.(i) e.(i))
+
+let mul aig a b =
+  let wa = Array.length a and wb = Array.length b in
+  let acc = ref (const aig ~width:(wa + wb) 0) in
+  for j = 0 to wb - 1 do
+    let partial =
+      Array.init (wa + wb) (fun i ->
+          if i >= j && i - j < wa then Aig.band aig a.(i - j) b.(j) else Aig.const0)
+    in
+    let sum = add aig !acc partial in
+    acc := Array.sub sum 0 (wa + wb)
+  done;
+  !acc
+
+let square aig a = mul aig a a
+
+let divmod aig a b =
+  let w = Array.length a in
+  if Array.length b <> w then invalid_arg "Word.divmod";
+  let bx = zero_extend b (w + 1) in
+  let quotient = Array.make w Aig.const0 in
+  let rem = ref (const aig ~width:(w + 1) 0) in
+  for i = w - 1 downto 0 do
+    (* rem = (rem << 1) | a.(i) *)
+    let shifted = Array.init (w + 1) (fun j -> if j = 0 then a.(i) else !rem.(j - 1)) in
+    let diff, borrow = sub aig shifted bx in
+    let fits = Aig.lnot borrow in
+    quotient.(i) <- fits;
+    rem := mux aig fits diff shifted
+  done;
+  (quotient, Array.sub !rem 0 w)
+
+let isqrt aig x =
+  let w = Array.length x in
+  if w mod 2 <> 0 then invalid_arg "Word.isqrt: odd width";
+  let k = w / 2 in
+  (* Digit-by-digit method:
+     num >= res + bit  ->  num -= res + bit; res = (res >> 1) + bit
+     else res >>= 1; with bit sweeping the even powers of two. *)
+  let num = ref (Array.copy x) in
+  let res = ref (const aig ~width:w 0) in
+  let onehot pos = Array.init w (fun j -> if j = pos then Aig.const1 else Aig.const0) in
+  for i = k - 1 downto 0 do
+    let bit = onehot (2 * i) in
+    let t = Array.sub (add aig !res bit) 0 w in
+    let diff, borrow = sub aig !num t in
+    let ge = Aig.lnot borrow in
+    num := mux aig ge diff !num;
+    let half = Array.init w (fun j -> if j = w - 1 then Aig.const0 else !res.(j + 1)) in
+    let half_plus = Array.sub (add aig half bit) 0 w in
+    res := mux aig ge half_plus half
+  done;
+  Array.sub !res 0 k
+
+let shift_gen aig ~left word amount =
+  let w = Array.length word in
+  let stages = Array.length amount in
+  let cur = ref (Array.copy word) in
+  for s = 0 to stages - 1 do
+    let dist = 1 lsl s in
+    let shifted =
+      Array.init w (fun i ->
+          let src = if left then i - dist else i + dist in
+          if src < 0 || src >= w then Aig.const0 else !cur.(src))
+    in
+    cur := mux aig amount.(s) shifted !cur
+  done;
+  !cur
+
+let shift_left aig word amount = shift_gen aig ~left:true word amount
+let shift_right aig word amount = shift_gen aig ~left:false word amount
+
+let rec popcount aig bits =
+  match Array.length bits with
+  | 0 -> [| Aig.const0 |]
+  | 1 -> [| bits.(0) |]
+  | 2 ->
+    let s, c = (Aig.bxor aig bits.(0) bits.(1), Aig.band aig bits.(0) bits.(1)) in
+    [| s; c |]
+  | 3 ->
+    let s, c = full_adder aig bits.(0) bits.(1) bits.(2) in
+    [| s; c |]
+  | n ->
+    let half = n / 2 in
+    let a = popcount aig (Array.sub bits 0 half) in
+    let b = popcount aig (Array.sub bits half (n - half)) in
+    let w = 1 + max (Array.length a) (Array.length b) in
+    let a = zero_extend a (w - 1) and b = zero_extend b (w - 1) in
+    add aig a b
+
+let priority_encode aig bits =
+  let n = Array.length bits in
+  let idx_width =
+    let rec go w = if 1 lsl w >= n then w else go (w + 1) in
+    go 1
+  in
+  let index = ref (const aig ~width:idx_width 0) in
+  let valid = ref Aig.const0 in
+  (* Scan from the highest position down so the lowest set bit wins. *)
+  for i = n - 1 downto 0 do
+    index := mux aig bits.(i) (const aig ~width:idx_width i) !index;
+    valid := Aig.bor aig !valid bits.(i)
+  done;
+  (!index, !valid)
+
+let outputs aig w = Array.iter (fun l -> ignore (Aig.add_output aig l)) w

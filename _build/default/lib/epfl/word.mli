@@ -1,0 +1,65 @@
+(** Word-level circuit construction over AIGs.
+
+    Little-endian literal vectors (index 0 = LSB) with the arithmetic
+    and steering operators needed to generate the EPFL-style
+    benchmark suite: ripple adders, subtractors, array multipliers,
+    restoring dividers and square roots, comparators, barrel shifters,
+    encoders and population counts. *)
+
+type word = Sbm_aig.Aig.lit array
+
+type aig = Sbm_aig.Aig.t
+
+(** [inputs aig n] allocates [n] fresh primary inputs. *)
+val inputs : aig -> int -> word
+
+(** [const aig ~width v] is the constant [v] (non-negative). *)
+val const : aig -> width:int -> int -> word
+
+(** [zero_extend w n] pads with constant-0 literals to width [n]. *)
+val zero_extend : word -> int -> word
+
+(** [add aig a b] is the [w+1]-bit sum of two [w]-bit words. *)
+val add : aig -> word -> word -> word
+
+(** [sub aig a b] is [(a - b mod 2^w, borrow)]. *)
+val sub : aig -> word -> word -> word * Sbm_aig.Aig.lit
+
+(** [uge aig a b] is the literal of [a >= b] (unsigned). *)
+val uge : aig -> word -> word -> Sbm_aig.Aig.lit
+
+(** [equal aig a b] is bit-vector equality. *)
+val equal : aig -> word -> word -> Sbm_aig.Aig.lit
+
+(** [mux aig sel t e] selects [t] when [sel] is true. *)
+val mux : aig -> Sbm_aig.Aig.lit -> word -> word -> word
+
+(** [mul aig a b] is the [wa+wb]-bit product. *)
+val mul : aig -> word -> word -> word
+
+(** [square aig a] is [mul a a] with the trivial sharing. *)
+val square : aig -> word -> word
+
+(** [divmod aig a b] is restoring division: [(quotient, remainder)],
+    both [w]-bit. Division by zero yields all-ones quotient. *)
+val divmod : aig -> word -> word -> word * word
+
+(** [isqrt aig x] is the [w/2]-bit integer square root of a [w]-bit
+    word ([w] must be even). *)
+val isqrt : aig -> word -> word
+
+(** [shift_left aig w amount] / [shift_right aig w amount]: barrel
+    shifter by a variable amount (log-stage muxes). *)
+val shift_left : aig -> word -> word -> word
+val shift_right : aig -> word -> word -> word
+
+(** [popcount aig bits] counts set literals; result has
+    [ceil(log2 (n+1))] bits. *)
+val popcount : aig -> Sbm_aig.Aig.lit array -> word
+
+(** [priority_encode aig bits] is [(index, valid)]: the index of the
+    lowest set literal. *)
+val priority_encode : aig -> Sbm_aig.Aig.lit array -> word * Sbm_aig.Aig.lit
+
+(** [outputs aig w] registers every literal as a primary output. *)
+val outputs : aig -> word -> unit

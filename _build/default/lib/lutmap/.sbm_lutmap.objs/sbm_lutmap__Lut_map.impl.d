@@ -1,0 +1,1 @@
+lib/lutmap/lut_map.ml: Array Float Hashtbl List Sbm_aig

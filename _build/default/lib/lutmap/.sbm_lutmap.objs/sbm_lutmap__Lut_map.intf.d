@@ -1,0 +1,1 @@
+lib/lutmap/lut_map.mli: Sbm_aig

@@ -1,0 +1,33 @@
+(** Area-oriented LUT-K technology mapping.
+
+    A priority-cuts mapper in the style of ABC's [if -K 6 -a], used to
+    evaluate the EPFL area category (Table I): cuts up to [k] leaves
+    are enumerated per node, each node selects the cut minimizing
+    area flow (depth as tie-break), and iterated area-recovery passes
+    re-select cuts against the fanout references induced by the
+    current mapping. The result reports the LUT count and mapped
+    depth — the two columns of the EPFL best-results tables. *)
+
+type lut = { root : int; leaves : int array }
+
+type mapping = {
+  luts : lut list;
+  lut_count : int;
+  depth : int; (** LUT levels ("Level count" in Table I) *)
+}
+
+(** Mapping objective: [`Area] (the paper's "if -K 6 -a" mode, default)
+    minimizes LUT count; [`Delay] selects depth-optimal cuts first and
+    recovers area among depth ties. *)
+type mode = [ `Area | `Delay ]
+
+(** [map ?k ?max_cuts ?area_passes ?mode aig] maps the network.
+    Defaults: [k = 6], [max_cuts = 8], [area_passes = 3],
+    [mode = `Area]. *)
+val map :
+  ?k:int -> ?max_cuts:int -> ?area_passes:int -> ?mode:mode -> Sbm_aig.Aig.t -> mapping
+
+(** [check aig mapping] verifies cover properties: every output node
+    is mapped, and every LUT's leaves are mapped nodes, inputs or
+    constants. Raises [Failure] on violation (test hook). *)
+val check : Sbm_aig.Aig.t -> mapping -> unit

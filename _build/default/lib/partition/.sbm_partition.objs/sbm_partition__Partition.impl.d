@@ -1,0 +1,1 @@
+lib/partition/partition.ml: Array Hashtbl List Sbm_aig Stdlib

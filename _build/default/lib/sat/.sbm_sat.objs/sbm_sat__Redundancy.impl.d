@@ -1,0 +1,1 @@
+lib/sat/redundancy.ml: Array List Sbm_aig Solver Tseitin

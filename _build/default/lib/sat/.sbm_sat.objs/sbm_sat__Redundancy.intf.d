@@ -1,0 +1,1 @@
+lib/sat/redundancy.mli: Sbm_aig

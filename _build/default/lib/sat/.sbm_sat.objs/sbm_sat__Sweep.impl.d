@@ -1,0 +1,1 @@
+lib/sat/sweep.ml: Array Hashtbl Int64 List Option Sbm_aig Sbm_util Solver Tseitin

@@ -1,0 +1,1 @@
+lib/sat/sweep.mli: Sbm_aig

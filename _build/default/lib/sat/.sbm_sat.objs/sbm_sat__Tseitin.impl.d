@@ -1,0 +1,1 @@
+lib/sat/tseitin.ml: Array Sbm_aig Solver

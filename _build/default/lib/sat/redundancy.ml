@@ -1,0 +1,96 @@
+module Aig = Sbm_aig.Aig
+
+(* Check whether replacing node [v] by literal [cand] preserves every
+   output, with one SAT call on a fresh miter. *)
+let bypass_safe solver_limit aig v cand =
+  let solver = Solver.create () in
+  let vars = Tseitin.encode solver aig in
+  (* Encode the modified cones: copy variables for the TFO of [v],
+     where [v] itself is read as [cand]. *)
+  let n = Aig.num_nodes aig in
+  let shadow = Array.make n 0 in
+  let in_tfo = Array.make n false in
+  let order = Aig.topo aig in
+  Array.iter
+    (fun w ->
+      if w = v then in_tfo.(w) <- true
+      else if Aig.is_and aig w then begin
+        let p f = in_tfo.(Aig.node_of f) in
+        if p (Aig.fanin0 aig w) || p (Aig.fanin1 aig w) then in_tfo.(w) <- true
+      end)
+    order;
+  let shadow_lit l =
+    let w = Aig.node_of l in
+    let base =
+      if w = v then Tseitin.lit_dimacs vars cand
+      else if in_tfo.(w) && shadow.(w) > 0 then shadow.(w)
+      else Tseitin.lit_dimacs vars (Aig.lit_of w false)
+    in
+    if Aig.is_compl l then -base else base
+  in
+  Array.iter
+    (fun w ->
+      if in_tfo.(w) && w <> v && Aig.is_and aig w then begin
+        let x = Solver.new_var solver in
+        let a = shadow_lit (Aig.fanin0 aig w) in
+        let b = shadow_lit (Aig.fanin1 aig w) in
+        ignore (Solver.add_clause solver [ -x; a ]);
+        ignore (Solver.add_clause solver [ -x; b ]);
+        ignore (Solver.add_clause solver [ x; -a; -b ]);
+        shadow.(w) <- x
+      end)
+    order;
+  (* Miter: some output differs. *)
+  let diffs =
+    Array.to_list (Aig.outputs aig)
+    |> List.filter_map (fun l ->
+           let w = Aig.node_of l in
+           if not in_tfo.(w) then None
+           else begin
+             let orig = Tseitin.lit_dimacs vars l in
+             let shad = shadow_lit l in
+             let d = Solver.new_var solver in
+             (* d -> (orig xor shad) *)
+             ignore (Solver.add_clause solver [ -d; orig; shad ]);
+             ignore (Solver.add_clause solver [ -d; -orig; -shad ]);
+             Some d
+           end)
+  in
+  if diffs = [] then true
+  else begin
+    ignore (Solver.add_clause solver diffs);
+    match Solver.solve ~conflict_limit:solver_limit solver with
+    | Solver.Unsat -> true
+    | Solver.Sat | Solver.Unknown -> false
+  end
+
+let run ?(conflict_limit = 1000) ?(max_candidates = 200) aig =
+  let removed = ref 0 in
+  let tried = ref 0 in
+  let order = Aig.topo aig in
+  Array.iter
+    (fun v ->
+      if !tried < max_candidates && Aig.is_and aig v && not (Aig.is_dead aig v) then begin
+        (* Candidate bypasses: each fanin in place of the node. *)
+        let try_cand cand =
+          if
+            !tried < max_candidates
+            && Aig.node_of cand <> v
+            && (not (Aig.is_dead aig (Aig.node_of cand)))
+            && not (Aig.in_tfi aig ~node:v ~root:(Aig.node_of cand))
+          then begin
+            incr tried;
+            if bypass_safe conflict_limit aig v cand then begin
+              Aig.replace aig v cand;
+              incr removed;
+              true
+            end
+            else false
+          end
+          else false
+        in
+        let f0 = Aig.fanin0 aig v and f1 = Aig.fanin1 aig v in
+        if not (try_cand f0) then ignore (try_cand f1)
+      end)
+    order;
+  !removed

@@ -1,0 +1,12 @@
+(** SAT-based redundancy removal (paper reference [9]).
+
+    For selected AND nodes, tests whether replacing the node by one of
+    its own fanins preserves all primary outputs (i.e. the other fanin
+    is redundant under observability don't-cares). The test is a SAT
+    call on a miter between the original network and a copy with the
+    node bypassed; proven-redundant nodes are replaced. *)
+
+(** [run ?conflict_limit ?max_candidates aig] tries candidates in
+    topological order and returns the number of nodes bypassed. The
+    AIG is modified in place. *)
+val run : ?conflict_limit:int -> ?max_candidates:int -> Sbm_aig.Aig.t -> int

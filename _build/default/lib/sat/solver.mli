@@ -1,0 +1,39 @@
+(** A CDCL SAT solver.
+
+    Conflict-driven clause learning with two watched literals, 1-UIP
+    conflict analysis, VSIDS-style activities, phase saving and
+    geometric restarts — the engine behind SAT sweeping, redundancy
+    removal (paper refs [8], [9]) and combinational equivalence
+    checking. A conflict budget turns long proofs into {!Unknown},
+    mirroring the bail-out discipline of the BDD package. *)
+
+type t
+
+type result = Sat | Unsat | Unknown
+
+(** [create ()] is an empty solver instance. *)
+val create : unit -> t
+
+(** [new_var t] allocates a fresh variable (numbered from 1). *)
+val new_var : t -> int
+
+(** [num_vars t] is the number of allocated variables. *)
+val num_vars : t -> int
+
+(** [add_clause t lits] adds a clause in DIMACS convention: positive
+    integer [v] is the positive literal of variable [v], negative is
+    the complement. Variables must have been allocated.
+    Returns [false] if the clause system is already unsatisfiable. *)
+val add_clause : t -> int list -> bool
+
+(** [solve ?assumptions ?conflict_limit t] decides satisfiability
+    under the given assumption literals. [conflict_limit] bounds the
+    number of conflicts before giving up with {!Unknown}. *)
+val solve : ?assumptions:int list -> ?conflict_limit:int -> t -> result
+
+(** [model_value t v] is variable [v]'s value in the last {!Sat}
+    model. *)
+val model_value : t -> int -> bool
+
+(** [num_conflicts t] is the running conflict count (statistics). *)
+val num_conflicts : t -> int

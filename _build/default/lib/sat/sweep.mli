@@ -1,0 +1,13 @@
+(** SAT sweeping: merge functionally equivalent nodes.
+
+    Random simulation partitions nodes into candidate equivalence
+    classes by signature; candidate pairs are then proved or refuted
+    with incremental SAT (assumption-based miters on a single CNF of
+    the whole network). Proven pairs are merged with {!Sbm_aig.Aig.replace},
+    later node into earlier node, which is always acyclic on a
+    compacted (topologically numbered) AIG. This is the "SAT-based
+    sweeping" step of the paper's resynthesis script (ref. [9]). *)
+
+(** [run ?sim_rounds ?conflict_limit aig] returns the swept AIG (a
+    fresh, compacted network) and the number of merged nodes. *)
+val run : ?sim_rounds:int -> ?conflict_limit:int -> Sbm_aig.Aig.t -> Sbm_aig.Aig.t * int

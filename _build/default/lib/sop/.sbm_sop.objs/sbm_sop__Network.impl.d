@@ -1,0 +1,1 @@
+lib/sop/network.ml: Array Hashtbl List Option Sbm_aig Sop Stdlib

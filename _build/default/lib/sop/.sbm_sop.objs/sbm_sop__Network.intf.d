@@ -1,0 +1,1 @@
+lib/sop/network.mli: Sbm_aig Sop

@@ -1,0 +1,1 @@
+lib/sop/sop.ml: Array Hashtbl List Option Stdlib

@@ -1,0 +1,99 @@
+(** Multi-level SOP logic networks.
+
+    The network view used by the elimination / kernel-extraction
+    engine: every internal node carries a sum-of-products cover whose
+    literals reference other nodes (by id, with phase). Conversions to
+    and from {!Sbm_aig.Aig} bracket each use in the flow — the AIG
+    stays "the consistent interface and costing between the various
+    steps" (paper, Section V-A). *)
+
+type t
+
+type node_id = int
+
+(** [of_aig aig] builds a network with one two-literal AND cover per
+    AIG node. *)
+val of_aig : Sbm_aig.Aig.t -> t
+
+(** [to_aig t] factors every cover (quick literal factoring) and
+    rebuilds an AIG with the same I/O signature. *)
+val to_aig : t -> Sbm_aig.Aig.t
+
+(** [num_lits t] is the total literal count over internal nodes — the
+    cost function of elimination and extraction. *)
+val num_lits : t -> int
+
+(** [num_internal t] is the number of internal (non-PI) nodes. *)
+val num_internal : t -> int
+
+val num_inputs : t -> int
+val num_outputs : t -> int
+
+(** [internal_nodes t] lists the live internal node ids in topological
+    order. *)
+val internal_nodes : t -> node_id list
+
+(** [cover t n] is the cover of internal node [n]. *)
+val cover : t -> node_id -> Sop.cover
+
+(** [fanout_count t n] is the number of internal nodes whose cover
+    references [n] (output references excluded). *)
+val fanout_count : t -> node_id -> int
+
+(** [is_output t n] is true when some primary output refers to [n]. *)
+val is_output : t -> node_id -> bool
+
+(** [eliminate_node t n ~max_cubes] collapses node [n] into all its
+    fanouts if every substitution stays below [max_cubes] cubes;
+    returns [Some delta_literals] (the achieved literal variation,
+    negative = improvement) or [None] when the collapse was not
+    possible (output node, PI, or explosion). *)
+val eliminate_node : t -> node_id -> max_cubes:int -> int option
+
+(** [eliminate_value t n ~max_cubes] computes the literal variation
+    that {!eliminate_node} would achieve, without committing. *)
+val eliminate_value : t -> node_id -> max_cubes:int -> int option
+
+(** [eliminate t ~threshold ~max_cubes ?only] repeatedly collapses
+    nodes whose literal variation is below [threshold] until a fixed
+    point (paper, Section IV-B). [only] restricts candidates to a node
+    subset (the per-partition heterogeneous mode). Returns the number
+    of nodes eliminated. *)
+val eliminate : t -> threshold:int -> max_cubes:int -> ?only:(node_id -> bool) -> unit -> int
+
+(** [extract_kernels t ?only ~max_passes ()] greedily extracts the
+    best-value kernel as a new node until no kernel saves literals, at
+    most [max_passes] times. Returns the number of new nodes. *)
+val extract_kernels : t -> ?only:(node_id -> bool) -> max_passes:int -> unit -> int
+
+(** [extract_cubes t ?only ~max_passes ()] greedily extracts the best
+    common sub-cube (two literals) shared across cubes. Returns the
+    number of new nodes. *)
+val extract_cubes : t -> ?only:(node_id -> bool) -> max_passes:int -> unit -> int
+
+(** {1 Snapshot support}
+
+    The heterogeneous-elimination engine tries several thresholds on
+    the same partition and keeps the best (paper, Section IV-B); these
+    hooks let it roll back a trial. *)
+
+(** [mark t] is a checkpoint covering node allocation. *)
+val mark : t -> int
+
+(** [set_cover t n cover] overwrites node [n]'s cover. *)
+val set_cover : t -> node_id -> Sop.cover -> unit
+
+(** [revive t n] marks an eliminated node alive again (rollback). *)
+val revive : t -> node_id -> unit
+
+(** [truncate t mark] kills every node allocated at or after [mark];
+    callers must first restore any cover referencing them. *)
+val truncate : t -> int -> unit
+
+(** [check t] validates structural invariants (acyclicity, live
+    references); raises [Failure] on violation. *)
+val check : t -> unit
+
+(** [eval t bits] evaluates all outputs on one input assignment
+    (testing hook). *)
+val eval : t -> bool array -> bool array

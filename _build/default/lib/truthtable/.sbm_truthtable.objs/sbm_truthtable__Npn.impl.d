@@ -1,0 +1,1 @@
+lib/truthtable/npn.ml: Array List Tt

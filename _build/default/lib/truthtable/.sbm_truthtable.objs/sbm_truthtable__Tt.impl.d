@@ -1,0 +1,1 @@
+lib/truthtable/tt.ml: Array Buffer Int64 List Printf Sbm_util Stdlib

@@ -1,0 +1,1 @@
+lib/truthtable/tt.mli: Sbm_util

@@ -1,0 +1,61 @@
+type transform = { perm : int array; input_neg : int; output_neg : bool }
+
+let max_exact_vars = 5
+
+let apply tt t =
+  let n = Tt.num_vars tt in
+  (* Negate selected inputs, permute, then negate the output. *)
+  let tt = ref tt in
+  for i = 0 to n - 1 do
+    if (t.input_neg lsr i) land 1 = 1 then tt := Tt.flip !tt i
+  done;
+  let tt = Tt.permute !tt t.perm in
+  if t.output_neg then Tt.bnot tt else tt
+
+let inverse t =
+  let n = Array.length t.perm in
+  let perm = Array.make n 0 in
+  Array.iteri (fun i p -> perm.(p) <- i) t.perm;
+  (* Input negations commute through the permutation: negating input i
+     before permuting equals negating position t.perm.(i) after. *)
+  let input_neg = ref 0 in
+  for i = 0 to n - 1 do
+    if (t.input_neg lsr i) land 1 = 1 then input_neg := !input_neg lor (1 lsl t.perm.(i))
+  done;
+  { perm; input_neg = !input_neg; output_neg = t.output_neg }
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y <> x) xs in
+        List.map (fun p -> x :: p) (permutations rest))
+      xs
+
+let canonize tt =
+  let n = Tt.num_vars tt in
+  if n > max_exact_vars then invalid_arg "Npn.canonize: too many variables";
+  let best = ref None in
+  let perms = permutations (List.init n (fun i -> i)) in
+  List.iter
+    (fun perm_list ->
+      let perm = Array.of_list perm_list in
+      for input_neg = 0 to (1 lsl n) - 1 do
+        List.iter
+          (fun output_neg ->
+            let t = { perm; input_neg; output_neg } in
+            let candidate = apply tt t in
+            match !best with
+            | Some (b, _) when Tt.compare b candidate <= 0 -> ()
+            | Some _ | None -> best := Some (candidate, t))
+          [ false; true ]
+      done)
+    perms;
+  match !best with
+  | Some r -> r
+  | None -> (tt, { perm = [||]; input_neg = 0; output_neg = false })
+
+let equivalent a b =
+  Tt.num_vars a = Tt.num_vars b
+  && Tt.equal (fst (canonize a)) (fst (canonize b))

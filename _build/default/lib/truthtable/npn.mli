@@ -1,0 +1,38 @@
+(** NPN canonization of truth tables.
+
+    Two functions are NPN-equivalent when one can be obtained from the
+    other by Negating inputs, Permuting inputs and/or Negating the
+    output. Rewriting engines key their resynthesis caches by NPN
+    class: the 65536 4-input functions collapse into 222 classes, so
+    structure computed once is reused across all equivalent cuts.
+
+    [canonize] performs exact canonization (exhaustive over the
+    transform group) for up to {!max_exact_vars} variables, which
+    covers the 4-input cuts used by rewriting. *)
+
+(** The transform that maps the original function to its canon:
+    apply input negations (bit [i] of [input_neg]), then permutation
+    ([perm.(i)] = canonical position of original variable [i]), then
+    output negation. *)
+type transform = {
+  perm : int array;
+  input_neg : int;
+  output_neg : bool;
+}
+
+val max_exact_vars : int
+
+(** [canonize tt] is the canonical representative and the transform
+    that produced it.
+    @raise Invalid_argument beyond {!max_exact_vars} variables. *)
+val canonize : Tt.t -> Tt.t * transform
+
+(** [apply tt t] applies a transform to a function. *)
+val apply : Tt.t -> transform -> Tt.t
+
+(** [inverse t] is the transform undoing [t]. *)
+val inverse : transform -> transform
+
+(** [equivalent a b] is true when the two functions are in the same
+    NPN class. *)
+val equivalent : Tt.t -> Tt.t -> bool

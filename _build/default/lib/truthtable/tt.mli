@@ -1,0 +1,123 @@
+(** Bit-packed truth tables over up to {!max_vars} variables.
+
+    Truth tables are the cheapest reasoning engine used by the SBM
+    framework (paper, Section II-A): inside small windows they provide
+    constant-time Boolean operations and equivalence checks, and back
+    the refactoring and resubstitution engines.
+
+    A table on [n] variables stores [2^n] function values, bit [i]
+    being the value on the input assignment whose binary encoding is
+    [i] (variable 0 is the least-significant position). *)
+
+type t
+
+(** Hard limit on the number of variables (word-packing bound). *)
+val max_vars : int
+
+(** [num_vars t] is the number of variables of [t]. *)
+val num_vars : t -> int
+
+(** [const0 n], [const1 n]: constant functions on [n] variables. *)
+val const0 : int -> t
+val const1 : int -> t
+
+(** [var n i] is the projection of variable [i] on [n] variables. *)
+val var : int -> int -> t
+
+(** Boolean connectives. Both arguments must have equal [num_vars]. *)
+val bnot : t -> t
+val band : t -> t -> t
+val bor : t -> t -> t
+val bxor : t -> t -> t
+val bxnor : t -> t -> t
+val bnand : t -> t -> t
+val bnor : t -> t -> t
+
+(** [ite c a b] is if-then-else: [c&a | ~c&b]. *)
+val ite : t -> t -> t -> t
+
+(** [mux sel a b] is [a] when [sel] is false, [b] when true. *)
+val mux : t -> t -> t -> t
+
+(** Structural predicates and comparisons. *)
+val equal : t -> t -> bool
+val is_const0 : t -> bool
+val is_const1 : t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** [cofactor0 t i] / [cofactor1 t i] fix variable [i] to 0 / 1; the
+    result still ranges over [n] variables (it no longer depends on
+    [i]). *)
+val cofactor0 : t -> int -> t
+val cofactor1 : t -> int -> t
+
+(** [depends_on t i] is true if the function value changes with
+    variable [i]. *)
+val depends_on : t -> int -> bool
+
+(** [support t] lists the variables the function depends on,
+    ascending. *)
+val support : t -> int list
+
+(** [support_size t] is [List.length (support t)]. *)
+val support_size : t -> int
+
+(** [count_ones t] is the number of satisfying assignments. *)
+val count_ones : t -> int
+
+(** [eval t assignment] evaluates [t]; bit [i] of [assignment] is the
+    value of variable [i]. *)
+val eval : t -> int -> bool
+
+(** [set_bit t i] / [get_bit t i] access individual minterms; [set_bit]
+    is functional (returns a new table). *)
+val get_bit : t -> int -> bool
+val set_bit : t -> int -> t
+
+(** [of_bits n bits] builds a table on [n] vars from a function giving
+    the value of each minterm index. *)
+val of_bits : int -> (int -> bool) -> t
+
+(** [random n rng] is a uniformly random table on [n] variables. *)
+val random : int -> Sbm_util.Rng.t -> t
+
+(** [expand t n] re-expresses [t] on [n >= num_vars t] variables (the
+    new variables are don't-cares). *)
+val expand : t -> int -> t
+
+(** [permute t perm] renames variables: new variable [perm.(i)] plays
+    the role of old variable [i]. [perm] must be a permutation of
+    [0 .. num_vars-1]. *)
+val permute : t -> int array -> t
+
+(** [flip t i] negates the polarity of variable [i]. *)
+val flip : t -> int -> t
+
+(** [compose t i g] substitutes function [g] (same variable count) for
+    variable [i] in [t]. *)
+val compose : t -> int -> t -> t
+
+(** Cubes of an SOP cover over truth-table variables: [pos] and [neg]
+    are bit masks of positively / negatively appearing variables. *)
+type cube = { pos : int; neg : int }
+
+(** [cube_tt n c] is the truth table of cube [c] on [n] variables. *)
+val cube_tt : int -> cube -> t
+
+(** [cover_tt n cubes] is the OR of the cubes' tables. *)
+val cover_tt : int -> cube list -> t
+
+(** [cube_num_lits c] is the number of literals in [c]. *)
+val cube_num_lits : cube -> int
+
+(** [isop on dc] computes an irredundant sum-of-products cover [c]
+    with [on <= c <= on | dc] (Minato-Morreale). The don't-care table
+    [dc] must be disjoint from [on] or a superset; precisely the
+    requirement is [band on dc] arbitrary, the cover satisfies
+    [on <= cover <= bor on dc]. Returns the cube list. *)
+val isop : t -> t -> cube list
+
+(** [to_string t] is the hexadecimal rendering, most-significant word
+    first (e.g. ["8"] for AND2 on 2 vars). *)
+val to_string : t -> string

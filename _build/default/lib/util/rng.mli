@@ -1,0 +1,30 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    Every stochastic component of the framework (simulation patterns,
+    benchmark generators, property tests' auxiliary data) draws from
+    this generator so runs are reproducible from a seed. *)
+
+type t
+
+(** [create seed] is a fresh generator. Equal seeds give equal
+    streams. *)
+val create : int -> t
+
+(** [next64 g] is the next raw 64-bit word (as an OCaml [int64]). *)
+val next64 : t -> int64
+
+(** [bits g] is the next 62-bit non-negative [int]. *)
+val bits : t -> int
+
+(** [int g n] is uniform in [0, n). Requires [n > 0]. *)
+val int : t -> int -> int
+
+(** [bool g] is a uniform boolean. *)
+val bool : t -> bool
+
+(** [float g] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [split g] is a new generator seeded from [g]'s stream, useful to
+    decorrelate substreams. *)
+val split : t -> t

@@ -1,0 +1,83 @@
+type t = { mutable data : int array; mutable size : int }
+
+let create ?(capacity = 8) () =
+  { data = Array.make (max capacity 1) 0; size = 0 }
+
+let make n x = { data = Array.make (max n 1) x; size = n }
+let size v = v.size
+let is_empty v = v.size = 0
+
+let check v i =
+  if i < 0 || i >= v.size then invalid_arg "Vec: index out of bounds"
+
+let get v i = check v i; v.data.(i)
+let set v i x = check v i; v.data.(i) <- x
+
+let grow v =
+  let data = Array.make (2 * Array.length v.data) 0 in
+  Array.blit v.data 0 data 0 v.size;
+  v.data <- data
+
+let push v x =
+  if v.size = Array.length v.data then grow v;
+  v.data.(v.size) <- x;
+  v.size <- v.size + 1
+
+let pop v =
+  if v.size = 0 then invalid_arg "Vec.pop: empty";
+  v.size <- v.size - 1;
+  v.data.(v.size)
+
+let last v =
+  if v.size = 0 then invalid_arg "Vec.last: empty";
+  v.data.(v.size - 1)
+
+let clear v = v.size <- 0
+
+let shrink v n =
+  if n < 0 || n > v.size then invalid_arg "Vec.shrink";
+  v.size <- n
+
+let iter f v =
+  for i = 0 to v.size - 1 do f v.data.(i) done
+
+let iteri f v =
+  for i = 0 to v.size - 1 do f i v.data.(i) done
+
+let fold f acc v =
+  let r = ref acc in
+  for i = 0 to v.size - 1 do r := f !r v.data.(i) done;
+  !r
+
+let exists p v =
+  let rec go i = i < v.size && (p v.data.(i) || go (i + 1)) in
+  go 0
+
+let mem x v = exists (fun y -> y = x) v
+
+let to_list v =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (v.data.(i) :: acc) in
+  go (v.size - 1) []
+
+let to_array v = Array.sub v.data 0 v.size
+let of_array a = { data = (if Array.length a = 0 then Array.make 1 0 else Array.copy a); size = Array.length a }
+let of_list xs = of_array (Array.of_list xs)
+let copy v = { data = Array.copy v.data; size = v.size }
+
+let sort cmp v =
+  let a = to_array v in
+  Array.sort cmp a;
+  Array.blit a 0 v.data 0 v.size
+
+let remove v x =
+  let rec find i = if i >= v.size then -1 else if v.data.(i) = x then i else find (i + 1) in
+  let i = find 0 in
+  if i >= 0 then begin
+    Array.blit v.data (i + 1) v.data i (v.size - i - 1);
+    v.size <- v.size - 1
+  end
+
+let swap_remove v i =
+  check v i;
+  v.data.(i) <- v.data.(v.size - 1);
+  v.size <- v.size - 1

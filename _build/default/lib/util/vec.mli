@@ -1,0 +1,82 @@
+(** Growable integer vectors.
+
+    A thin, allocation-conscious dynamic array specialised to [int].
+    Used throughout the AIG, SOP and SAT substrates where boxed
+    ['a array] growth would dominate. *)
+
+type t
+
+(** [create ?capacity ()] is an empty vector. *)
+val create : ?capacity:int -> unit -> t
+
+(** [make n x] is a vector of [n] elements all equal to [x]. *)
+val make : int -> int -> t
+
+(** [size v] is the number of elements currently stored. *)
+val size : t -> int
+
+(** [is_empty v] is [size v = 0]. *)
+val is_empty : t -> bool
+
+(** [get v i] is the [i]-th element. Bounds-checked. *)
+val get : t -> int -> int
+
+(** [set v i x] overwrites the [i]-th element. Bounds-checked. *)
+val set : t -> int -> int -> unit
+
+(** [push v x] appends [x], growing the backing store if needed. *)
+val push : t -> int -> unit
+
+(** [pop v] removes and returns the last element.
+    @raise Invalid_argument on an empty vector. *)
+val pop : t -> int
+
+(** [last v] is the last element without removing it. *)
+val last : t -> int
+
+(** [clear v] resets the size to 0 without shrinking storage. *)
+val clear : t -> unit
+
+(** [shrink v n] truncates to the first [n] elements ([n <= size v]). *)
+val shrink : t -> int -> unit
+
+(** [iter f v] applies [f] to every element in index order. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [iteri f v] applies [f i x] to every element in index order. *)
+val iteri : (int -> int -> unit) -> t -> unit
+
+(** [fold f acc v] folds left over the elements. *)
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+(** [exists p v] is true if some element satisfies [p]. *)
+val exists : (int -> bool) -> t -> bool
+
+(** [mem x v] is true if [x] occurs in [v] (linear scan). *)
+val mem : int -> t -> bool
+
+(** [to_list v] is the elements as a list, in index order. *)
+val to_list : t -> int list
+
+(** [to_array v] is a fresh array of the elements. *)
+val to_array : t -> int array
+
+(** [of_list xs] is a vector with the elements of [xs]. *)
+val of_list : int list -> t
+
+(** [of_array a] is a vector with the elements of [a]. *)
+val of_array : int array -> t
+
+(** [copy v] is an independent copy of [v]. *)
+val copy : t -> t
+
+(** [sort cmp v] sorts in place. *)
+val sort : (int -> int -> int) -> t -> unit
+
+(** [remove v x] removes the first occurrence of [x], if any,
+    preserving the order of the remaining elements. *)
+val remove : t -> int -> unit
+
+(** [swap_remove v i] removes index [i] by swapping in the last
+    element; O(1) but does not preserve order. *)
+val swap_remove : t -> int -> unit

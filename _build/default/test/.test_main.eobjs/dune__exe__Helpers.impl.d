@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array List QCheck2 QCheck_alcotest Sbm_aig Sbm_cec Sbm_util String

@@ -1,0 +1,1 @@
+test/test_aig.ml: Alcotest Array Hashtbl Helpers List Sbm_aig Sbm_util

@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Array Fun Hashtbl Helpers List Printf Sbm_aig Sbm_asic Sbm_cec Sbm_core Sbm_lutmap Sbm_util

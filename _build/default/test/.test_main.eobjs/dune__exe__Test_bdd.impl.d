@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Helpers List QCheck2 Sbm_bdd Sbm_truthtable Sbm_util

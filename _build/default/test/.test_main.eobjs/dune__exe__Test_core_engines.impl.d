@@ -1,0 +1,1 @@
+test/test_core_engines.ml: Alcotest Array Hashtbl Helpers List Sbm_aig Sbm_core Sbm_partition Sbm_util

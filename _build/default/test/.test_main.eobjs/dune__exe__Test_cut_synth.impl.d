@@ -1,0 +1,1 @@
+test/test_cut_synth.ml: Alcotest Array Hashtbl Helpers Int64 List QCheck2 Sbm_aig Sbm_truthtable Sbm_util

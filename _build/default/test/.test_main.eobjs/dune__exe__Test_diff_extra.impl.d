@@ -1,0 +1,1 @@
+test/test_diff_extra.ml: Alcotest Helpers List Printf Sbm_aig Sbm_cec Sbm_core Sbm_epfl Sbm_partition Sbm_util

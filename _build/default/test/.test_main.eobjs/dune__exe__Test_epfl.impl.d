@@ -1,0 +1,1 @@
+test/test_epfl.ml: Alcotest Array List Printf Sbm_aig Sbm_epfl Sbm_util

@@ -1,0 +1,1 @@
+test/test_flow_extra.ml: Alcotest Array Helpers List Printf Sbm_aig Sbm_asic Sbm_cec Sbm_core Sbm_epfl Sbm_lutmap Sbm_partition Sbm_sat Sbm_util

@@ -1,0 +1,1 @@
+test/test_minimize.ml: Alcotest Helpers List QCheck2 Sbm_sop Sbm_util

@@ -1,0 +1,1 @@
+test/test_mspf_tt.ml: Alcotest Helpers Sbm_aig Sbm_core Sbm_partition Sbm_util

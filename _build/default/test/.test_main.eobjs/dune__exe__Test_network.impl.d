@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array Helpers List Printf Sbm_aig Sbm_sop Sbm_util

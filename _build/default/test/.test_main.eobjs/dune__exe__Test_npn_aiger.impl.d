@@ -1,0 +1,1 @@
+test/test_npn_aiger.ml: Alcotest Array Filename Hashtbl Helpers QCheck2 Sbm_aig Sbm_lutmap Sbm_truthtable Sbm_util Sys

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Hashtbl Helpers List Printf Sbm_aig Sbm_core Sbm_epfl Sbm_util

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Helpers List QCheck2 Sbm_aig Sbm_sat Sbm_util

@@ -1,0 +1,1 @@
+test/test_sop.ml: Alcotest Array Helpers List QCheck2 Sbm_sop Sbm_util

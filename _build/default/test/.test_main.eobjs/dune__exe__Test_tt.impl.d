@@ -1,0 +1,1 @@
+test/test_tt.ml: Alcotest Array Helpers List Printf QCheck2 Sbm_truthtable Sbm_util

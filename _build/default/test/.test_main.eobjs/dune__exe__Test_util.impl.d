@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Helpers List QCheck2 Sbm_util

@@ -1,0 +1,1 @@
+test/test_word.ml: Array Helpers List QCheck2 Sbm_aig Sbm_epfl Sbm_util

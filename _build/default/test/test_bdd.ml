@@ -1,0 +1,160 @@
+(* BDD package: agreement with truth tables on random functions,
+   canonicity, quantification, budget bail-out. *)
+
+module Bdd = Sbm_bdd.Bdd
+module Tt = Sbm_truthtable.Tt
+module Rng = Sbm_util.Rng
+
+let gen_tt =
+  QCheck2.Gen.(
+    pair (int_range 0 8) (int_bound 1_000_000)
+    |> map (fun (n, seed) -> Tt.random n (Rng.create seed)))
+
+let test_tt_roundtrip =
+  Helpers.qcheck_case "tt -> bdd -> tt roundtrip" gen_tt (fun t ->
+      let man = Bdd.create () in
+      let b = Bdd.of_tt man t in
+      Tt.equal t (Bdd.to_tt man b ~nvars:(Tt.num_vars t)))
+
+let test_ops_agree =
+  Helpers.qcheck_case "connectives agree with truth tables"
+    QCheck2.Gen.(
+      triple (int_range 1 7) (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (n, s1, s2) ->
+      let t1 = Tt.random n (Rng.create s1) in
+      let t2 = Tt.random n (Rng.create s2) in
+      let man = Bdd.create () in
+      let b1 = Bdd.of_tt man t1 and b2 = Bdd.of_tt man t2 in
+      let same op bop =
+        Tt.equal (op t1 t2) (Bdd.to_tt man (bop man b1 b2) ~nvars:n)
+      in
+      same Tt.band Bdd.mand && same Tt.bor Bdd.mor && same Tt.bxor Bdd.mxor
+      && same Tt.bxnor Bdd.mxnor
+      && Tt.equal (Tt.bnot t1) (Bdd.to_tt man (Bdd.mnot man b1) ~nvars:n))
+
+let test_canonicity =
+  Helpers.qcheck_case "strong canonicity: equal functions share a node"
+    QCheck2.Gen.(
+      triple (int_range 1 6) (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (n, s1, s2) ->
+      let t1 = Tt.random n (Rng.create s1) in
+      let t2 = Tt.random n (Rng.create s2) in
+      let man = Bdd.create () in
+      let b1 = Bdd.of_tt man t1 and b2 = Bdd.of_tt man t2 in
+      (* Build the same function two different ways. *)
+      let x = Bdd.mand man b1 b2 in
+      let y = Bdd.mnot man (Bdd.mor man (Bdd.mnot man b1) (Bdd.mnot man b2)) in
+      x = y)
+
+let test_restrict =
+  Helpers.qcheck_case "restrict = cofactor"
+    QCheck2.Gen.(pair gen_tt (int_bound 100))
+    (fun (t, iv) ->
+      let n = Tt.num_vars t in
+      QCheck2.assume (n > 0);
+      let i = iv mod n in
+      let man = Bdd.create () in
+      let b = Bdd.of_tt man t in
+      Tt.equal (Tt.cofactor1 t i) (Bdd.to_tt man (Bdd.restrict man b i true) ~nvars:n)
+      && Tt.equal (Tt.cofactor0 t i)
+           (Bdd.to_tt man (Bdd.restrict man b i false) ~nvars:n))
+
+let test_exists =
+  Helpers.qcheck_case "existential quantification"
+    QCheck2.Gen.(pair gen_tt (int_bound 100))
+    (fun (t, iv) ->
+      let n = Tt.num_vars t in
+      QCheck2.assume (n > 0);
+      let i = iv mod n in
+      let man = Bdd.create () in
+      let b = Bdd.of_tt man t in
+      let expected = Tt.bor (Tt.cofactor0 t i) (Tt.cofactor1 t i) in
+      Tt.equal expected (Bdd.to_tt man (Bdd.exists man b [ i ]) ~nvars:n))
+
+let test_support =
+  Helpers.qcheck_case "support agrees with truth table" gen_tt (fun t ->
+      let man = Bdd.create () in
+      let b = Bdd.of_tt man t in
+      Bdd.support man b = Tt.support t)
+
+let test_count_sat =
+  Helpers.qcheck_case "count_sat equals count_ones" gen_tt (fun t ->
+      let n = Tt.num_vars t in
+      let man = Bdd.create () in
+      let b = Bdd.of_tt man t in
+      int_of_float (Bdd.count_sat man b ~nvars:n) = Tt.count_ones t)
+
+let test_any_sat =
+  Helpers.qcheck_case "any_sat returns a satisfying assignment" gen_tt (fun t ->
+      let man = Bdd.create () in
+      let b = Bdd.of_tt man t in
+      match Bdd.any_sat man b with
+      | None -> Tt.is_const0 t
+      | Some assignment ->
+        let m =
+          List.fold_left
+            (fun acc (v, value) -> if value then acc lor (1 lsl v) else acc)
+            0 assignment
+        in
+        Tt.eval t m)
+
+let test_node_budget () =
+  (* A tiny budget must raise Limit on a function needing many
+     nodes — and the manager stays usable afterwards. *)
+  let man = Bdd.create ~node_limit:8 () in
+  let build () =
+    (* XOR chain over 10 variables: needs ~20 nodes. *)
+    let acc = ref (Bdd.ithvar man 0) in
+    for i = 1 to 9 do
+      acc := Bdd.mxor man !acc (Bdd.ithvar man i)
+    done;
+    !acc
+  in
+  (match build () with
+  | exception Bdd.Limit -> ()
+  | _ -> Alcotest.fail "expected Bdd.Limit");
+  (* Computations on already-hashed nodes still work: the budget only
+     blocks fresh allocation. *)
+  let a = Bdd.ithvar man 0 in
+  Alcotest.(check bool) "idempotent and" true (Bdd.mand man a a = a);
+  Alcotest.(check bool) "terminal ops" true
+    (Bdd.is_zero man (Bdd.mand man a (Bdd.zero man)))
+
+let test_size_monotone () =
+  let man = Bdd.create () in
+  (* size of a conjunction of k variables is k. *)
+  let acc = ref (Bdd.one man) in
+  for i = 0 to 5 do
+    acc := Bdd.mand man !acc (Bdd.ithvar man i)
+  done;
+  Alcotest.(check int) "AND chain size" 6 (Bdd.size man !acc)
+
+let test_compose =
+  Helpers.qcheck_case "compose agrees with tt compose"
+    QCheck2.Gen.(
+      triple
+        (pair (int_range 1 6) (int_bound 1_000_000))
+        (int_bound 1_000_000) (int_bound 100))
+    (fun ((n, s1), s2, iv) ->
+      let t = Tt.random n (Rng.create s1) in
+      let g = Tt.random n (Rng.create s2) in
+      let i = iv mod n in
+      let man = Bdd.create () in
+      let bt = Bdd.of_tt man t and bg = Bdd.of_tt man g in
+      let expected = Tt.compose t i g in
+      Tt.equal expected (Bdd.to_tt man (Bdd.compose man bt i bg) ~nvars:n))
+
+let suite =
+  [
+    test_tt_roundtrip;
+    test_ops_agree;
+    test_canonicity;
+    test_restrict;
+    test_exists;
+    test_support;
+    test_count_sat;
+    test_any_sat;
+    Alcotest.test_case "node budget bail-out" `Quick test_node_budget;
+    Alcotest.test_case "size of AND chain" `Quick test_size_monotone;
+    test_compose;
+  ]

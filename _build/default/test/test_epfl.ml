@@ -1,0 +1,228 @@
+(* Benchmark generators: signatures, determinism, and functional
+   correctness of the arithmetic circuits (checked against OCaml
+   integer arithmetic on scaled-down instances). *)
+
+module Aig = Sbm_aig.Aig
+module Epfl = Sbm_epfl.Epfl
+module Word = Sbm_epfl.Word
+module Rng = Sbm_util.Rng
+
+let test_signatures () =
+  List.iter
+    (fun b ->
+      let aig = Epfl.generate b in
+      let i, o = Epfl.io_signature b in
+      Alcotest.(check int) (Epfl.name b ^ " inputs") i (Aig.num_inputs aig);
+      Alcotest.(check int) (Epfl.name b ^ " outputs") o (Aig.num_outputs aig);
+      Aig.check aig;
+      Alcotest.(check bool) (Epfl.name b ^ " nonempty") true (Aig.size aig > 0))
+    (List.filter (fun b -> b <> Epfl.Hypotenuse) Epfl.all)
+
+let test_determinism () =
+  List.iter
+    (fun b ->
+      let a1 = Epfl.generate ~scale:0.1 b in
+      let a2 = Epfl.generate ~scale:0.1 b in
+      Alcotest.(check int) (Epfl.name b ^ " deterministic") (Aig.size a1) (Aig.size a2))
+    [ Epfl.Div; Epfl.Cavlc; Epfl.I2c; Epfl.Sin ]
+
+(* Drive a word-level circuit with integer stimuli. *)
+let eval_ints aig values widths =
+  let bits = Array.concat
+    (List.map2
+       (fun v w -> Array.init w (fun i -> (v lsr i) land 1 = 1))
+       values widths)
+  in
+  Sbm_aig.Sim.eval aig bits
+
+let int_of_bits bits lo len =
+  let v = ref 0 in
+  for i = 0 to len - 1 do
+    if bits.(lo + i) then v := !v lor (1 lsl i)
+  done;
+  !v
+
+let test_adder_correct () =
+  let aig = Epfl.generate ~scale:0.0625 Epfl.Adder in
+  (* width 8 after scaling *)
+  let w = Aig.num_inputs aig / 2 in
+  let rng = Rng.create 42 in
+  for _ = 1 to 50 do
+    let a = Rng.int rng (1 lsl w) and b = Rng.int rng (1 lsl w) in
+    let out = eval_ints aig [ a; b ] [ w; w ] in
+    Alcotest.(check int) "sum" (a + b) (int_of_bits out 0 (w + 1))
+  done
+
+let test_mult_correct () =
+  let aig = Epfl.generate ~scale:0.125 Epfl.Mult in
+  let w = Aig.num_inputs aig / 2 in
+  let rng = Rng.create 43 in
+  for _ = 1 to 50 do
+    let a = Rng.int rng (1 lsl w) and b = Rng.int rng (1 lsl w) in
+    let out = eval_ints aig [ a; b ] [ w; w ] in
+    Alcotest.(check int) "product" (a * b) (int_of_bits out 0 (2 * w))
+  done
+
+let test_square_correct () =
+  let aig = Epfl.generate ~scale:0.125 Epfl.Square in
+  let w = Aig.num_inputs aig in
+  let rng = Rng.create 44 in
+  for _ = 1 to 50 do
+    let a = Rng.int rng (1 lsl w) in
+    let out = eval_ints aig [ a ] [ w ] in
+    Alcotest.(check int) "square" (a * a) (int_of_bits out 0 (2 * w))
+  done
+
+let test_div_correct () =
+  let aig = Epfl.generate ~scale:0.125 Epfl.Div in
+  let w = Aig.num_inputs aig / 2 in
+  let rng = Rng.create 45 in
+  for _ = 1 to 50 do
+    let a = Rng.int rng (1 lsl w) in
+    let b = 1 + Rng.int rng ((1 lsl w) - 1) in
+    let out = eval_ints aig [ a; b ] [ w; w ] in
+    Alcotest.(check int) "quotient" (a / b) (int_of_bits out 0 w);
+    Alcotest.(check int) "remainder" (a mod b) (int_of_bits out w w)
+  done
+
+let test_sqrt_correct () =
+  let aig = Epfl.generate ~scale:0.125 Epfl.Sqrt in
+  let w = Aig.num_inputs aig in
+  let rng = Rng.create 46 in
+  for _ = 1 to 50 do
+    let x = Rng.int rng (1 lsl w) in
+    let out = eval_ints aig [ x ] [ w ] in
+    let expected = int_of_float (sqrt (float_of_int x)) in
+    (* Floating sqrt can be off by one at boundaries; recompute
+       exactly. *)
+    let expected =
+      let e = ref expected in
+      while (!e + 1) * (!e + 1) <= x do incr e done;
+      while !e * !e > x do decr e done;
+      !e
+    in
+    Alcotest.(check int) "isqrt" expected (int_of_bits out 0 (w / 2))
+  done
+
+let test_hypotenuse_correct () =
+  let aig = Epfl.generate ~scale:0.0625 Epfl.Hypotenuse in
+  let w = Aig.num_inputs aig / 2 in
+  let rng = Rng.create 47 in
+  for _ = 1 to 20 do
+    let a = Rng.int rng (1 lsl w) and b = Rng.int rng (1 lsl w) in
+    let out = eval_ints aig [ a; b ] [ w; w ] in
+    let s = (a * a) + (b * b) in
+    let expected =
+      let e = ref (int_of_float (sqrt (float_of_int s))) in
+      while (!e + 1) * (!e + 1) <= s do incr e done;
+      while !e * !e > s do decr e done;
+      (* The circuit saturates to w bits. *)
+      min !e ((1 lsl w) - 1)
+    in
+    Alcotest.(check int) "hypotenuse" expected (int_of_bits out 0 w)
+  done
+
+let test_max_correct () =
+  let aig = Epfl.generate ~scale:0.0625 Epfl.Max in
+  let w = Aig.num_inputs aig / 4 in
+  let rng = Rng.create 48 in
+  for _ = 1 to 50 do
+    let vals = List.init 4 (fun _ -> Rng.int rng (1 lsl w)) in
+    let out = eval_ints aig vals [ w; w; w; w ] in
+    let expected = List.fold_left max 0 vals in
+    Alcotest.(check int) "max value" expected (int_of_bits out 0 w);
+    let idx = int_of_bits out w 2 in
+    Alcotest.(check int) "index points at a maximum" expected (List.nth vals idx)
+  done
+
+let test_priority_correct () =
+  let aig = Epfl.generate ~scale:0.125 Epfl.Priority in
+  let n = Aig.num_inputs aig in
+  let rng = Rng.create 49 in
+  for _ = 1 to 50 do
+    let v = Rng.int rng (1 lsl n) in
+    let bits = Array.init n (fun i -> (v lsr i) land 1 = 1) in
+    let out = Sbm_aig.Sim.eval aig bits in
+    let idx_width = Aig.num_outputs aig - 1 in
+    let idx = int_of_bits out 0 idx_width in
+    let valid = out.(idx_width) in
+    if v = 0 then Alcotest.(check bool) "invalid when zero" false valid
+    else begin
+      Alcotest.(check bool) "valid" true valid;
+      (* lowest set bit *)
+      let rec low i = if (v lsr i) land 1 = 1 then i else low (i + 1) in
+      Alcotest.(check int) "lowest set" (low 0) idx
+    end
+  done
+
+let test_voter_correct () =
+  let aig = Epfl.generate ~scale:0.01 Epfl.Voter in
+  let n = Aig.num_inputs aig in
+  let rng = Rng.create 50 in
+  for _ = 1 to 50 do
+    let bits = Array.init n (fun _ -> Rng.bool rng) in
+    let out = Sbm_aig.Sim.eval aig bits in
+    let ones = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 bits in
+    Alcotest.(check bool) "majority" (ones > n / 2) out.(0)
+  done
+
+let test_dec_correct () =
+  let aig = Epfl.generate Epfl.Dec in
+  let rng = Rng.create 51 in
+  for _ = 1 to 20 do
+    let v = Rng.int rng 256 in
+    let bits = Array.init 8 (fun i -> (v lsr i) land 1 = 1) in
+    let out = Sbm_aig.Sim.eval aig bits in
+    Array.iteri
+      (fun i b -> Alcotest.(check bool) (Printf.sprintf "line %d" i) (i = v) b)
+      out
+  done
+
+let test_bar_correct () =
+  let aig = Epfl.generate ~scale:0.125 Epfl.Bar in
+  let w = Aig.num_outputs aig in
+  let log = Aig.num_inputs aig - w in
+  let rng = Rng.create 52 in
+  for _ = 1 to 50 do
+    let data = Rng.int rng (1 lsl w) in
+    let amount = Rng.int rng (1 lsl log) in
+    let out = eval_ints aig [ data; amount ] [ w; log ] in
+    let expected = if amount >= w then 0 else (data lsl amount) land ((1 lsl w) - 1) in
+    Alcotest.(check int) "barrel shift" expected (int_of_bits out 0 w)
+  done
+
+let test_word_popcount () =
+  let rng = Rng.create 53 in
+  for _ = 1 to 20 do
+    let aig = Aig.create () in
+    let n = 1 + Rng.int rng 20 in
+    let bits = Array.init n (fun _ -> Aig.add_input aig) in
+    let count = Word.popcount aig bits in
+    Word.outputs aig count;
+    let v = Rng.int rng (1 lsl n) in
+    let input_bits = Array.init n (fun i -> (v lsr i) land 1 = 1) in
+    let out = Sbm_aig.Sim.eval aig input_bits in
+    let expected =
+      let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+      go v 0
+    in
+    Alcotest.(check int) "popcount" expected (int_of_bits out 0 (Array.length count))
+  done
+
+let suite =
+  [
+    Alcotest.test_case "I/O signatures" `Slow test_signatures;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "adder" `Quick test_adder_correct;
+    Alcotest.test_case "mult" `Quick test_mult_correct;
+    Alcotest.test_case "square" `Quick test_square_correct;
+    Alcotest.test_case "div" `Quick test_div_correct;
+    Alcotest.test_case "sqrt" `Quick test_sqrt_correct;
+    Alcotest.test_case "hypotenuse" `Quick test_hypotenuse_correct;
+    Alcotest.test_case "max" `Quick test_max_correct;
+    Alcotest.test_case "priority" `Quick test_priority_correct;
+    Alcotest.test_case "voter" `Quick test_voter_correct;
+    Alcotest.test_case "dec" `Quick test_dec_correct;
+    Alcotest.test_case "bar" `Quick test_bar_correct;
+    Alcotest.test_case "word popcount" `Quick test_word_popcount;
+  ]

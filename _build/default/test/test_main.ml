@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "sbm"
+    [
+      ("util", Test_util.suite);
+      ("truthtable", Test_tt.suite);
+      ("cut-synth", Test_cut_synth.suite);
+      ("bdd", Test_bdd.suite);
+      ("aig", Test_aig.suite);
+      ("passes", Test_passes.suite);
+      ("sop", Test_sop.suite);
+      ("network", Test_network.suite);
+      ("sat", Test_sat.suite);
+      ("core-engines", Test_core_engines.suite);
+      ("backend", Test_backend.suite);
+      ("epfl", Test_epfl.suite);
+      ("flow-extra", Test_flow_extra.suite);
+      ("minimize", Test_minimize.suite);
+      ("npn-aiger", Test_npn_aiger.suite);
+      ("diff-extra", Test_diff_extra.suite);
+      ("mspf-tt", Test_mspf_tt.suite);
+      ("word", Test_word.suite);
+    ]

@@ -1,0 +1,117 @@
+(* Two-level minimization: tautology, expansion, irredundancy. *)
+
+module Sop = Sbm_sop.Sop
+module Rng = Sbm_util.Rng
+
+let eval_cover cover m = Sop.eval cover (fun v -> (m lsr v) land 1 = 1)
+
+let semantically_equal nvars a b =
+  let ok = ref true in
+  for m = 0 to (1 lsl nvars) - 1 do
+    if eval_cover a m <> eval_cover b m then ok := false
+  done;
+  !ok
+
+let random_cover rng nvars ncubes max_lits =
+  List.init ncubes (fun _ ->
+      let nlits = 1 + Rng.int rng max_lits in
+      let lits = ref [] in
+      for _ = 1 to nlits do
+        let v = Rng.int rng nvars in
+        let l = Sop.lit_of v (Rng.bool rng) in
+        if not (List.exists (fun x -> Sop.var_of x = v) !lits) then lits := l :: !lits
+      done;
+      Sop.cube_of_list !lits)
+
+let gen_cover =
+  QCheck2.Gen.(
+    let* seed = int_bound 1_000_000 in
+    let* nvars = int_range 2 6 in
+    let* ncubes = int_range 1 7 in
+    let rng = Rng.create seed in
+    return (random_cover rng nvars ncubes 4, nvars))
+
+let test_tautology_exact =
+  Helpers.qcheck_case ~count:200 "tautology agrees with evaluation" gen_cover
+    (fun (c, n) ->
+      let brute = ref true in
+      for m = 0 to (1 lsl n) - 1 do
+        if not (eval_cover c m) then brute := false
+      done;
+      Sop.tautology c = !brute)
+
+let test_tautology_known () =
+  let a = Sop.lit_of 0 false and na = Sop.lit_of 0 true in
+  Alcotest.(check bool) "x + x' = 1" true
+    (Sop.tautology [ [| a |]; [| na |] ]);
+  Alcotest.(check bool) "x alone" false (Sop.tautology [ [| a |] ]);
+  Alcotest.(check bool) "empty cube" true (Sop.tautology [ [||] ]);
+  Alcotest.(check bool) "empty cover" false (Sop.tautology []);
+  let b = Sop.lit_of 1 false and nb = Sop.lit_of 1 true in
+  (* xy + xy' + x'y + x'y' = 1 *)
+  Alcotest.(check bool) "four minterms" true
+    (Sop.tautology
+       [
+         Sop.cube_of_list [ a; b ];
+         Sop.cube_of_list [ a; nb ];
+         Sop.cube_of_list [ na; b ];
+         Sop.cube_of_list [ na; nb ];
+       ])
+
+let test_expand_preserves =
+  Helpers.qcheck_case "expand preserves semantics" gen_cover (fun (c, n) ->
+      semantically_equal n c (Sop.expand c))
+
+let test_expand_never_grows_lits =
+  Helpers.qcheck_case "expand never adds literals" gen_cover (fun (c, _) ->
+      Sop.num_lits (Sop.expand c) <= Sop.num_lits c)
+
+let test_irredundant_preserves =
+  Helpers.qcheck_case "irredundant preserves semantics" gen_cover (fun (c, n) ->
+      semantically_equal n c (Sop.irredundant c))
+
+let test_minimize_preserves =
+  Helpers.qcheck_case ~count:200 "minimize preserves semantics" gen_cover
+    (fun (c, n) -> semantically_equal n c (Sop.minimize c))
+
+let test_minimize_consensus () =
+  (* xy + x'z + yz: the consensus cube yz is redundant. *)
+  let x = Sop.lit_of 0 false and nx = Sop.lit_of 0 true in
+  let y = Sop.lit_of 1 false and z = Sop.lit_of 2 false in
+  let cover =
+    [ Sop.cube_of_list [ x; y ]; Sop.cube_of_list [ nx; z ]; Sop.cube_of_list [ y; z ] ]
+  in
+  let m = Sop.minimize cover in
+  Alcotest.(check int) "consensus removed" 2 (List.length m);
+  Alcotest.(check bool) "still equal" true (semantically_equal 3 cover m)
+
+let test_minimize_expands_to_prime () =
+  (* xy + xy' should fuse to x via expansion + absorption. *)
+  let x = Sop.lit_of 0 false in
+  let y = Sop.lit_of 1 false and ny = Sop.lit_of 1 true in
+  let cover = [ Sop.cube_of_list [ x; y ]; Sop.cube_of_list [ x; ny ] ] in
+  let m = Sop.minimize cover in
+  Alcotest.(check bool) "still equal" true (semantically_equal 2 cover m);
+  Alcotest.(check int) "single literal" 1 (Sop.num_lits m)
+
+let test_cube_covered () =
+  let x = Sop.lit_of 0 false in
+  let y = Sop.lit_of 1 false and ny = Sop.lit_of 1 true in
+  let cover = [ Sop.cube_of_list [ x; y ]; Sop.cube_of_list [ x; ny ] ] in
+  Alcotest.(check bool) "x covered by xy + xy'" true
+    (Sop.cube_covered cover (Sop.cube_of_list [ x ]));
+  Alcotest.(check bool) "y not covered" false
+    (Sop.cube_covered cover (Sop.cube_of_list [ y ]))
+
+let suite =
+  [
+    test_tautology_exact;
+    Alcotest.test_case "tautology known cases" `Quick test_tautology_known;
+    test_expand_preserves;
+    test_expand_never_grows_lits;
+    test_irredundant_preserves;
+    test_minimize_preserves;
+    Alcotest.test_case "consensus redundancy" `Quick test_minimize_consensus;
+    Alcotest.test_case "prime expansion" `Quick test_minimize_expands_to_prime;
+    Alcotest.test_case "cube covered" `Quick test_cube_covered;
+  ]

@@ -1,0 +1,173 @@
+(* The four classic AIG passes, each gated by exhaustive equivalence
+   on random networks and by the no-size-increase guarantee. *)
+
+module Aig = Sbm_aig.Aig
+module Rng = Sbm_util.Rng
+
+let gate ~name ~pass ?(rounds = 12) ?(gen = `Mixed) () =
+  let rng = Rng.create (Hashtbl.hash name) in
+  for round = 1 to rounds do
+    let aig =
+      match gen with
+      | `Plain -> Helpers.random_aig ~inputs:7 ~ands:60 ~outputs:4 rng
+      | `Mixed -> Helpers.random_xor_aig ~inputs:7 ~gates:40 ~outputs:4 rng
+    in
+    let original = Aig.copy aig in
+    let size_before = Aig.size aig in
+    let optimized = pass aig in
+    Aig.check optimized;
+    let size_after = Aig.size optimized in
+    if size_after > size_before then
+      Alcotest.failf "%s grew the network on round %d (%d -> %d)" name round
+        size_before size_after;
+    Helpers.assert_equiv_exhaustive
+      ~msg:(Printf.sprintf "%s equivalence, round %d" name round)
+      original optimized
+  done
+
+let in_place pass aig =
+  ignore (pass aig);
+  aig
+
+let test_rewrite () = gate ~name:"rewrite" ~pass:(in_place Sbm_aig.Rewrite.run) ()
+
+let test_rewrite_zero () =
+  gate ~name:"rewrite -z"
+    ~pass:(in_place (Sbm_aig.Rewrite.run ~zero_gain:true))
+    ()
+
+let test_refactor () =
+  gate ~name:"refactor" ~pass:(in_place (Sbm_aig.Refactor.run ~max_leaves:8)) ()
+
+let test_refactor_wide () =
+  gate ~name:"refactor wide" ~rounds:6
+    ~pass:(in_place (Sbm_aig.Refactor.run ~max_leaves:12))
+    ()
+
+let test_resub () =
+  gate ~name:"resub"
+    ~pass:(in_place (Sbm_aig.Resub.run ~max_leaves:8 ~max_divisors:30))
+    ()
+
+let test_balance () =
+  let rng = Rng.create 1234 in
+  for _ = 1 to 12 do
+    let aig = Helpers.random_xor_aig ~inputs:7 ~gates:40 ~outputs:4 rng in
+    let balanced = Sbm_aig.Balance.run aig in
+    Aig.check balanced;
+    Helpers.assert_equiv_exhaustive ~msg:"balance equivalence" aig balanced;
+    Alcotest.(check bool)
+      "depth not larger than 2x original (sanity)" true
+      (Aig.depth balanced <= (2 * Aig.depth aig) + 1)
+  done
+
+let test_balance_reduces_chain_depth () =
+  (* A left-leaning AND chain of 8 inputs balances to depth 3. *)
+  let aig = Aig.create () in
+  let inputs = List.init 8 (fun _ -> Aig.add_input aig) in
+  let chain = Aig.band_list aig inputs in
+  ignore (Aig.add_output aig chain);
+  Alcotest.(check int) "chain depth" 7 (Aig.depth aig);
+  let balanced = Sbm_aig.Balance.run aig in
+  Helpers.assert_equiv_exhaustive aig balanced;
+  Alcotest.(check int) "balanced depth" 3 (Aig.depth balanced)
+
+let test_rewrite_reduces_redundancy () =
+  (* (a & b) | (a & ~b) = a: rewriting should find this. *)
+  let aig = Aig.create () in
+  let a = Aig.add_input aig in
+  let b = Aig.add_input aig in
+  let t1 = Aig.band aig a b in
+  let t2 = Aig.band aig a (Aig.lnot b) in
+  ignore (Aig.add_output aig (Aig.bor aig t1 t2));
+  let before = Aig.size aig in
+  let gain = Sbm_aig.Rewrite.run aig in
+  Alcotest.(check bool) "found gain" true (gain > 0);
+  Alcotest.(check int) "absorbed to a" 0 (Aig.size aig);
+  Alcotest.(check bool) "smaller" true (Aig.size aig < before)
+
+let test_resub_finds_divisor () =
+  (* f = (a&b)&c, g = a&b exists: resub of deeper duplicated logic. *)
+  let aig = Aig.create () in
+  let a = Aig.add_input aig in
+  let b = Aig.add_input aig in
+  let c = Aig.add_input aig in
+  let g = Aig.band aig a b in
+  ignore (Aig.add_output aig g);
+  (* Duplicate structure with different association: (a&c)&b. *)
+  let t = Aig.band aig a c in
+  let f = Aig.band aig t b in
+  ignore (Aig.add_output aig f);
+  let original = Aig.copy aig in
+  ignore (Sbm_aig.Resub.run aig);
+  Aig.check aig;
+  Helpers.assert_equiv_exhaustive original aig
+
+let test_pipeline () =
+  (* Chain all passes repeatedly; invariants and equivalence hold. *)
+  let rng = Rng.create 777 in
+  for _ = 1 to 4 do
+    let aig = ref (Helpers.random_xor_aig ~inputs:8 ~gates:60 ~outputs:5 rng) in
+    let original = Aig.copy !aig in
+    ignore (Sbm_aig.Rewrite.run !aig);
+    ignore (Sbm_aig.Refactor.run ~max_leaves:10 !aig);
+    aig := Sbm_aig.Balance.run !aig;
+    ignore (Sbm_aig.Resub.run !aig);
+    ignore (Sbm_aig.Rewrite.run ~zero_gain:true !aig);
+    let compacted, _ = Aig.compact !aig in
+    Aig.check compacted;
+    Helpers.assert_equiv_exhaustive ~msg:"pipeline equivalence" original compacted
+  done
+
+let suite =
+  [
+    Alcotest.test_case "rewrite equivalence gate" `Quick test_rewrite;
+    Alcotest.test_case "zero-gain rewrite gate" `Quick test_rewrite_zero;
+    Alcotest.test_case "refactor equivalence gate" `Quick test_refactor;
+    Alcotest.test_case "wide refactor gate" `Quick test_refactor_wide;
+    Alcotest.test_case "resub equivalence gate" `Quick test_resub;
+    Alcotest.test_case "balance equivalence gate" `Quick test_balance;
+    Alcotest.test_case "balance chain depth" `Quick test_balance_reduces_chain_depth;
+    Alcotest.test_case "rewrite absorbs redundancy" `Quick test_rewrite_reduces_redundancy;
+    Alcotest.test_case "resub finds divisors" `Quick test_resub_finds_divisor;
+    Alcotest.test_case "full pass pipeline" `Quick test_pipeline;
+  ]
+
+let test_resub_no_cycle_via_strash_regression () =
+  (* Regression: on dividers, resub's XOR candidate strash-rebuilds the
+     root (root = a & ~b is one term of a xor b); committing it used to
+     close a combinational self-loop. The scaled divider reproduces the
+     shape deterministically. *)
+  let aig = Sbm_epfl.Epfl.generate ~scale:0.125 Sbm_epfl.Epfl.Div in
+  let base = Sbm_core.Flow.baseline aig in
+  let target = Aig.copy base in
+  ignore (Sbm_aig.Resub.run ~max_leaves:10 ~max_divisors:40 target);
+  Aig.check target;
+  let rng = Rng.create 0xd1e in
+  for _ = 1 to 32 do
+    let words = Sbm_aig.Sim.random_inputs base rng in
+    let vb = Sbm_aig.Sim.output_values base (Sbm_aig.Sim.simulate base words) in
+    let vt = Sbm_aig.Sim.output_values target (Sbm_aig.Sim.simulate target words) in
+    if vb <> vt then Alcotest.fail "resub broke the divider (cycle regression)"
+  done
+
+let test_replace_rejects_cycle () =
+  (* Direct contract test: replacing a node by a literal whose cone
+     contains it must be refused. *)
+  let aig = Aig.create () in
+  let a = Aig.add_input aig in
+  let b = Aig.add_input aig in
+  let x = Aig.band aig a b in
+  let y = Aig.band aig x (Aig.lnot a) in
+  ignore (Aig.add_output aig y);
+  match Aig.replace aig (Aig.node_of x) y with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "cycle-creating replace must be rejected"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "resub divider cycle regression" `Slow
+        test_resub_no_cycle_via_strash_regression;
+      Alcotest.test_case "replace rejects cycles" `Quick test_replace_rejects_cycle;
+    ]

@@ -1,0 +1,192 @@
+(* SAT solver: brute-force cross-check on random CNFs, assumptions,
+   conflict budget; sweeping and redundancy removal gates. *)
+
+module Solver = Sbm_sat.Solver
+module Rng = Sbm_util.Rng
+module Aig = Sbm_aig.Aig
+
+let random_cnf rng nvars nclauses max_len =
+  List.init nclauses (fun _ ->
+      let len = 1 + Rng.int rng max_len in
+      List.init len (fun _ ->
+          let v = 1 + Rng.int rng nvars in
+          if Rng.bool rng then v else -v))
+
+let brute_force nvars clauses =
+  let rec try_assign m =
+    if m >= 1 lsl nvars then None
+    else begin
+      let sat =
+        List.for_all
+          (List.exists (fun l ->
+               let v = abs l in
+               let value = (m lsr (v - 1)) land 1 = 1 in
+               if l > 0 then value else not value))
+          clauses
+      in
+      if sat then Some m else try_assign (m + 1)
+    end
+  in
+  try_assign 0
+
+let test_random_cnfs =
+  Helpers.qcheck_case ~count:200 "solver agrees with brute force"
+    QCheck2.Gen.(
+      triple (int_range 1 8) (int_range 1 20) (int_bound 1_000_000))
+    (fun (nvars, nclauses, seed) ->
+      let rng = Rng.create seed in
+      let clauses = random_cnf rng nvars nclauses 4 in
+      let solver = Solver.create () in
+      for _ = 1 to nvars do
+        ignore (Solver.new_var solver)
+      done;
+      let ok = List.for_all (fun c -> Solver.add_clause solver c) clauses in
+      let result = if ok then Solver.solve solver else Solver.Unsat in
+      match (result, brute_force nvars clauses) with
+      | Solver.Sat, Some _ ->
+        (* Verify the reported model. *)
+        List.for_all
+          (List.exists (fun l ->
+               let value = Solver.model_value solver (abs l) in
+               if l > 0 then value else not value))
+          clauses
+      | Solver.Unsat, None -> true
+      | Solver.Sat, None | Solver.Unsat, Some _ -> false
+      | Solver.Unknown, _ -> false)
+
+let test_assumptions () =
+  let solver = Solver.create () in
+  let a = Solver.new_var solver in
+  let b = Solver.new_var solver in
+  ignore (Solver.add_clause solver [ a; b ]);
+  ignore (Solver.add_clause solver [ -a; b ]);
+  Alcotest.(check bool) "sat under b" true (Solver.solve ~assumptions:[ b ] solver = Solver.Sat);
+  Alcotest.(check bool) "unsat under -b,-a" true
+    (Solver.solve ~assumptions:[ -b; -a ] solver = Solver.Unsat);
+  (* Assumptions do not poison later solves. *)
+  Alcotest.(check bool) "sat again" true (Solver.solve solver = Solver.Sat)
+
+let test_unsat_pigeonhole () =
+  (* 3 pigeons, 2 holes. *)
+  let solver = Solver.create () in
+  let v = Array.init 3 (fun _ -> Array.init 2 (fun _ -> Solver.new_var solver)) in
+  for p = 0 to 2 do
+    ignore (Solver.add_clause solver [ v.(p).(0); v.(p).(1) ])
+  done;
+  for h = 0 to 1 do
+    for p1 = 0 to 2 do
+      for p2 = p1 + 1 to 2 do
+        ignore (Solver.add_clause solver [ -v.(p1).(h); -v.(p2).(h) ])
+      done
+    done
+  done;
+  Alcotest.(check bool) "pigeonhole unsat" true (Solver.solve solver = Solver.Unsat)
+
+let test_conflict_budget () =
+  (* A hard instance with a 1-conflict budget returns Unknown. *)
+  let solver = Solver.create () in
+  let v = Array.init 5 (fun _ -> Array.init 4 (fun _ -> Solver.new_var solver)) in
+  for p = 0 to 4 do
+    ignore (Solver.add_clause solver (Array.to_list v.(p)))
+  done;
+  for h = 0 to 3 do
+    for p1 = 0 to 4 do
+      for p2 = p1 + 1 to 4 do
+        ignore (Solver.add_clause solver [ -v.(p1).(h); -v.(p2).(h) ])
+      done
+    done
+  done;
+  match Solver.solve ~conflict_limit:1 solver with
+  | Solver.Unknown -> ()
+  | Solver.Sat -> Alcotest.fail "pigeonhole cannot be sat"
+  | Solver.Unsat -> () (* solved fast — acceptable *)
+
+let test_tseitin () =
+  let rng = Rng.create 88 in
+  for _ = 1 to 10 do
+    let aig = Helpers.random_xor_aig ~inputs:6 ~gates:25 ~outputs:3 rng in
+    let solver = Solver.create () in
+    let vars = Sbm_sat.Tseitin.encode solver aig in
+    (* For a random input assignment, assume the inputs and check the
+       model matches simulation. *)
+    let bits = Array.init (Aig.num_inputs aig) (fun _ -> Rng.bool rng) in
+    let assumptions =
+      List.init (Aig.num_inputs aig) (fun i ->
+          let v = vars.(Aig.node_of (Aig.input_lit aig i)) in
+          if bits.(i) then v else -v)
+    in
+    (match Solver.solve ~assumptions solver with
+    | Solver.Sat ->
+      let expected = Sbm_aig.Sim.eval aig bits in
+      Array.iteri
+        (fun i l ->
+          let d = Sbm_sat.Tseitin.lit_dimacs vars l in
+          let value = Solver.model_value solver (abs d) in
+          let value = if d < 0 then not value else value in
+          if value <> expected.(i) then Alcotest.failf "output %d mismatch" i)
+        (Aig.outputs aig)
+    | Solver.Unsat | Solver.Unknown -> Alcotest.fail "assumed inputs must be sat")
+  done
+
+let test_sweep () =
+  let rng = Rng.create 89 in
+  for _ = 1 to 8 do
+    let aig = Helpers.random_xor_aig ~inputs:6 ~gates:30 ~outputs:4 rng in
+    let original = Aig.copy aig in
+    let swept, merged = Sbm_sat.Sweep.run aig in
+    Aig.check swept;
+    Helpers.assert_equiv_exhaustive ~msg:"sweep equivalence" original swept;
+    Alcotest.(check bool) "merge count sane" true (merged >= 0);
+    Alcotest.(check bool) "not larger" true (Aig.size swept <= Aig.size original)
+  done
+
+let test_sweep_merges_duplicates () =
+  (* Functionally equal but structurally different cones must merge:
+     f = a&(b&c), g = (a&b)&c. *)
+  let aig = Aig.create () in
+  let a = Aig.add_input aig in
+  let b = Aig.add_input aig in
+  let c = Aig.add_input aig in
+  ignore (Aig.add_output aig (Aig.band aig a (Aig.band aig b c)));
+  ignore (Aig.add_output aig (Aig.band aig (Aig.band aig a b) c));
+  let swept, merged = Sbm_sat.Sweep.run aig in
+  Alcotest.(check bool) "merged at least one" true (merged >= 1);
+  Alcotest.(check int) "two ANDs remain" 2 (Aig.size swept);
+  Alcotest.(check int) "outputs identical" (Aig.output_lit swept 0) (Aig.output_lit swept 1)
+
+let test_redundancy_removal () =
+  (* y = a & (a | b): the (a|b) input is redundant; y == a. *)
+  let aig = Aig.create () in
+  let a = Aig.add_input aig in
+  let b = Aig.add_input aig in
+  let y = Aig.band aig a (Aig.bor aig a b) in
+  ignore (Aig.add_output aig y);
+  let original = Aig.copy aig in
+  let removed = Sbm_sat.Redundancy.run aig in
+  Aig.check aig;
+  Helpers.assert_equiv_exhaustive ~msg:"redundancy equivalence" original aig;
+  Alcotest.(check bool) "found the redundancy" true (removed >= 1);
+  Alcotest.(check int) "reduced to wire" 0 (Aig.size aig)
+
+let test_redundancy_random () =
+  let rng = Rng.create 90 in
+  for _ = 1 to 6 do
+    let aig = Helpers.random_xor_aig ~inputs:6 ~gates:25 ~outputs:3 rng in
+    let original = Aig.copy aig in
+    ignore (Sbm_sat.Redundancy.run ~max_candidates:40 aig);
+    Aig.check aig;
+    Helpers.assert_equiv_exhaustive ~msg:"redundancy random gate" original aig
+  done
+
+let suite =
+  [
+    test_random_cnfs;
+    Alcotest.test_case "assumptions" `Quick test_assumptions;
+    Alcotest.test_case "pigeonhole unsat" `Quick test_unsat_pigeonhole;
+    Alcotest.test_case "conflict budget" `Quick test_conflict_budget;
+    Alcotest.test_case "tseitin encoding" `Quick test_tseitin;
+    Alcotest.test_case "sat sweeping gate" `Quick test_sweep;
+    Alcotest.test_case "sweep merges duplicates" `Quick test_sweep_merges_duplicates;
+    Alcotest.test_case "redundancy removal" `Quick test_redundancy_removal;
+    Alcotest.test_case "redundancy random gate" `Quick test_redundancy_random;
+  ]

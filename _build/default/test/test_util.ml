@@ -1,0 +1,103 @@
+(* Utility substrate: vectors and the deterministic RNG. *)
+
+module Vec = Sbm_util.Vec
+module Rng = Sbm_util.Rng
+
+let test_vec_push_pop () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "size" 100 (Vec.size v);
+  Alcotest.(check int) "get" 42 (Vec.get v 42);
+  Alcotest.(check int) "last" 99 (Vec.last v);
+  for i = 99 downto 0 do
+    Alcotest.(check int) "pop order" i (Vec.pop v)
+  done;
+  Alcotest.(check bool) "empty" true (Vec.is_empty v)
+
+let test_vec_remove () =
+  let v = Vec.of_list [ 1; 2; 3; 2; 4 ] in
+  Vec.remove v 2;
+  Alcotest.(check (list int)) "first occurrence removed" [ 1; 3; 2; 4 ] (Vec.to_list v);
+  Vec.remove v 7;
+  Alcotest.(check (list int)) "missing is no-op" [ 1; 3; 2; 4 ] (Vec.to_list v)
+
+let test_vec_swap_remove () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  Vec.swap_remove v 0;
+  Alcotest.(check int) "size shrinks" 3 (Vec.size v);
+  Alcotest.(check int) "last moved in" 4 (Vec.get v 0)
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1 ] in
+  (match Vec.get v 1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected bounds failure");
+  match Vec.pop (Vec.create ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected empty pop failure"
+
+let test_vec_grow_stress =
+  Helpers.qcheck_case "vec mirrors list semantics"
+    QCheck2.Gen.(list (int_bound 1000))
+    (fun xs ->
+      let v = Vec.create ~capacity:1 () in
+      List.iter (Vec.push v) xs;
+      Vec.to_list v = xs && Vec.size v = List.length xs)
+
+let test_vec_sort =
+  Helpers.qcheck_case "sort agrees with List.sort"
+    QCheck2.Gen.(list (int_bound 1000))
+    (fun xs ->
+      let v = Vec.of_list xs in
+      Vec.sort compare v;
+      Vec.to_list v = List.sort compare xs)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.bits a) (Rng.bits b)
+  done
+
+let test_rng_int_range =
+  Helpers.qcheck_case "int stays in range"
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 1 1000))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let x = Rng.int rng n in
+      x >= 0 && x < n)
+
+let test_rng_distribution () =
+  (* Coarse uniformity: 10 buckets over 10k draws each within 3x of
+     the expectation. *)
+  let rng = Rng.create 123 in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 10 in
+    buckets.(x) <- buckets.(x) + 1
+  done;
+  Array.iter
+    (fun b -> Alcotest.(check bool) "bucket sane" true (b > 300 && b < 3000))
+    buckets
+
+let test_rng_split_decorrelates () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.bits a) in
+  let ys = List.init 20 (fun _ -> Rng.bits b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let suite =
+  [
+    Alcotest.test_case "vec push/pop" `Quick test_vec_push_pop;
+    Alcotest.test_case "vec remove" `Quick test_vec_remove;
+    Alcotest.test_case "vec swap_remove" `Quick test_vec_swap_remove;
+    Alcotest.test_case "vec bounds" `Quick test_vec_bounds;
+    test_vec_grow_stress;
+    test_vec_sort;
+    Alcotest.test_case "rng determinism" `Quick test_rng_deterministic;
+    test_rng_int_range;
+    Alcotest.test_case "rng distribution" `Quick test_rng_distribution;
+    Alcotest.test_case "rng split" `Quick test_rng_split_decorrelates;
+  ]

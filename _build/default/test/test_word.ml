@@ -1,0 +1,161 @@
+(* Word-level construction library: arithmetic operators checked
+   against OCaml integer semantics (property-based). *)
+
+module Aig = Sbm_aig.Aig
+module Word = Sbm_epfl.Word
+module Rng = Sbm_util.Rng
+
+let eval_word aig bits w_offsets =
+  ignore w_offsets;
+  Sbm_aig.Sim.eval aig bits
+
+let run_binop build width a b =
+  let aig = Aig.create () in
+  let wa = Word.inputs aig width in
+  let wb = Word.inputs aig width in
+  build aig wa wb;
+  let bits =
+    Array.init (2 * width) (fun i ->
+        if i < width then (a lsr i) land 1 = 1 else (b lsr (i - width)) land 1 = 1)
+  in
+  eval_word aig bits () |> Array.to_list
+  |> List.mapi (fun i b -> if b then 1 lsl i else 0)
+  |> List.fold_left ( + ) 0
+
+let gen_pair =
+  QCheck2.Gen.(
+    let* w = int_range 2 10 in
+    let* a = int_bound ((1 lsl w) - 1) in
+    let* b = int_bound ((1 lsl w) - 1) in
+    return (w, a, b))
+
+let test_add =
+  Helpers.qcheck_case ~count:100 "add" gen_pair (fun (w, a, b) ->
+      run_binop (fun aig x y -> Word.outputs aig (Word.add aig x y)) w a b = a + b)
+
+let test_sub =
+  Helpers.qcheck_case ~count:100 "sub (mod 2^w)" gen_pair (fun (w, a, b) ->
+      let got = run_binop (fun aig x y -> Word.outputs aig (fst (Word.sub aig x y))) w a b in
+      got = (a - b) land ((1 lsl w) - 1))
+
+let test_uge =
+  Helpers.qcheck_case ~count:100 "unsigned >=" gen_pair (fun (w, a, b) ->
+      let got =
+        run_binop
+          (fun aig x y -> ignore (Aig.add_output aig (Word.uge aig x y)))
+          w a b
+      in
+      (got = 1) = (a >= b))
+
+let test_equal =
+  Helpers.qcheck_case ~count:100 "equality" gen_pair (fun (w, a, b) ->
+      let got =
+        run_binop (fun aig x y -> ignore (Aig.add_output aig (Word.equal aig x y))) w a b
+      in
+      (got = 1) = (a = b))
+
+let test_mul =
+  Helpers.qcheck_case ~count:100 "mul"
+    QCheck2.Gen.(
+      let* w = int_range 2 7 in
+      let* a = int_bound ((1 lsl w) - 1) in
+      let* b = int_bound ((1 lsl w) - 1) in
+      return (w, a, b))
+    (fun (w, a, b) ->
+      run_binop (fun aig x y -> Word.outputs aig (Word.mul aig x y)) w a b = a * b)
+
+let test_divmod =
+  Helpers.qcheck_case ~count:100 "divmod"
+    QCheck2.Gen.(
+      let* w = int_range 2 7 in
+      let* a = int_bound ((1 lsl w) - 1) in
+      let* b = int_range 1 ((1 lsl w) - 1) in
+      return (w, a, b))
+    (fun (w, a, b) ->
+      let got =
+        run_binop
+          (fun aig x y ->
+            let q, r = Word.divmod aig x y in
+            Word.outputs aig q;
+            Word.outputs aig r)
+          w a b
+      in
+      let q = got land ((1 lsl w) - 1) in
+      let r = (got lsr w) land ((1 lsl w) - 1) in
+      q = a / b && r = a mod b)
+
+let test_isqrt =
+  Helpers.qcheck_case ~count:100 "isqrt"
+    QCheck2.Gen.(
+      let* k = int_range 1 5 in
+      let* x = int_bound ((1 lsl (2 * k)) - 1) in
+      return (k, x))
+    (fun (k, x) ->
+      let aig = Aig.create () in
+      let w = Word.inputs aig (2 * k) in
+      Word.outputs aig (Word.isqrt aig w);
+      let bits = Array.init (2 * k) (fun i -> (x lsr i) land 1 = 1) in
+      let out = Sbm_aig.Sim.eval aig bits in
+      let got = ref 0 in
+      Array.iteri (fun i b -> if b then got := !got lor (1 lsl i)) out;
+      let e = ref 0 in
+      while (!e + 1) * (!e + 1) <= x do incr e done;
+      !got = !e)
+
+let test_shifts =
+  Helpers.qcheck_case ~count:100 "barrel shifts"
+    QCheck2.Gen.(
+      let* w = int_range 2 10 in
+      let* x = int_bound ((1 lsl w) - 1) in
+      let* s = int_bound (w - 1) in
+      return (w, x, s))
+    (fun (w, x, s) ->
+      let log =
+        let rec go l = if 1 lsl l >= w then l else go (l + 1) in
+        go 1
+      in
+      let aig = Aig.create () in
+      let data = Word.inputs aig w in
+      let amount = Word.inputs aig log in
+      Word.outputs aig (Word.shift_left aig data amount);
+      Word.outputs aig (Word.shift_right aig data amount);
+      let bits =
+        Array.init (w + log) (fun i ->
+            if i < w then (x lsr i) land 1 = 1 else (s lsr (i - w)) land 1 = 1)
+      in
+      let out = Sbm_aig.Sim.eval aig bits in
+      let left = ref 0 and right = ref 0 in
+      for i = 0 to w - 1 do
+        if out.(i) then left := !left lor (1 lsl i);
+        if out.(w + i) then right := !right lor (1 lsl i)
+      done;
+      !left = (x lsl s) land ((1 lsl w) - 1) && !right = x lsr s)
+
+let test_priority_encode =
+  Helpers.qcheck_case ~count:100 "priority encoder"
+    QCheck2.Gen.(
+      let* n = int_range 2 16 in
+      let* x = int_bound ((1 lsl n) - 1) in
+      return (n, x))
+    (fun (n, x) ->
+      let aig = Aig.create () in
+      let bits = Array.init n (fun _ -> Aig.add_input aig) in
+      let index, valid = Word.priority_encode aig bits in
+      Word.outputs aig index;
+      ignore (Aig.add_output aig valid);
+      let in_bits = Array.init n (fun i -> (x lsr i) land 1 = 1) in
+      let out = Sbm_aig.Sim.eval aig in_bits in
+      let idx = ref 0 in
+      Array.iteri (fun i b -> if i < Array.length index && b then idx := !idx lor (1 lsl i)) out;
+      let valid_bit = out.(Array.length index) in
+      if x = 0 then not valid_bit
+      else begin
+        let rec low i = if (x lsr i) land 1 = 1 then i else low (i + 1) in
+        valid_bit && !idx = low 0
+      end)
+
+let suite =
+  [
+    test_add; test_sub; test_uge; test_equal; test_mul; test_divmod; test_isqrt;
+    test_shifts; test_priority_encode;
+  ]
