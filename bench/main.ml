@@ -22,12 +22,45 @@
 module Aig = Sbm_aig.Aig
 module Epfl = Sbm_epfl.Epfl
 module Flow = Sbm_core.Flow
+module Obs = Sbm_obs
 module Rng = Sbm_util.Rng
 
 let time f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
+
+(* Every traced flow run lands here; [write_bench_json] renders the
+   whole batch as BENCH_sbm.json when the harness exits. *)
+let bench_traces : (string * string * Obs.trace) list ref = ref []
+
+let traced ~experiment ~bench aig f =
+  let trace = Obs.create () in
+  let root = Obs.root ~size:(Aig.size aig) ~depth:(Aig.depth aig) trace bench in
+  let result = f root in
+  Obs.close ~size:(Aig.size result) ~depth:(Aig.depth result) root;
+  bench_traces := (experiment, bench, trace) :: !bench_traces;
+  result
+
+let write_bench_json () =
+  match List.rev !bench_traces with
+  | [] -> ()
+  | runs ->
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\"version\":1,\"runs\":[";
+    List.iteri
+      (fun i (experiment, bench, trace) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "{\"experiment\":%S,\"bench\":%S,\"trace\":%s}" experiment
+             bench (Obs.to_json trace)))
+      runs;
+    Buffer.add_string buf "]}";
+    let oc = open_out "BENCH_sbm.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Fmt.pr "@.telemetry for %d runs written to BENCH_sbm.json@."
+      (List.length runs)
 
 (* Sanity gate: heavy random simulation catches real bugs instantly;
    the SAT proof gets a bounded budget, because miters over arithmetic
@@ -69,7 +102,7 @@ let fig1 () =
   let aig = fig1_network () in
   let original = Aig.copy aig in
   let before = Aig.size aig in
-  let gain = Sbm_core.Diff_resub.run aig in
+  let gain = Sbm_core.Diff_resub.optimize aig in
   let aig, _ = Aig.compact aig in
   check_equiv original aig "fig1";
   Fmt.pr "  network for f and g:      %d nodes (Fig. 1a shape)@." before;
@@ -94,10 +127,10 @@ let default_scale = function
   | Epfl.Int2float ->
     1.0
 
-let optimize ~effort aig =
+let optimize ?obs ~effort aig =
   match effort with
-  | `Low -> Flow.sbm_once ~effort:Flow.Low aig
-  | `High -> Flow.sbm ~effort:Flow.High aig
+  | `Low -> Flow.sbm_once ?obs ~effort:Flow.Low aig
+  | `High -> Flow.sbm ?obs ~effort:Flow.High aig
 
 let table1 ~full ~effort () =
   Fmt.pr "@.== Table I: EPFL area category (LUT-6 count / levels) ==@.";
@@ -107,7 +140,11 @@ let table1 ~full ~effort () =
     (fun b ->
       let scale = if full then 1.0 else default_scale b in
       let aig = Epfl.generate ~scale b in
-      let (optimized, dt) = time (fun () -> optimize ~effort aig) in
+      let (optimized, dt) =
+        time (fun () ->
+            traced ~experiment:"table1" ~bench:(Epfl.name b) aig (fun obs ->
+                optimize ~obs ~effort aig))
+      in
       check_equiv aig optimized (Epfl.name b);
       let baseline = Flow.baseline aig in
       let m_sbm = Sbm_lutmap.Lut_map.map optimized in
@@ -133,7 +170,11 @@ let table2 ~full ~effort () =
     (fun b ->
       let scale = if full then 1.0 else default_scale b in
       let aig = Epfl.generate ~scale b in
-      let (optimized, dt) = time (fun () -> optimize ~effort aig) in
+      let (optimized, dt) =
+        time (fun () ->
+            traced ~experiment:"table2" ~bench:(Epfl.name b) aig (fun obs ->
+                optimize ~obs ~effort aig))
+      in
       check_equiv aig optimized (Epfl.name b);
       let paper =
         match Epfl.paper_aig b with
@@ -264,7 +305,7 @@ let sec3b () =
       let aig = Epfl.generate b in
       let original = Aig.copy aig in
       let config = { Sbm_core.Diff_resub.default_config with monolithic = true } in
-      let gain, dt = time (fun () -> Sbm_core.Diff_resub.run ~config aig) in
+      let gain, dt = time (fun () -> Sbm_core.Diff_resub.optimize ~config aig) in
       check_equiv original aig (Epfl.name b);
       Fmt.pr "  %-7s size %5d: %5.2fs (paper %.1fs), gain %d@." (Epfl.name b)
         (Aig.size original) dt paper gain)
@@ -286,7 +327,7 @@ let ablation () =
           monolithic = true;
         }
       in
-      let gain, dt = time (fun () -> Sbm_core.Diff_resub.run ~config aig) in
+      let gain, dt = time (fun () -> Sbm_core.Diff_resub.optimize ~config aig) in
       Fmt.pr "  size cap %3d: gain %3d nodes, %.2fs@." cap gain dt)
     [ 5; 10; 20; 40 ];
   Fmt.pr "  (paper: 10 is \"a suitable tradeoff\")@.";
@@ -316,7 +357,7 @@ let ablation () =
       (lits result) (Aig.size result) kept dt
   in
   Fmt.pr "  input: i2c, %d nodes, %d SOP literals@." (Aig.size aig0) (lits aig0);
-  let het, dt_het = time (fun () -> Sbm_core.Hetero_kernel.run aig0) in
+  let het, dt_het = time (fun () -> fst (Sbm_core.Hetero_kernel.run aig0)) in
   report "heterogeneous (best-of-8)" het dt_het;
   List.iter
     (fun threshold ->
@@ -334,7 +375,7 @@ let ablation () =
       let config =
         { Sbm_core.Diff_resub.default_config with bdd_node_limit = budget; monolithic = true }
       in
-      let gain, dt = time (fun () -> Sbm_core.Diff_resub.run ~config aig) in
+      let gain, dt = time (fun () -> Sbm_core.Diff_resub.optimize ~config aig) in
       Fmt.pr "  node budget %8d: gain %3d, %.2fs@." budget gain dt)
     [ 100; 10_000; 1_000_000 ];
 
@@ -348,7 +389,7 @@ let ablation () =
       let tt_copy = Aig.copy aig0 in
       let g_tt, t_tt = time (fun () -> Sbm_core.Mspf_tt.run tt_copy) in
       let bdd_copy = Aig.copy aig0 in
-      let g_bdd, t_bdd = time (fun () -> Sbm_core.Mspf.run bdd_copy) in
+      let g_bdd, t_bdd = time (fun () -> Sbm_core.Mspf.optimize bdd_copy) in
       Fmt.pr "  %-9s (%4d nodes): TT gain %3d (%.1fs) | BDD gain %3d (%.1fs)@."
         (Epfl.name b) (Aig.size aig0) g_tt t_tt g_bdd t_bdd)
     [ Epfl.Cavlc; Epfl.Router; Epfl.Priority ]
@@ -399,7 +440,7 @@ let timing () =
                let config =
                  { Sbm_core.Diff_resub.default_config with monolithic = true }
                in
-               ignore (Sbm_core.Diff_resub.run ~config copy)));
+               ignore (Sbm_core.Diff_resub.optimize ~config copy)));
       ]
   in
   let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 2.0) ~kde:None () in
@@ -437,7 +478,7 @@ let () =
     | "timing" -> timing ()
     | other -> Fmt.epr "unknown experiment: %s@." other
   in
-  match commands with
+  (match commands with
   | [] ->
     fig1 ();
     table1 ~full ~effort ();
@@ -445,4 +486,5 @@ let () =
     table3 ();
     sec3b ();
     ablation ()
-  | cmds -> List.iter run cmds
+  | cmds -> List.iter run cmds);
+  write_bench_json ()

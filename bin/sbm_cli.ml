@@ -72,57 +72,79 @@ let generate_cmd =
 
 let opt_cmd =
   let flow_arg =
-    let doc = "Flow to run: baseline | sbm | sbm-low | gradient | diff | mspf." in
-    Arg.(value & opt string "sbm" & info [ "flow" ] ~docv:"FLOW" ~doc)
+    (* Typed dispatch: the enum converter rejects unknown flows with a
+       cmdliner error listing the alternatives. *)
+    let flows =
+      List.map (fun s -> (Sbm_core.Flow.to_string s, s)) Sbm_core.Flow.all
+    in
+    let doc =
+      "Flow to run: " ^ String.concat " | " (List.map fst flows) ^ "."
+    in
+    Arg.(value & opt (enum flows) (Sbm_core.Flow.Sbm Sbm_core.Flow.High)
+         & info [ "flow" ] ~docv:"FLOW" ~doc)
   in
   let verify_arg =
     let doc = "Check combinational equivalence of the result." in
     Arg.(value & flag & info [ "verify" ] ~doc)
   in
-  let run level path flow verify output =
+  let trace_arg =
+    let doc = "Print a per-pass telemetry tree (wall time, size/depth deltas, engine counters)." in
+    Arg.(value & flag & info [ "trace" ] ~doc)
+  in
+  let report_arg =
+    let doc =
+      "Write the telemetry trace to $(docv) (format by extension: .json, .jsonl, .csv)."
+    in
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+  in
+  let run level path flow verify trace report output =
     setup_logs level;
     let aig = read_aig path in
     let before = Sbm_aig.Aig.size aig in
-    let t0 = Unix.gettimeofday () in
-    let optimized =
-      match flow with
-      | "baseline" -> `Ok (Sbm_core.Flow.baseline aig)
-      | "sbm" -> `Ok (Sbm_core.Flow.sbm aig)
-      | "sbm-low" -> `Ok (Sbm_core.Flow.sbm ~effort:Sbm_core.Flow.Low aig)
-      | "gradient" ->
-        let copy = Sbm_aig.Aig.copy aig in
-        let optimized, _ = Sbm_core.Gradient.run copy in
-        `Ok optimized
-      | "diff" ->
-        let copy = Sbm_aig.Aig.copy aig in
-        ignore (Sbm_core.Diff_resub.run copy);
-        `Ok (fst (Sbm_aig.Aig.compact copy))
-      | "mspf" ->
-        let copy = Sbm_aig.Aig.copy aig in
-        ignore (Sbm_core.Mspf.run copy);
-        `Ok (fst (Sbm_aig.Aig.compact copy))
-      | other -> `Error (false, "unknown flow: " ^ other)
+    let collecting = trace || report <> None in
+    let collector = if collecting then Some (Sbm_obs.create ()) else None in
+    let obs =
+      match collector with
+      | None -> Sbm_obs.null
+      | Some t ->
+        Sbm_obs.root ~size:before ~depth:(Sbm_aig.Aig.depth aig) t
+          (Sbm_core.Flow.to_string flow)
     in
-    match optimized with
-    | `Error _ as e -> e
-    | `Ok optimized ->
-      let dt = Unix.gettimeofday () -. t0 in
-      Fmt.pr "size: %d -> %d (%.1f%%), depth %d, %.2fs@." before
-        (Sbm_aig.Aig.size optimized)
-        (100.0
-        *. float_of_int (before - Sbm_aig.Aig.size optimized)
-        /. float_of_int (max 1 before))
-        (Sbm_aig.Aig.depth optimized) dt;
-      if verify then begin
-        match Sbm_cec.Cec.check aig optimized with
-        | Sbm_cec.Cec.Equivalent -> Fmt.pr "equivalence: proven@."
-        | Sbm_cec.Cec.Counterexample _ -> Fmt.pr "equivalence: FAILED@."
-        | Sbm_cec.Cec.Unknown -> Fmt.pr "equivalence: unknown (budget)@."
-      end;
-      Option.iter (Sbm_aig.Aiger.write_file optimized) output;
-      `Ok ()
+    let t0 = Unix.gettimeofday () in
+    let optimized = Sbm_core.Flow.run ~obs flow aig in
+    let dt = Unix.gettimeofday () -. t0 in
+    Sbm_obs.close ~size:(Sbm_aig.Aig.size optimized)
+      ~depth:(Sbm_aig.Aig.depth optimized) obs;
+    Fmt.pr "size: %d -> %d (%.1f%%), depth %d, %.2fs@." before
+      (Sbm_aig.Aig.size optimized)
+      (100.0
+      *. float_of_int (before - Sbm_aig.Aig.size optimized)
+      /. float_of_int (max 1 before))
+      (Sbm_aig.Aig.depth optimized) dt;
+    Option.iter
+      (fun t ->
+        if trace then Fmt.pr "%a@." Sbm_obs.pp t;
+        Option.iter
+          (fun file ->
+            match Sbm_obs.write t file with
+            | () -> Fmt.pr "telemetry written to %s@." file
+            | exception Sys_error msg ->
+              Fmt.epr "sbm: cannot write telemetry report: %s@." msg)
+          report)
+      collector;
+    if verify then begin
+      match Sbm_cec.Cec.check aig optimized with
+      | Sbm_cec.Cec.Equivalent -> Fmt.pr "equivalence: proven@."
+      | Sbm_cec.Cec.Counterexample _ -> Fmt.pr "equivalence: FAILED@."
+      | Sbm_cec.Cec.Unknown -> Fmt.pr "equivalence: unknown (budget)@."
+    end;
+    Option.iter (Sbm_aig.Aiger.write_file optimized) output
   in
-  let term = Term.(ret (const run $ logs_arg $ aig_arg $ flow_arg $ verify_arg $ output_arg)) in
+  let term =
+    Term.(
+      const run $ logs_arg $ aig_arg $ flow_arg $ verify_arg $ trace_arg
+      $ report_arg $ output_arg)
+  in
   Cmd.v (Cmd.info "opt" ~doc:"Optimize a network") term
 
 (* --- lutmap --- *)

@@ -56,7 +56,7 @@ let () =
   (* Now run the full resubstitution flow (Alg. 2). *)
   let before = Aig.size aig in
   let original = Aig.copy aig in
-  let total = Sbm_core.Diff_resub.run aig in
+  let total = Sbm_core.Diff_resub.optimize aig in
   let aig, _ = Aig.compact aig in
   Fmt.pr "Alg.2 rewrote the network: %d -> %d nodes (gain %d)@." before
     (Aig.size aig) total;

@@ -39,9 +39,14 @@ let () =
 
   Fmt.pr "before: %a@." Aig.pp_stats aig;
 
-  (* Optimize with the full SBM script. *)
-  let optimized = Sbm_core.Flow.sbm ~effort:Sbm_core.Flow.Low aig in
+  (* Optimize with the full SBM script (typed flow dispatch), tracing
+     every pass into a telemetry span tree. *)
+  let trace = Sbm_obs.create () in
+  let obs = Sbm_obs.root ~size:(Aig.size aig) ~depth:(Aig.depth aig) trace "sbm" in
+  let optimized = Sbm_core.Flow.run ~obs (Sbm_core.Flow.Sbm Sbm_core.Flow.Low) aig in
+  Sbm_obs.close ~size:(Aig.size optimized) ~depth:(Aig.depth optimized) obs;
   Fmt.pr "after:  %a@." Aig.pp_stats optimized;
+  Fmt.pr "@.pass telemetry:@.%a@." Sbm_obs.pp trace;
 
   (* Formal equivalence gate, like the paper's industrial flow. *)
   (match Sbm_cec.Cec.check aig optimized with

@@ -14,6 +14,21 @@ type man = {
   unique : (int * int * int, int) Hashtbl.t;
   cache : (int * int * int * int, int) Hashtbl.t;
   node_limit : int;
+  (* Telemetry (Sbm_obs): unique-table and computed-cache traffic.
+     Plain increments so the hot paths stay hot; engines read them
+     once per partition via [stats]. *)
+  mutable unique_hits : int;
+  mutable unique_misses : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
+
+type stats = {
+  nodes : int;
+  unique_hits : int;
+  unique_misses : int;
+  cache_hits : int;
+  cache_misses : int;
 }
 
 let terminal_var = max_int
@@ -29,9 +44,22 @@ let create ?(node_limit = max_int) () =
       unique = Hashtbl.create 4096;
       cache = Hashtbl.create 4096;
       node_limit;
+      unique_hits = 0;
+      unique_misses = 0;
+      cache_hits = 0;
+      cache_misses = 0;
     }
   in
   man
+
+let stats man =
+  {
+    nodes = man.n;
+    unique_hits = man.unique_hits;
+    unique_misses = man.unique_misses;
+    cache_hits = man.cache_hits;
+    cache_misses = man.cache_misses;
+  }
 
 let num_nodes man = man.n
 let zero _ = 0
@@ -67,8 +95,11 @@ let mk man v lo hi =
   if lo = hi then lo
   else
     match Hashtbl.find_opt man.unique (v, lo, hi) with
-    | Some node -> node
+    | Some node ->
+      man.unique_hits <- man.unique_hits + 1;
+      node
     | None ->
+      man.unique_misses <- man.unique_misses + 1;
       if man.n >= man.node_limit then raise Limit;
       if man.n >= Array.length man.var_of then grow man;
       let node = man.n in
@@ -85,6 +116,15 @@ let ithvar man i =
 
 let topvar man b = if b < 2 then terminal_var else man.var_of.(b)
 
+let cache_find man key =
+  match Hashtbl.find_opt man.cache key with
+  | Some _ as hit ->
+    man.cache_hits <- man.cache_hits + 1;
+    hit
+  | None ->
+    man.cache_misses <- man.cache_misses + 1;
+    None
+
 (* Opcodes for the computed cache. *)
 let op_and = 0
 let op_xor = 1
@@ -100,7 +140,7 @@ let rec mand man a b =
   else begin
     let a, b = if a < b then (a, b) else (b, a) in
     let key = (op_and, a, b, 0) in
-    match Hashtbl.find_opt man.cache key with
+    match cache_find man key with
     | Some r -> r
     | None ->
       let va = topvar man a and vb = topvar man b in
@@ -121,7 +161,7 @@ let rec mxor man a b =
   else begin
     let a, b = if a < b then (a, b) else (b, a) in
     let key = (op_xor, a, b, 0) in
-    match Hashtbl.find_opt man.cache key with
+    match cache_find man key with
     | Some r -> r
     | None ->
       let va = topvar man a and vb = topvar man b in
@@ -146,7 +186,7 @@ let rec ite man c a b =
   else if a = 1 && b = 0 then c
   else begin
     let key = (op_ite, c, a, b) in
-    match Hashtbl.find_opt man.cache key with
+    match cache_find man key with
     | Some r -> r
     | None ->
       let v = min (topvar man c) (min (topvar man a) (topvar man b)) in
@@ -170,7 +210,7 @@ let restrict man b i v =
       else if bv = i then (if v then man.high_of.(b) else man.low_of.(b))
       else begin
         let key = ((if v then 6 else 5), b, i, 0) in
-        match Hashtbl.find_opt man.cache key with
+        match cache_find man key with
         | Some r -> r
         | None ->
           let r = mk man bv (go man.low_of.(b)) (go man.high_of.(b)) in
@@ -189,7 +229,7 @@ let compose man b i g =
       if bv > i then b
       else begin
         let key = (op_compose_base + i, b, g, 0) in
-        match Hashtbl.find_opt man.cache key with
+        match cache_find man key with
         | Some r -> r
         | None ->
           let r =
@@ -216,7 +256,7 @@ let exists man b vars =
     if b < 2 then b
     else begin
       let key = (op_exists, b, Hashtbl.hash sorted, 0) in
-      match Hashtbl.find_opt man.cache key with
+      match cache_find man key with
       | Some r -> r
       | None ->
         let v = man.var_of.(b) in

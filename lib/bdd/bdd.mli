@@ -29,6 +29,22 @@ val create : ?node_limit:int -> unit -> man
     the two terminals). *)
 val num_nodes : man -> int
 
+(** Cumulative manager telemetry, consumed by the [Sbm_obs] spans of
+    the Boolean engines. [unique_hits]/[unique_misses] count
+    unique-table lookups in [mk] (a miss allocates a node);
+    [cache_hits]/[cache_misses] count computed-cache lookups across
+    all memoized operations. *)
+type stats = {
+  nodes : int;
+  unique_hits : int;
+  unique_misses : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+(** [stats man] reads the counters (cheap; no reset). *)
+val stats : man -> stats
+
 (** Terminals. *)
 val zero : man -> t
 val one : man -> t

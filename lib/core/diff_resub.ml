@@ -27,6 +27,20 @@ let default_config =
     objective = `Size;
   }
 
+type stats = {
+  gain : int;
+  partitions : int;
+  pairs_tried : int; (** pairs that reached the difference computation *)
+  differences_built : int; (** differences whose BDD stayed in budget *)
+  rewrites : int; (** accepted rewrites (including zero-gain ones) *)
+}
+
+type counters = {
+  mutable c_pairs : int;
+  mutable c_diffs : int;
+  mutable c_rewrites : int;
+}
+
 let popcount64 w =
   let rec go w acc = if w = 0L then acc else go (Int64.logand w (Int64.sub w 1L)) (acc + 1) in
   go w 0
@@ -56,7 +70,7 @@ let good_candidates ctx ~f ~g =
    before any BDD work. *)
 let signature_threshold = 52
 
-let run_partition aig config signatures part total =
+let run_partition aig config counters obs signatures part total =
   let ctx = Bdd_bridge.build ~node_limit:config.bdd_node_limit aig part in
   let members = Bdd_bridge.members ctx in
   (* Depth objective: levels are refreshed after every accepted
@@ -103,9 +117,11 @@ let run_partition aig config signatures part total =
               && good_candidates ctx ~f ~g
             then begin
               incr pairs;
+              counters.c_pairs <- counters.c_pairs + 1;
               match Boolean_difference.compute ctx config.diff ~f ~g with
               | None -> ()
               | Some candidate ->
+                counters.c_diffs <- counters.c_diffs + 1;
                 if
                   Aig.node_of candidate <> f
                   && (not (Aig.in_tfi aig ~node:f ~root:(Aig.node_of candidate)))
@@ -116,6 +132,7 @@ let run_partition aig config signatures part total =
                   if gain > 0 || (config.accept_zero && gain = 0) then begin
                     Aig.replace aig f candidate;
                     total := !total + gain;
+                    counters.c_rewrites <- counters.c_rewrites + 1;
                     replaced := true;
                     if config.objective = `Depth then levels := Some (Aig.levels aig)
                   end
@@ -125,10 +142,19 @@ let run_partition aig config signatures part total =
             end)
           members
       end)
-    members
+    members;
+  if Sbm_obs.enabled obs then begin
+    let bs = Bdd.stats (Bdd_bridge.man ctx) in
+    Sbm_obs.add obs "bdd.nodes" bs.Bdd.nodes;
+    Sbm_obs.add obs "bdd.unique_hits" bs.Bdd.unique_hits;
+    Sbm_obs.add obs "bdd.unique_misses" bs.Bdd.unique_misses;
+    Sbm_obs.add obs "bdd.cache_hits" bs.Bdd.cache_hits;
+    Sbm_obs.add obs "bdd.cache_misses" bs.Bdd.cache_misses
+  end
 
-let run ?(config = default_config) aig =
+let optimize_stats ?(obs = Sbm_obs.null) ?(config = default_config) aig =
   let total = ref 0 in
+  let counters = { c_pairs = 0; c_diffs = 0; c_rewrites = 0 } in
   let parts =
     if config.monolithic then [ Partition.whole aig ]
     else if config.overlap > 0.0 then
@@ -142,5 +168,25 @@ let run ?(config = default_config) aig =
     end
     else None
   in
-  List.iter (fun part -> run_partition aig config signatures part total) parts;
-  !total
+  List.iter (fun part -> run_partition aig config counters obs signatures part total) parts;
+  if Sbm_obs.enabled obs then begin
+    Sbm_obs.add obs "diff.partitions" (List.length parts);
+    Sbm_obs.add obs "diff.pairs_tried" counters.c_pairs;
+    Sbm_obs.add obs "diff.differences_built" counters.c_diffs;
+    Sbm_obs.add obs "diff.rewrites" counters.c_rewrites;
+    Sbm_obs.add obs "diff.gain" !total
+  end;
+  {
+    gain = !total;
+    partitions = List.length parts;
+    pairs_tried = counters.c_pairs;
+    differences_built = counters.c_diffs;
+    rewrites = counters.c_rewrites;
+  }
+
+let optimize ?obs ?config aig = (optimize_stats ?obs ?config aig).gain
+
+let run ?obs ?config aig =
+  let copy = Aig.copy aig in
+  let stats = optimize_stats ?obs ?config copy in
+  (fst (Aig.compact copy), stats)

@@ -1,84 +1,156 @@
 module Aig = Sbm_aig.Aig
+module Obs = Sbm_obs
 
 type effort = Low | High
+
+type script = Baseline | Sbm of effort | Gradient | Diff | Mspf
+
+let all = [ Baseline; Sbm High; Sbm Low; Gradient; Diff; Mspf ]
+
+let to_string = function
+  | Baseline -> "baseline"
+  | Sbm High -> "sbm"
+  | Sbm Low -> "sbm-low"
+  | Gradient -> "gradient"
+  | Diff -> "diff"
+  | Mspf -> "mspf"
+
+let of_string = function
+  | "baseline" -> Some Baseline
+  | "sbm" -> Some (Sbm High)
+  | "sbm-low" -> Some (Sbm Low)
+  | "gradient" -> Some Gradient
+  | "diff" -> Some Diff
+  | "mspf" -> Some Mspf
+  | _ -> None
 
 let keep_better aig candidate =
   if Aig.size candidate <= Aig.size aig then candidate else aig
 
+(* Wrap one scripted pass in a span recording wall time and the
+   size/depth delta. Measurement (Aig.depth is O(n)) only happens when
+   the span is live; with observability off this is a direct call. *)
+let pass obs name f aig =
+  if not (Obs.enabled obs) then f Obs.null aig
+  else begin
+    let sp = Obs.span ~size:(Aig.size aig) ~depth:(Aig.depth aig) obs name in
+    let aig = f sp aig in
+    Obs.close ~size:(Aig.size aig) ~depth:(Aig.depth aig) sp;
+    aig
+  end
+
+(* Like [pass], but skips the O(n) depth measurement — used for the
+   fine-grained steps inside [baseline]. *)
+let step obs name f aig =
+  if not (Obs.enabled obs) then f Obs.null aig
+  else begin
+    let sp = Obs.span ~size:(Aig.size aig) obs name in
+    let aig = f sp aig in
+    Obs.close ~size:(Aig.size aig) sp;
+    aig
+  end
+
 (* resyn2rs-like algebraic/AIG script. *)
-let baseline aig0 =
+let baseline ?(obs = Obs.null) aig0 =
   let aig = ref (fst (Aig.compact aig0)) in
-  let step f = aig := f !aig in
-  let in_place f = step (fun a -> ignore (f a); a) in
-  step (fun a -> keep_better a (Sbm_aig.Balance.run a));
-  in_place (fun a -> Sbm_aig.Rewrite.run a);
-  in_place (fun a -> Sbm_aig.Refactor.run ~max_leaves:8 ~min_mffc:2 a);
-  step (fun a -> keep_better a (Sbm_aig.Balance.run a));
-  in_place (fun a -> Sbm_aig.Resub.run ~max_leaves:8 ~max_divisors:30 a);
-  in_place (fun a -> Sbm_aig.Rewrite.run a);
-  in_place (fun a -> Sbm_aig.Rewrite.run ~zero_gain:true a);
-  step (fun a -> keep_better a (Sbm_aig.Balance.run a));
-  in_place (fun a -> Sbm_aig.Resub.run ~max_leaves:10 ~max_divisors:40 a);
-  in_place (fun a -> Sbm_aig.Refactor.run ~zero_gain:true ~max_leaves:10 ~min_mffc:2 a);
-  in_place (fun a -> Sbm_aig.Rewrite.run ~zero_gain:true a);
-  step (fun a -> keep_better a (Sbm_aig.Balance.run a));
+  let keep name f = aig := step obs name (fun _ a -> keep_better a (f a)) !aig in
+  let in_place name f =
+    aig :=
+      step obs name
+        (fun sp a ->
+          let gain = f a in
+          Obs.add sp "gain" gain;
+          a)
+        !aig
+  in
+  keep "balance" Sbm_aig.Balance.run;
+  in_place "rewrite" (fun a -> Sbm_aig.Rewrite.run a);
+  in_place "refactor" (fun a -> Sbm_aig.Refactor.run ~max_leaves:8 ~min_mffc:2 a);
+  keep "balance" Sbm_aig.Balance.run;
+  in_place "resub" (fun a -> Sbm_aig.Resub.run ~max_leaves:8 ~max_divisors:30 a);
+  in_place "rewrite" (fun a -> Sbm_aig.Rewrite.run a);
+  in_place "rewrite -z" (fun a -> Sbm_aig.Rewrite.run ~zero_gain:true a);
+  keep "balance" Sbm_aig.Balance.run;
+  in_place "resub -h" (fun a -> Sbm_aig.Resub.run ~max_leaves:10 ~max_divisors:40 a);
+  in_place "refactor -z" (fun a ->
+      Sbm_aig.Refactor.run ~zero_gain:true ~max_leaves:10 ~min_mffc:2 a);
+  in_place "rewrite -z" (fun a -> Sbm_aig.Rewrite.run ~zero_gain:true a);
+  keep "balance" Sbm_aig.Balance.run;
   fst (Aig.compact !aig)
 
-let sbm_iteration ~effort aig0 =
+let sbm_iteration ~obs ~effort aig0 =
   let aig = ref aig0 in
   let checkpoint name =
     Logs.debug (fun m -> m "flow: %s -> size %d" name (Aig.size !aig))
   in
+  let run_pass name f =
+    aig := pass obs name f !aig;
+    checkpoint name
+  in
   (* 1. AIG optimization: state-of-the-art script + gradient engine. *)
-  aig := baseline !aig;
-  checkpoint "baseline";
+  run_pass "baseline" (fun sp a -> baseline ~obs:sp a);
   (* The paper's cost budget (100) counts partition-local moves; our
      moves sweep the whole network, so the flow uses a smaller global
      budget with the same semantics. *)
   let budget = match effort with Low -> 12 | High -> 30 in
-  let optimized, _stats =
-    Gradient.run ~config:{ Gradient.default_config with budget } !aig
-  in
-  aig := keep_better !aig optimized;
-  checkpoint "gradient";
+  run_pass "gradient" (fun sp a ->
+      let optimized, _stats =
+        Gradient.optimize ~obs:sp ~config:{ Gradient.default_config with budget } a
+      in
+      keep_better a optimized);
   (* 2. Heterogeneous elimination for kernel extraction on
      medium-large partitions. *)
-  aig := keep_better !aig (Hetero_kernel.run !aig);
-  checkpoint "hetero-kernel";
+  run_pass "hetero-kernel" (fun sp a -> keep_better a (fst (Hetero_kernel.run ~obs:sp a)));
   (* 3. Enhanced MSPF computation on medium partitions with BDDs. *)
-  ignore (Mspf.run !aig);
-  aig := fst (Aig.compact !aig);
-  checkpoint "mspf";
+  run_pass "mspf" (fun sp a ->
+      ignore (Mspf.optimize ~obs:sp a);
+      fst (Aig.compact a));
   (* 4. Collapse and Boolean decomposition on reconvergent MFFCs. *)
-  ignore
-    (Sbm_aig.Refactor.run
-       ~max_leaves:(match effort with Low -> 10 | High -> 12)
-       ~min_mffc:2 !aig);
-  checkpoint "collapse-decompose";
+  run_pass "collapse-decompose" (fun sp a ->
+      let gain =
+        Sbm_aig.Refactor.run
+          ~max_leaves:(match effort with Low -> 10 | High -> 12)
+          ~min_mffc:2 a
+      in
+      Obs.add sp "gain" gain;
+      a);
   (* 5. Boolean-difference-based optimization, to unveil hard-to-find
      rewrites and escape local minima. *)
-  let dconfig =
-    { Diff_resub.default_config with accept_zero = (effort = High) }
-  in
-  ignore (Diff_resub.run ~config:dconfig !aig);
-  aig := fst (Aig.compact !aig);
-  checkpoint "boolean-difference";
+  run_pass "boolean-difference" (fun sp a ->
+      let dconfig =
+        { Diff_resub.default_config with accept_zero = (effort = High) }
+      in
+      ignore (Diff_resub.optimize ~obs:sp ~config:dconfig a);
+      fst (Aig.compact a));
   (* 6. SAT sweeping and redundancy removal. *)
-  let swept, _ = Sbm_sat.Sweep.run !aig in
-  aig := keep_better !aig swept;
-  ignore (Sbm_sat.Redundancy.run ~max_candidates:(match effort with Low -> 50 | High -> 200) !aig);
-  aig := fst (Aig.compact !aig);
-  checkpoint "sat-sweep";
+  run_pass "sat-sweep" (fun sp a ->
+      let swept, _ = Sbm_sat.Sweep.run ~obs:sp a in
+      let a = keep_better a swept in
+      ignore
+        (Sbm_sat.Redundancy.run ~obs:sp
+           ~max_candidates:(match effort with Low -> 50 | High -> 200)
+           a);
+      fst (Aig.compact a));
   !aig
 
-let sbm_once ?(effort = High) aig0 =
-  let aig, _ = Aig.compact aig0 in
-  sbm_iteration ~effort aig
+let iteration_pass obs name effort aig =
+  pass obs name (fun sp a -> sbm_iteration ~obs:sp ~effort a) aig
 
-let sbm ?(effort = High) aig0 =
+let sbm_once ?(obs = Obs.null) ?(effort = High) aig0 =
+  let aig, _ = Aig.compact aig0 in
+  iteration_pass obs "iteration-1" effort aig
+
+let sbm ?(obs = Obs.null) ?(effort = High) aig0 =
   (* The optimization flow is iterated twice, with different
      efforts (Section V-A). *)
   let aig, _ = Aig.compact aig0 in
-  let aig = sbm_iteration ~effort:Low aig in
-  let aig = sbm_iteration ~effort aig in
-  aig
+  let aig = iteration_pass obs "iteration-1" Low aig in
+  iteration_pass obs "iteration-2" effort aig
+
+let run ?(obs = Obs.null) script aig =
+  match script with
+  | Baseline -> pass obs "baseline" (fun sp a -> baseline ~obs:sp a) aig
+  | Sbm effort -> sbm ~obs ~effort aig
+  | Gradient -> pass obs "gradient" (fun sp a -> fst (Gradient.run ~obs:sp a)) aig
+  | Diff -> pass obs "boolean-difference" (fun sp a -> fst (Diff_resub.run ~obs:sp a)) aig
+  | Mspf -> pass obs "mspf" (fun sp a -> fst (Mspf.run ~obs:sp a)) aig

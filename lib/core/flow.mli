@@ -11,18 +11,45 @@
     (refactoring with wide cuts), Boolean-difference optimization to
     escape local minima, and SAT sweeping + redundancy removal — the
     whole sequence iterated twice with different efforts, every step
-    returning to the AIG representation. *)
+    returning to the AIG representation.
+
+    Every entry point takes an optional telemetry span ([?obs],
+    default {!Sbm_obs.null}); with an enabled span each scripted pass
+    is recorded as a child span carrying wall time, the size/depth
+    delta, and the engine's counters. *)
 
 type effort = Low | High
 
-(** [baseline aig] is the optimized network under the baseline
+(** A flow script, the typed form of the CLI's [--flow] argument. *)
+type script =
+  | Baseline  (** algebraic/AIG baseline script *)
+  | Sbm of effort  (** full SBM flow, two iterations *)
+  | Gradient  (** gradient engine alone *)
+  | Diff  (** Boolean-difference resubstitution alone *)
+  | Mspf  (** BDD-based MSPF alone *)
+
+(** All scripts, in the order offered by the CLI. *)
+val all : script list
+
+val to_string : script -> string
+
+(** [of_string s] inverts {!to_string} ("baseline", "sbm", "sbm-low",
+    "gradient", "diff", "mspf"). *)
+val of_string : string -> script option
+
+(** [run ?obs script aig] dispatches on [script]. The input is not
+    modified. *)
+val run : ?obs:Sbm_obs.span -> script -> Sbm_aig.Aig.t -> Sbm_aig.Aig.t
+
+(** [baseline ?obs aig] is the optimized network under the baseline
     script. The input is not modified. *)
-val baseline : Sbm_aig.Aig.t -> Sbm_aig.Aig.t
+val baseline : ?obs:Sbm_obs.span -> Sbm_aig.Aig.t -> Sbm_aig.Aig.t
 
-(** [sbm ?effort aig] runs the full SBM script (default [High]).
+(** [sbm ?obs ?effort aig] runs the full SBM script (default [High]).
     The input is not modified. *)
-val sbm : ?effort:effort -> Sbm_aig.Aig.t -> Sbm_aig.Aig.t
+val sbm : ?obs:Sbm_obs.span -> ?effort:effort -> Sbm_aig.Aig.t -> Sbm_aig.Aig.t
 
-(** [sbm_once ?effort aig] is a single iteration of the script (the
-    Low-effort half), for runtime-sensitive callers. *)
-val sbm_once : ?effort:effort -> Sbm_aig.Aig.t -> Sbm_aig.Aig.t
+(** [sbm_once ?obs ?effort aig] is a single iteration of the script
+    (the Low-effort half), for runtime-sensitive callers. *)
+val sbm_once :
+  ?obs:Sbm_obs.span -> ?effort:effort -> Sbm_aig.Aig.t -> Sbm_aig.Aig.t

@@ -1,4 +1,5 @@
 module Aig = Sbm_aig.Aig
+module Obs = Sbm_obs
 
 type selection = Waterfall | Parallel
 
@@ -23,6 +24,7 @@ type stats = {
   moves_tried : int;
   moves_gained : int;
   total_gain : int;
+  budget_spent : int;
   budget_extensions : int;
   move_log : (string * int) list;
 }
@@ -30,52 +32,55 @@ type stats = {
 (* A move transforms the AIG (possibly returning a rebuilt one) and
    reports its exact size gain. All moves guarantee gain >= 0: pure
    in-place passes only commit improving changes, and rebuilding moves
-   fall back to the input when they lose. *)
-type move = { name : string; cost : int; apply : Aig.t -> Aig.t * int }
+   fall back to the input when they lose. Moves receive the span of
+   their own attempt, so engine-level counters (BDD traffic, SAT
+   effort) nest under the move that caused them. *)
+type move = { name : string; cost : int; apply : Obs.span -> Aig.t -> Aig.t * int }
 
 let in_place name cost pass =
-  { name; cost; apply = (fun aig -> (aig, pass aig)) }
+  { name; cost; apply = (fun obs aig -> (aig, pass obs aig)) }
 
 let rebuilding name cost build =
   {
     name;
     cost;
     apply =
-      (fun aig ->
+      (fun obs aig ->
         let before = Aig.size aig in
-        let candidate = build aig in
+        let candidate = build obs aig in
         let after = Aig.size candidate in
         if after <= before then (candidate, before - after) else (aig, 0));
   }
 
 let moves ~zero_gain =
   [
-    in_place "rewrite" 1 (fun aig -> Sbm_aig.Rewrite.run aig);
-    rebuilding "balance" 1 (fun aig -> Sbm_aig.Balance.run aig);
-    in_place "refactor" 2 (fun aig -> Sbm_aig.Refactor.run ~max_leaves:8 ~min_mffc:2 aig);
-    in_place "resub" 2 (fun aig -> Sbm_aig.Resub.run ~max_leaves:6 ~max_divisors:20 aig);
-    in_place "rewrite -z" 2 (fun aig ->
+    in_place "rewrite" 1 (fun _ aig -> Sbm_aig.Rewrite.run aig);
+    rebuilding "balance" 1 (fun _ aig -> Sbm_aig.Balance.run aig);
+    in_place "refactor" 2 (fun _ aig -> Sbm_aig.Refactor.run ~max_leaves:8 ~min_mffc:2 aig);
+    in_place "resub" 2 (fun _ aig -> Sbm_aig.Resub.run ~max_leaves:6 ~max_divisors:20 aig);
+    in_place "rewrite -z" 2 (fun _ aig ->
         if zero_gain then Sbm_aig.Rewrite.run ~zero_gain:true aig
         else Sbm_aig.Rewrite.run aig);
-    rebuilding "eliminate & kernel" 3 (fun aig ->
-        Hetero_kernel.run
-          ~config:{ Hetero_kernel.default_config with partition_size = 60 }
-          aig);
-    in_place "refactor -h" 4 (fun aig -> Sbm_aig.Refactor.run ~max_leaves:12 ~min_mffc:2 aig);
-    in_place "resub -h" 5 (fun aig ->
+    rebuilding "eliminate & kernel" 3 (fun obs aig ->
+        fst
+          (Hetero_kernel.run ~obs
+             ~config:{ Hetero_kernel.default_config with partition_size = 60 }
+             aig));
+    in_place "refactor -h" 4 (fun _ aig -> Sbm_aig.Refactor.run ~max_leaves:12 ~min_mffc:2 aig);
+    in_place "resub -h" 5 (fun _ aig ->
         Sbm_aig.Resub.run ~max_leaves:9 ~max_divisors:60 aig);
-    in_place "mspf resub" 6 (fun aig ->
-        Mspf.run
+    in_place "mspf resub" 6 (fun obs aig ->
+        Mspf.optimize ~obs
           ~config:
             {
               Mspf.default_config with
               limits = { Sbm_partition.Partition.default_limits with max_nodes = 150 };
             }
           aig);
-    rebuilding "eliminate & kernel -h" 6 (fun aig -> Hetero_kernel.run aig);
+    rebuilding "eliminate & kernel -h" 6 (fun obs aig -> fst (Hetero_kernel.run ~obs aig));
   ]
 
-let run ?(config = default_config) aig0 =
+let optimize ?(obs = Obs.null) ?(config = default_config) aig0 =
   let aig = ref aig0 in
   let all_moves = moves ~zero_gain:config.zero_gain_moves in
   let max_cost = List.fold_left (fun acc m -> max acc m.cost) 1 all_moves in
@@ -93,6 +98,7 @@ let run ?(config = default_config) aig0 =
   let tried = ref 0 in
   let gained = ref 0 in
   let total_gain = ref 0 in
+  let spent = ref 0 in
   let extensions = ref 0 in
   let log = ref [] in
   let recent = Queue.create () in
@@ -107,6 +113,19 @@ let run ?(config = default_config) aig0 =
       let s = Queue.fold (fun acc g -> acc + g) 0 recent in
       float_of_int s /. float_of_int initial_size
   in
+  (* A child span per attempted move: the trajectory artifact the
+     bench emits is exactly this sequence. *)
+  let timed_apply m target =
+    if not (Obs.enabled obs) then m.apply Obs.null target
+    else begin
+      let sp = Obs.span ~size:(Aig.size target) obs m.name in
+      let next, gain = m.apply sp target in
+      Obs.add sp "move.cost" m.cost;
+      Obs.add sp "move.gain" gain;
+      Obs.close ~size:(Aig.size next) sp;
+      (next, gain)
+    end
+  in
   let continue_ = ref true in
   while !continue_ && !budget > 0 do
     (* Candidate moves at the current tier, most promising first
@@ -119,8 +138,9 @@ let run ?(config = default_config) aig0 =
     in
     let apply_one m =
       budget := !budget - m.cost;
+      spent := !spent + m.cost;
       incr tried;
-      let next, gain = m.apply !aig in
+      let next, gain = timed_apply m !aig in
       aig := next;
       stat m.name (gain > 0);
       if gain > 0 then begin
@@ -148,9 +168,10 @@ let run ?(config = default_config) aig0 =
           (fun m ->
             if !budget > 0 then begin
               budget := !budget - m.cost;
+              spent := !spent + m.cost;
               incr tried;
               let copy = Aig.copy !aig in
-              let next, gain = m.apply copy in
+              let next, gain = timed_apply m copy in
               stat m.name (gain > 0);
               log := (m.name, gain) :: !log;
               match !best with
@@ -180,11 +201,23 @@ let run ?(config = default_config) aig0 =
     end;
     if Queue.length recent >= config.k && gradient () <= 0.0 then continue_ := false
   done;
+  if Obs.enabled obs then begin
+    Obs.add obs "gradient.moves_tried" !tried;
+    Obs.add obs "gradient.moves_gained" !gained;
+    Obs.add obs "gradient.gain" !total_gain;
+    Obs.add obs "gradient.budget_spent" !spent;
+    Obs.add obs "gradient.budget_extensions" !extensions
+  end;
   ( !aig,
     {
       moves_tried = !tried;
       moves_gained = !gained;
       total_gain = !total_gain;
+      budget_spent = !spent;
       budget_extensions = !extensions;
       move_log = List.rev !log;
     } )
+
+let run ?obs ?config aig =
+  let optimized, stats = optimize ?obs ?config (Aig.copy aig) in
+  (fst (Aig.compact optimized), stats)

@@ -31,11 +31,23 @@ type stats = {
   moves_tried : int;
   moves_gained : int;
   total_gain : int;
+  budget_spent : int; (** total cost charged for attempted moves *)
   budget_extensions : int;
   move_log : (string * int) list; (** move name, gain — chronological *)
 }
 
-(** [run ?config aig] optimizes and returns the (possibly rebuilt)
-    AIG together with run statistics. The result never has more nodes
-    than the input. *)
-val run : ?config:config -> Sbm_aig.Aig.t -> Sbm_aig.Aig.t * stats
+(** [run ?obs ?config aig] optimizes a copy of [aig] and returns the
+    compacted result with run statistics; the input is not modified.
+    The result never has more nodes than the input. When [obs] is an
+    enabled span, every attempted move becomes a child span (with
+    [move.cost]/[move.gain] counters) and the run totals land on
+    [obs] as [gradient.*] counters. *)
+val run :
+  ?obs:Sbm_obs.span -> ?config:config -> Sbm_aig.Aig.t -> Sbm_aig.Aig.t * stats
+
+(** [optimize ?obs ?config aig] is the in-place engine behind {!run}:
+    it mutates (and possibly rebuilds) [aig] and returns the network
+    to use plus statistics. Flow scripts use it to avoid copying
+    between passes. *)
+val optimize :
+  ?obs:Sbm_obs.span -> ?config:config -> Sbm_aig.Aig.t -> Sbm_aig.Aig.t * stats

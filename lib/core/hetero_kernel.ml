@@ -17,6 +17,14 @@ let default_config =
     extract_passes = 20;
   }
 
+type stats = {
+  partitions : int;
+  trials : int; (** thresholds tried across all partitions *)
+  improved_partitions : int; (** partitions that kept a better trial *)
+  lits_before : int;
+  lits_after : int;
+}
+
 (* Literal count restricted to a node set plus nodes created after a
    mark. *)
 let partition_lits net ~member ~mark =
@@ -95,10 +103,14 @@ let optimize_partition net config part_nodes =
       | Some _ | None -> best := Some (lits, threshold));
       rollback ())
     config.thresholds;
-  match !best with
-  | Some (lits, threshold) when lits < before ->
-    ignore (trial threshold)
-  | Some _ | None -> ()
+  let improved =
+    match !best with
+    | Some (lits, threshold) when lits < before ->
+      ignore (trial threshold);
+      true
+    | Some _ | None -> false
+  in
+  (List.length config.thresholds, improved)
 
 (* Chunk the internal nodes into partitions of bounded size. *)
 let partitions_of net size =
@@ -111,11 +123,33 @@ let partitions_of net size =
   in
   chunk [] [] 0 nodes
 
-let run ?(config = default_config) aig =
+let run ?(obs = Sbm_obs.null) ?(config = default_config) aig =
   let net = Network.of_aig aig in
+  let lits_before = Network.num_lits net in
   let parts = partitions_of net config.partition_size in
-  List.iter (fun part -> optimize_partition net config part) parts;
-  Network.to_aig net
+  let trials = ref 0 in
+  let improved = ref 0 in
+  List.iter
+    (fun part ->
+      let t, i = optimize_partition net config part in
+      trials := !trials + t;
+      if i then incr improved)
+    parts;
+  let lits_after = Network.num_lits net in
+  if Sbm_obs.enabled obs then begin
+    Sbm_obs.add obs "kernel.partitions" (List.length parts);
+    Sbm_obs.add obs "kernel.trials" !trials;
+    Sbm_obs.add obs "kernel.improved_partitions" !improved;
+    Sbm_obs.add obs "kernel.lits_saved" (lits_before - lits_after)
+  end;
+  ( Network.to_aig net,
+    {
+      partitions = List.length parts;
+      trials = !trials;
+      improved_partitions = !improved;
+      lits_before;
+      lits_after;
+    } )
 
 let run_homogeneous ~threshold ?(config = default_config) aig =
   let net = Network.of_aig aig in

@@ -17,10 +17,22 @@ type config = {
 
 val default_config : config
 
-(** [run ?config aig] round-trips through the SOP network view and
-    returns a fresh optimized AIG (callers keep the smaller of
-    input/output, making the enclosing move gain >= 0). *)
-val run : ?config:config -> Sbm_aig.Aig.t -> Sbm_aig.Aig.t
+(** Statistics of one run. *)
+type stats = {
+  partitions : int;
+  trials : int; (** thresholds tried across all partitions *)
+  improved_partitions : int; (** partitions that kept a better trial *)
+  lits_before : int;
+  lits_after : int;
+}
+
+(** [run ?obs ?config aig] round-trips through the SOP network view
+    and returns a fresh optimized AIG with statistics (callers keep
+    the smaller of input/output, making the enclosing move gain
+    >= 0). The input is not modified. [obs] receives the [kernel.*]
+    counters. *)
+val run :
+  ?obs:Sbm_obs.span -> ?config:config -> Sbm_aig.Aig.t -> Sbm_aig.Aig.t * stats
 
 (** [run_homogeneous ~threshold ?config aig] is the ablation baseline:
     one global threshold for the whole network. *)

@@ -1,5 +1,6 @@
 module Aig = Sbm_aig.Aig
 module Bdd = Sbm_bdd.Bdd
+module Obs = Sbm_obs
 module Partition = Sbm_partition.Partition
 
 type config = {
@@ -10,6 +11,23 @@ type config = {
 
 let default_config =
   { limits = Partition.default_limits; bdd_node_limit = 200_000; max_candidates = 64 }
+
+type stats = {
+  gain : int;
+  partitions : int;
+  mspf_computed : int;
+  candidates_examined : int;
+  substitutions : int;
+  constant_collapses : int;
+}
+
+(* Mutable accumulator threaded through the partitions. *)
+type counters = {
+  mutable c_mspf : int;
+  mutable c_cands : int;
+  mutable c_subst : int;
+  mutable c_const : int;
+}
 
 (* Rebuild the BDDs of the partition cone above [n], reading [n] as
    the free variable [vn]. Returns a lookup giving, for each root, its
@@ -78,7 +96,7 @@ let compute_mspf ctx n =
 
 (* Search for connectable substitutes: candidates agreeing with [n]
    on the care set. *)
-let connectable ctx config n mspf =
+let connectable ctx config counters n mspf =
   let man = Bdd_bridge.man ctx in
   let aig = Bdd_bridge.aig ctx in
   match Bdd_bridge.bdd_of_node ctx n with
@@ -100,6 +118,7 @@ let connectable ctx config n mspf =
           | None -> ()
           | Some bv ->
             incr examined;
+            counters.c_cands <- counters.c_cands + 1;
             if Bdd.mand man bv care = n_care then
               candidates := Aig.lit_of v false :: !candidates
             else if Bdd.mand man (Bdd.mnot man bv) care = n_care then
@@ -143,7 +162,7 @@ let members_in_leaf_cones ctx =
   done;
   tainted
 
-let run_partition aig config part total =
+let run_partition aig config counters obs part total =
   let ctx = Bdd_bridge.build ~node_limit:config.bdd_node_limit aig part in
   let tainted = ref (members_in_leaf_cones ctx) in
   let members = Bdd_bridge.members ctx in
@@ -162,9 +181,10 @@ let run_partition aig config part total =
         match compute_mspf ctx n with
         | None -> ()
         | Some mspf ->
+          counters.c_mspf <- counters.c_mspf + 1;
           let man = Bdd_bridge.man ctx in
           if not (Bdd.is_zero man mspf) then begin
-            let candidates = connectable ctx config n mspf in
+            let candidates = connectable ctx config counters n mspf in
             (* Among all connectable fanins, try an irredundant
                subset: the best-gain candidate. *)
             let best =
@@ -183,6 +203,9 @@ let run_partition aig config part total =
             | Some (gain, candidate) when gain > 0 ->
               Aig.replace aig n candidate;
               total := !total + gain;
+              counters.c_subst <- counters.c_subst + 1;
+              if Aig.node_of candidate = Aig.node_of Aig.const0 then
+                counters.c_const <- counters.c_const + 1;
               (* The substitution is permissible but not necessarily
                  equivalence-preserving inside the partition: refresh
                  the cached functions, the member order, the root set
@@ -192,10 +215,41 @@ let run_partition aig config part total =
             | Some _ | None -> ()
           end
       end)
-    by_saving
+    by_saving;
+  if Obs.enabled obs then begin
+    let bs = Bdd.stats (Bdd_bridge.man ctx) in
+    Obs.add obs "bdd.nodes" bs.Bdd.nodes;
+    Obs.add obs "bdd.unique_hits" bs.Bdd.unique_hits;
+    Obs.add obs "bdd.unique_misses" bs.Bdd.unique_misses;
+    Obs.add obs "bdd.cache_hits" bs.Bdd.cache_hits;
+    Obs.add obs "bdd.cache_misses" bs.Bdd.cache_misses
+  end
 
-let run ?(config = default_config) aig =
+let optimize_stats ?(obs = Obs.null) ?(config = default_config) aig =
   let total = ref 0 in
+  let counters = { c_mspf = 0; c_cands = 0; c_subst = 0; c_const = 0 } in
   let parts = Partition.compute aig config.limits in
-  List.iter (fun part -> run_partition aig config part total) parts;
-  !total
+  List.iter (fun part -> run_partition aig config counters obs part total) parts;
+  if Obs.enabled obs then begin
+    Obs.add obs "mspf.partitions" (List.length parts);
+    Obs.add obs "mspf.computed" counters.c_mspf;
+    Obs.add obs "mspf.candidates_examined" counters.c_cands;
+    Obs.add obs "mspf.substitutions" counters.c_subst;
+    Obs.add obs "mspf.constant_collapses" counters.c_const;
+    Obs.add obs "mspf.gain" !total
+  end;
+  {
+    gain = !total;
+    partitions = List.length parts;
+    mspf_computed = counters.c_mspf;
+    candidates_examined = counters.c_cands;
+    substitutions = counters.c_subst;
+    constant_collapses = counters.c_const;
+  }
+
+let optimize ?obs ?config aig = (optimize_stats ?obs ?config aig).gain
+
+let run ?obs ?config aig =
+  let copy = Aig.copy aig in
+  let stats = optimize_stats ?obs ?config copy in
+  (fst (Aig.compact copy), stats)

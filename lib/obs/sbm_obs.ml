@@ -1,0 +1,271 @@
+external monotonic_ns : unit -> (int64[@unboxed])
+  = "sbm_obs_monotonic_ns_byte" "sbm_obs_monotonic_ns"
+[@@noalloc]
+
+type rec_ = {
+  r_name : string;
+  r_t0 : int64;
+  mutable r_t1 : int64; (* 0L while open *)
+  mutable r_size0 : int;
+  mutable r_size1 : int; (* -1 = unset *)
+  mutable r_depth0 : int;
+  mutable r_depth1 : int;
+  mutable r_counters : (string, int ref) Hashtbl.t option;
+  mutable r_children : rec_ list; (* reversed *)
+}
+
+type span = Noop | Span of rec_
+
+type trace = { mutable roots : rec_ list (* reversed *) }
+
+let null = Noop
+let enabled = function Noop -> false | Span _ -> true
+
+let create () = { roots = [] }
+
+let fresh ?(size = -1) ?(depth = -1) name =
+  {
+    r_name = name;
+    r_t0 = monotonic_ns ();
+    r_t1 = 0L;
+    r_size0 = size;
+    r_size1 = -1;
+    r_depth0 = depth;
+    r_depth1 = -1;
+    r_counters = None;
+    r_children = [];
+  }
+
+let root ?size ?depth trace name =
+  let r = fresh ?size ?depth name in
+  trace.roots <- r :: trace.roots;
+  Span r
+
+let span ?size ?depth parent name =
+  match parent with
+  | Noop -> Noop
+  | Span p ->
+    let r = fresh ?size ?depth name in
+    p.r_children <- r :: p.r_children;
+    Span r
+
+let close ?size ?depth = function
+  | Noop -> ()
+  | Span r ->
+    if r.r_t1 = 0L then r.r_t1 <- monotonic_ns ();
+    (match size with Some s -> r.r_size1 <- s | None -> ());
+    (match depth with Some d -> r.r_depth1 <- d | None -> ())
+
+let add span name n =
+  match span with
+  | Noop -> ()
+  | Span r ->
+    let tbl =
+      match r.r_counters with
+      | Some t -> t
+      | None ->
+        let t = Hashtbl.create 8 in
+        r.r_counters <- Some t;
+        t
+    in
+    (match Hashtbl.find_opt tbl name with
+    | Some cell -> cell := !cell + n
+    | None -> Hashtbl.add tbl name (ref n))
+
+let incr span name = add span name 1
+
+(* --- freezing --- *)
+
+type node = {
+  name : string;
+  wall_ns : int64;
+  size_before : int option;
+  size_after : int option;
+  depth_before : int option;
+  depth_after : int option;
+  counters : (string * int) list;
+  children : node list;
+}
+
+let opt_of_int i = if i < 0 then None else Some i
+
+let rec freeze now r =
+  let stop = if r.r_t1 = 0L then now else r.r_t1 in
+  let counters =
+    match r.r_counters with
+    | None -> []
+    | Some tbl ->
+      Hashtbl.fold (fun k cell acc -> (k, !cell) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  {
+    name = r.r_name;
+    wall_ns = Int64.max 0L (Int64.sub stop r.r_t0);
+    size_before = opt_of_int r.r_size0;
+    size_after = opt_of_int r.r_size1;
+    depth_before = opt_of_int r.r_depth0;
+    depth_after = opt_of_int r.r_depth1;
+    counters;
+    (* [r_children] is stored newest-first; [rev_map] restores opening
+       order. *)
+    children = List.rev_map (freeze now) r.r_children;
+  }
+
+let spans trace =
+  let now = monotonic_ns () in
+  List.rev_map (freeze now) trace.roots
+
+let totals trace =
+  let acc : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let rec walk n =
+    List.iter
+      (fun (k, v) ->
+        Hashtbl.replace acc k (v + Option.value ~default:0 (Hashtbl.find_opt acc k)))
+      n.counters;
+    List.iter walk n.children
+  in
+  List.iter walk (spans trace);
+  Hashtbl.fold (fun k v l -> (k, v) :: l) acc []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let total trace name =
+  Option.value ~default:0 (List.assoc_opt name (totals trace))
+
+(* --- reporters --- *)
+
+let ms_of_ns ns = Int64.to_float ns /. 1e6
+
+let pp ppf trace =
+  let rec go indent n =
+    let pad = String.make (2 * indent) ' ' in
+    Fmt.pf ppf "%s%-*s %8.2fms" pad (max 1 (32 - (2 * indent))) n.name
+      (ms_of_ns n.wall_ns);
+    (match (n.size_before, n.size_after) with
+    | Some b, Some a -> Fmt.pf ppf "  %d -> %d nodes" b a
+    | Some b, None -> Fmt.pf ppf "  %d nodes" b
+    | None, Some a -> Fmt.pf ppf "  -> %d nodes" a
+    | None, None -> ());
+    (match (n.depth_before, n.depth_after) with
+    | Some b, Some a -> Fmt.pf ppf "  %d -> %d levels" b a
+    | Some b, None -> Fmt.pf ppf "  %d levels" b
+    | None, Some a -> Fmt.pf ppf "  -> %d levels" a
+    | None, None -> ());
+    Fmt.pf ppf "@.";
+    if n.counters <> [] then begin
+      Fmt.pf ppf "%s  | " pad;
+      List.iteri
+        (fun i (k, v) -> Fmt.pf ppf "%s%s=%d" (if i > 0 then " " else "") k v)
+        n.counters;
+      Fmt.pf ppf "@."
+    end;
+    List.iter (go (indent + 1)) n.children
+  in
+  List.iter (go 0) (spans trace)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let buf_counters b counters =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" (json_escape k) v))
+    counters;
+  Buffer.add_char b '}'
+
+let buf_span_fields b n =
+  Buffer.add_string b (Printf.sprintf "\"wall_ms\":%.6f" (ms_of_ns n.wall_ns));
+  let field name v =
+    match v with
+    | Some v -> Buffer.add_string b (Printf.sprintf ",\"%s\":%d" name v)
+    | None -> ()
+  in
+  field "size_before" n.size_before;
+  field "size_after" n.size_after;
+  field "depth_before" n.depth_before;
+  field "depth_after" n.depth_after;
+  if n.counters <> [] then begin
+    Buffer.add_string b ",\"counters\":";
+    buf_counters b n.counters
+  end
+
+let to_json trace =
+  let b = Buffer.create 4096 in
+  let rec go n =
+    Buffer.add_string b (Printf.sprintf "{\"name\":\"%s\"," (json_escape n.name));
+    buf_span_fields b n;
+    Buffer.add_string b ",\"children\":[";
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_char b ',';
+        go c)
+      n.children;
+    Buffer.add_string b "]}"
+  in
+  Buffer.add_string b "{\"version\":1,\"totals\":";
+  buf_counters b (totals trace);
+  Buffer.add_string b ",\"spans\":[";
+  List.iteri
+    (fun i n ->
+      if i > 0 then Buffer.add_char b ',';
+      go n)
+    (spans trace);
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let to_jsonl trace =
+  let b = Buffer.create 4096 in
+  let rec go path n =
+    let path = if path = "" then n.name else path ^ "/" ^ n.name in
+    Buffer.add_string b (Printf.sprintf "{\"path\":\"%s\"," (json_escape path));
+    buf_span_fields b n;
+    Buffer.add_string b "}\n";
+    List.iter (go path) n.children
+  in
+  List.iter (go "") (spans trace);
+  Buffer.contents b
+
+let to_csv trace =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    "path,wall_ms,size_before,size_after,depth_before,depth_after,counters\n";
+  let cell = function Some v -> string_of_int v | None -> "" in
+  let rec go path n =
+    let path = if path = "" then n.name else path ^ "/" ^ n.name in
+    let counters =
+      String.concat ";"
+        (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) n.counters)
+    in
+    Buffer.add_string b
+      (Printf.sprintf "%s,%.6f,%s,%s,%s,%s,%s\n" path (ms_of_ns n.wall_ns)
+         (cell n.size_before) (cell n.size_after) (cell n.depth_before)
+         (cell n.depth_after) counters);
+    List.iter (go path) n.children
+  in
+  List.iter (go "") (spans trace);
+  Buffer.contents b
+
+let write trace path =
+  let render =
+    if Filename.check_suffix path ".jsonl" then to_jsonl
+    else if Filename.check_suffix path ".csv" then to_csv
+    else to_json
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render trace))

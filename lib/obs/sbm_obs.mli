@@ -1,0 +1,114 @@
+(** Tracing and metrics for the SBM engines.
+
+    A {!trace} collects a forest of hierarchical {!span}s. Each span
+    records a name, monotonic-clock wall time, optional network
+    size/depth before and after, and a bag of named integer counters
+    (BDD unique-table traffic, SAT decisions/conflicts/propagations,
+    resubstitution candidates tried vs. accepted, gradient move
+    costs, ...). Engines receive a span through their optional [?obs]
+    argument; the flow scripts open one child span per scripted pass.
+
+    Observability is disabled by default and designed to cost nothing
+    when off: {!null} is a no-op sink, every operation on it returns
+    immediately, and callers guard expensive measurements (network
+    depth is O(n)) behind {!enabled}.
+
+    Reporters render a finished trace as a human-readable tree
+    ({!pp}), a nested JSON document ({!to_json}), JSON-lines with one
+    flattened span per line ({!to_jsonl}), or CSV ({!to_csv}).
+    {!write} picks the format from the file extension. The JSON schema
+    is documented in DESIGN.md (section "Telemetry"). *)
+
+type trace
+(** A collector of closed spans. *)
+
+type span
+(** A handle on an open span, or the no-op sink {!null}. *)
+
+(** [monotonic_ns ()] is the raw monotonic clock, in nanoseconds from
+    an arbitrary origin. *)
+val monotonic_ns : unit -> int64
+
+(** {1 Collection} *)
+
+(** The no-op sink: spans opened under it are no-ops, counters on it
+    are dropped. This is the default [?obs] everywhere. *)
+val null : span
+
+(** [enabled s] is [false] exactly on {!null} and spans derived from
+    it. Guard measurement work (e.g. [Aig.depth]) with this. *)
+val enabled : span -> bool
+
+(** [create ()] is a fresh, empty trace. *)
+val create : unit -> trace
+
+(** [root trace name] opens a top-level span. [size]/[depth] record
+    the network entering the span. *)
+val root : ?size:int -> ?depth:int -> trace -> string -> span
+
+(** [span parent name] opens a child span; on {!null} it returns
+    {!null}. [size]/[depth] record the network entering the span. *)
+val span : ?size:int -> ?depth:int -> span -> string -> span
+
+(** [close span] stops the span's clock; [size]/[depth] record the
+    network leaving the span. Closing {!null} or closing twice is a
+    no-op (the first close wins). *)
+val close : ?size:int -> ?depth:int -> span -> unit
+
+(** [add span name n] adds [n] to the span's counter [name]
+    (created at 0). No-op on {!null}. *)
+val add : span -> string -> int -> unit
+
+(** [incr span name] is [add span name 1]. *)
+val incr : span -> string -> unit
+
+(** {1 Introspection}
+
+    A frozen, immutable view of the recorded forest — the input to the
+    reporters and to tests. *)
+
+type node = {
+  name : string;
+  wall_ns : int64;  (** monotonic wall time spent inside the span *)
+  size_before : int option;
+  size_after : int option;
+  depth_before : int option;
+  depth_after : int option;
+  counters : (string * int) list;  (** sorted by name *)
+  children : node list;  (** in opening order *)
+}
+
+(** [spans trace] is the recorded forest, roots in opening order.
+    Spans still open are frozen with the current clock. *)
+val spans : trace -> node list
+
+(** [totals trace] aggregates every counter over the whole forest,
+    sorted by name. *)
+val totals : trace -> (string * int) list
+
+(** [total trace name] is the aggregate value of one counter (0 if
+    never touched). *)
+val total : trace -> string -> int
+
+(** {1 Reporters} *)
+
+(** Human-readable tree: one line per span with wall time and deltas,
+    counters indented underneath. *)
+val pp : Format.formatter -> trace -> unit
+
+(** Nested JSON document:
+    [{"version":1,"totals":{...},"spans":[...]}]. *)
+val to_json : trace -> string
+
+(** One JSON object per line, spans flattened depth-first with a
+    [path] field ("root/child/grandchild"). *)
+val to_jsonl : trace -> string
+
+(** CSV with header
+    [path,wall_ms,size_before,size_after,depth_before,depth_after,counters];
+    counters are packed as [k=v;k=v]. *)
+val to_csv : trace -> string
+
+(** [write trace path] renders by extension: [.jsonl] -> {!to_jsonl},
+    [.csv] -> {!to_csv}, anything else -> {!to_json}. *)
+val write : trace -> string -> unit

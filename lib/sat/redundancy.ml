@@ -2,7 +2,7 @@ module Aig = Sbm_aig.Aig
 
 (* Check whether replacing node [v] by literal [cand] preserves every
    output, with one SAT call on a fresh miter. *)
-let bypass_safe solver_limit aig v cand =
+let bypass_safe obs solver_limit aig v cand =
   let solver = Solver.create () in
   let vars = Tseitin.encode solver aig in
   (* Encode the modified cones: copy variables for the TFO of [v],
@@ -59,12 +59,19 @@ let bypass_safe solver_limit aig v cand =
   if diffs = [] then true
   else begin
     ignore (Solver.add_clause solver diffs);
-    match Solver.solve ~conflict_limit:solver_limit solver with
+    let result = Solver.solve ~conflict_limit:solver_limit solver in
+    if Sbm_obs.enabled obs then begin
+      Sbm_obs.incr obs "redundancy.sat_calls";
+      Sbm_obs.add obs "sat.conflicts" (Solver.num_conflicts solver);
+      Sbm_obs.add obs "sat.decisions" (Solver.num_decisions solver);
+      Sbm_obs.add obs "sat.propagations" (Solver.num_propagations solver)
+    end;
+    match result with
     | Solver.Unsat -> true
     | Solver.Sat | Solver.Unknown -> false
   end
 
-let run ?(conflict_limit = 1000) ?(max_candidates = 200) aig =
+let run ?(obs = Sbm_obs.null) ?(conflict_limit = 1000) ?(max_candidates = 200) aig =
   let removed = ref 0 in
   let tried = ref 0 in
   let order = Aig.topo aig in
@@ -80,7 +87,7 @@ let run ?(conflict_limit = 1000) ?(max_candidates = 200) aig =
             && not (Aig.in_tfi aig ~node:v ~root:(Aig.node_of cand))
           then begin
             incr tried;
-            if bypass_safe conflict_limit aig v cand then begin
+            if bypass_safe obs conflict_limit aig v cand then begin
               Aig.replace aig v cand;
               incr removed;
               true
@@ -93,4 +100,8 @@ let run ?(conflict_limit = 1000) ?(max_candidates = 200) aig =
         if not (try_cand f0) then ignore (try_cand f1)
       end)
     order;
+  if Sbm_obs.enabled obs then begin
+    Sbm_obs.add obs "redundancy.tried" !tried;
+    Sbm_obs.add obs "redundancy.removed" !removed
+  end;
   !removed

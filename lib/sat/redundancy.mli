@@ -6,7 +6,14 @@
     call on a miter between the original network and a copy with the
     node bypassed; proven-redundant nodes are replaced. *)
 
-(** [run ?conflict_limit ?max_candidates aig] tries candidates in
-    topological order and returns the number of nodes bypassed. The
-    AIG is modified in place. *)
-val run : ?conflict_limit:int -> ?max_candidates:int -> Sbm_aig.Aig.t -> int
+(** [run ?obs ?conflict_limit ?max_candidates aig] tries candidates
+    in topological order and returns the number of nodes bypassed.
+    The AIG is modified in place. [obs] receives the counters
+    [redundancy.tried], [redundancy.removed], [redundancy.sat_calls]
+    and [sat.conflicts]/[sat.decisions]/[sat.propagations]. *)
+val run :
+  ?obs:Sbm_obs.span ->
+  ?conflict_limit:int ->
+  ?max_candidates:int ->
+  Sbm_aig.Aig.t ->
+  int

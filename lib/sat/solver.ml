@@ -25,6 +25,8 @@ type t = {
   mutable var_inc : float;
   mutable ok : bool;
   mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
 }
 
 let create () =
@@ -46,10 +48,14 @@ let create () =
     var_inc = 1.0;
     ok = true;
     conflicts = 0;
+    decisions = 0;
+    propagations = 0;
   }
 
 let num_vars t = t.nvars
 let num_conflicts t = t.conflicts
+let num_decisions t = t.decisions
+let num_propagations t = t.propagations
 
 let ensure_var_capacity t =
   let need = t.nvars + 1 in
@@ -239,7 +245,9 @@ let propagate t =
             done;
             t.qhead <- Vec.size t.trail;
             conflict := ci
-          | _ -> enqueue t c.(0) ci
+          | _ ->
+            t.propagations <- t.propagations + 1;
+            enqueue t c.(0) ci
         end
       end
     done;
@@ -418,6 +426,7 @@ let solve ?(assumptions = []) ?(conflict_limit = max_int) t =
           match pick_branch t with
           | -1 -> result := Some Sat
           | l ->
+            t.decisions <- t.decisions + 1;
             Vec.push t.trail_lim (Vec.size t.trail);
             enqueue t l (-1)
         end

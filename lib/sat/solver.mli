@@ -37,3 +37,11 @@ val model_value : t -> int -> bool
 
 (** [num_conflicts t] is the running conflict count (statistics). *)
 val num_conflicts : t -> int
+
+(** [num_decisions t] is the running count of branching decisions
+    (excluding assumption levels). *)
+val num_decisions : t -> int
+
+(** [num_propagations t] is the running count of implied assignments
+    made by unit propagation. *)
+val num_propagations : t -> int

@@ -24,11 +24,12 @@ let signatures aig ~sim_rounds rng =
         (canon, phase))
     sigs
 
-let run ?(sim_rounds = 4) ?(conflict_limit = 1000) aig =
+let run ?(obs = Sbm_obs.null) ?(sim_rounds = 4) ?(conflict_limit = 1000) aig =
   let aig, _ = Aig.compact aig in
   let rng = Rng.create 0x5eed in
   let sigs = signatures aig ~sim_rounds rng in
   let solver = Solver.create () in
+  let sat_calls = ref 0 in
   let vars = Tseitin.encode solver aig in
   (* Group live AND nodes and PIs by canonical signature. *)
   let classes : (int64 list, (int * bool) list) Hashtbl.t = Hashtbl.create 256 in
@@ -58,10 +59,13 @@ let run ?(sim_rounds = 4) ?(conflict_limit = 1000) aig =
                 let b' = if compl then -b else b in
                 (* Equivalent iff (a & ~b') and (~a & b') are both
                    unsatisfiable. *)
+                incr sat_calls;
                 let r1 = Solver.solve ~assumptions:[ a; -b' ] ~conflict_limit solver in
                 let r2 =
-                  if r1 = Solver.Unsat then
+                  if r1 = Solver.Unsat then begin
+                    incr sat_calls;
                     Solver.solve ~assumptions:[ -a; b' ] ~conflict_limit solver
+                  end
                   else Solver.Sat
                 in
                 if
@@ -75,5 +79,13 @@ let run ?(sim_rounds = 4) ?(conflict_limit = 1000) aig =
             end)
           rest)
     classes;
+  if Sbm_obs.enabled obs then begin
+    Sbm_obs.add obs "sweep.classes" (Hashtbl.length classes);
+    Sbm_obs.add obs "sweep.sat_calls" !sat_calls;
+    Sbm_obs.add obs "sweep.merged" !merged;
+    Sbm_obs.add obs "sat.conflicts" (Solver.num_conflicts solver);
+    Sbm_obs.add obs "sat.decisions" (Solver.num_decisions solver);
+    Sbm_obs.add obs "sat.propagations" (Solver.num_propagations solver)
+  end;
   let swept, _ = Aig.compact aig in
   (swept, !merged)

@@ -8,6 +8,14 @@
     compacted (topologically numbered) AIG. This is the "SAT-based
     sweeping" step of the paper's resynthesis script (ref. [9]). *)
 
-(** [run ?sim_rounds ?conflict_limit aig] returns the swept AIG (a
-    fresh, compacted network) and the number of merged nodes. *)
-val run : ?sim_rounds:int -> ?conflict_limit:int -> Sbm_aig.Aig.t -> Sbm_aig.Aig.t * int
+(** [run ?obs ?sim_rounds ?conflict_limit aig] returns the swept AIG
+    (a fresh, compacted network) and the number of merged nodes.
+    [obs] receives the counters [sweep.classes], [sweep.sat_calls],
+    [sweep.merged] and [sat.conflicts]/[sat.decisions]/
+    [sat.propagations]. *)
+val run :
+  ?obs:Sbm_obs.span ->
+  ?sim_rounds:int ->
+  ?conflict_limit:int ->
+  Sbm_aig.Aig.t ->
+  Sbm_aig.Aig.t * int

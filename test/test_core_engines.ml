@@ -20,7 +20,7 @@ let test_fig1_rewrite () =
   ignore (Aig.add_output aig f);
   ignore (Aig.add_output aig g);
   let original = Aig.copy aig in
-  ignore (Sbm_core.Diff_resub.run aig);
+  ignore (Sbm_core.Diff_resub.optimize aig);
   Aig.check aig;
   Helpers.assert_equiv_exhaustive ~msg:"fig1 equivalence" original aig
 
@@ -41,7 +41,7 @@ let test_diff_identity () =
   in
   ignore (Aig.add_output aig f);
   let original = Aig.copy aig in
-  ignore (Sbm_core.Diff_resub.run aig);
+  ignore (Sbm_core.Diff_resub.optimize aig);
   Aig.check aig;
   Helpers.assert_equiv_exhaustive ~msg:"diff identity" original aig
 
@@ -51,7 +51,7 @@ let test_diff_random_gate () =
     let aig = Helpers.random_xor_aig ~inputs:7 ~gates:35 ~outputs:4 rng in
     let original = Aig.copy aig in
     let size_before = Aig.size aig in
-    let gain = Sbm_core.Diff_resub.run aig in
+    let gain = Sbm_core.Diff_resub.optimize aig in
     Aig.check aig;
     Alcotest.(check bool) "gain >= 0" true (gain >= 0);
     Alcotest.(check bool) "not larger" true (Aig.size aig <= size_before);
@@ -63,7 +63,7 @@ let test_diff_monolithic () =
   let aig = Helpers.random_xor_aig ~inputs:8 ~gates:60 ~outputs:4 rng in
   let original = Aig.copy aig in
   let config = { Sbm_core.Diff_resub.default_config with monolithic = true } in
-  ignore (Sbm_core.Diff_resub.run ~config aig);
+  ignore (Sbm_core.Diff_resub.optimize ~config aig);
   Aig.check aig;
   Helpers.assert_equiv_exhaustive ~msg:"monolithic diff" original aig
 
@@ -72,7 +72,7 @@ let test_diff_zero_gain_reshape () =
   let aig = Helpers.random_xor_aig ~inputs:7 ~gates:30 ~outputs:3 rng in
   let original = Aig.copy aig in
   let config = { Sbm_core.Diff_resub.default_config with accept_zero = true } in
-  ignore (Sbm_core.Diff_resub.run ~config aig);
+  ignore (Sbm_core.Diff_resub.optimize ~config aig);
   Aig.check aig;
   Alcotest.(check bool) "reshape never grows" true (Aig.size aig <= Aig.size original);
   Helpers.assert_equiv_exhaustive ~msg:"zero-gain diff" original aig
@@ -90,7 +90,7 @@ let test_mspf_removes_unobservable () =
   let z = Aig.bor aig x inner in
   ignore (Aig.add_output aig z);
   let original = Aig.copy aig in
-  ignore (Sbm_core.Mspf.run aig);
+  ignore (Sbm_core.Mspf.optimize aig);
   Aig.check aig;
   Helpers.assert_equiv_exhaustive ~msg:"mspf absorb" original aig;
   Alcotest.(check int) "z collapses to x" 0 (Aig.size aig)
@@ -101,7 +101,7 @@ let test_mspf_random_gate () =
     let aig = Helpers.random_xor_aig ~inputs:7 ~gates:35 ~outputs:4 rng in
     let original = Aig.copy aig in
     let size_before = Aig.size aig in
-    let gain = Sbm_core.Mspf.run aig in
+    let gain = Sbm_core.Mspf.optimize aig in
     Aig.check aig;
     Alcotest.(check bool) "gain >= 0" true (gain >= 0);
     Alcotest.(check bool) "not larger" true (Aig.size aig <= size_before);
@@ -114,7 +114,7 @@ let test_mspf_budget_bailout () =
   let aig = Helpers.random_xor_aig ~inputs:8 ~gates:50 ~outputs:4 rng in
   let original = Aig.copy aig in
   let config = { Sbm_core.Mspf.default_config with bdd_node_limit = 4 } in
-  let gain = Sbm_core.Mspf.run ~config aig in
+  let gain = Sbm_core.Mspf.optimize ~config aig in
   Alcotest.(check int) "nothing happens under a starved budget" 0 gain;
   Helpers.assert_equiv_exhaustive ~msg:"budget bailout" original aig
 
@@ -124,7 +124,7 @@ let test_hetero_gate () =
   let rng = Rng.create 206 in
   for _ = 1 to 6 do
     let aig = Helpers.random_xor_aig ~inputs:7 ~gates:40 ~outputs:4 rng in
-    let result = Sbm_core.Hetero_kernel.run aig in
+    let result = fst (Sbm_core.Hetero_kernel.run aig) in
     Aig.check result;
     Helpers.assert_equiv_exhaustive ~msg:"hetero kernel gate" aig result
   done
@@ -134,7 +134,7 @@ let test_hetero_vs_homogeneous () =
      the move wrapper (callers keep the better). *)
   let rng = Rng.create 207 in
   let aig = Helpers.random_xor_aig ~inputs:8 ~gates:60 ~outputs:5 rng in
-  let het = Sbm_core.Hetero_kernel.run aig in
+  let het = fst (Sbm_core.Hetero_kernel.run aig) in
   Helpers.assert_equiv_exhaustive ~msg:"hetero" aig het;
   let hom = Sbm_core.Hetero_kernel.run_homogeneous ~threshold:50 aig in
   Helpers.assert_equiv_exhaustive ~msg:"homogeneous" aig hom

@@ -11,7 +11,7 @@ let test_overlapping_partitions_sound () =
     let aig = Helpers.random_xor_aig ~inputs:8 ~gates:60 ~outputs:4 rng in
     let original = Aig.copy aig in
     let config = { Sbm_core.Diff_resub.default_config with overlap = 0.4 } in
-    let gain = Sbm_core.Diff_resub.run ~config aig in
+    let gain = Sbm_core.Diff_resub.optimize ~config aig in
     Aig.check aig;
     Alcotest.(check bool) "gain >= 0" true (gain >= 0);
     Helpers.assert_equiv_exhaustive ~msg:"overlapping diff" original aig
@@ -31,13 +31,13 @@ let test_overlap_finds_at_least_as_much () =
     in
     let g_plain =
       let copy = Aig.copy aig in
-      Sbm_core.Diff_resub.run
+      Sbm_core.Diff_resub.optimize
         ~config:{ Sbm_core.Diff_resub.default_config with limits }
         copy
     in
     let g_overlap =
       let copy = Aig.copy aig in
-      Sbm_core.Diff_resub.run
+      Sbm_core.Diff_resub.optimize
         ~config:{ Sbm_core.Diff_resub.default_config with limits; overlap = 0.5 }
         copy
     in
@@ -54,7 +54,7 @@ let test_signature_filter_sound () =
     let aig = Helpers.random_xor_aig ~inputs:8 ~gates:50 ~outputs:4 rng in
     let original = Aig.copy aig in
     let config = { Sbm_core.Diff_resub.default_config with signature_filter = true } in
-    ignore (Sbm_core.Diff_resub.run ~config aig);
+    ignore (Sbm_core.Diff_resub.optimize ~config aig);
     Helpers.assert_equiv_exhaustive ~msg:"filtered diff" original aig
   done
 
@@ -69,7 +69,7 @@ let test_filter_only_skips () =
     (fun signature_filter ->
       let copy = Aig.copy aig in
       let config = { Sbm_core.Diff_resub.default_config with signature_filter } in
-      ignore (Sbm_core.Diff_resub.run ~config copy);
+      ignore (Sbm_core.Diff_resub.optimize ~config copy);
       Helpers.assert_equiv_exhaustive ~msg:"filter soundness" aig copy)
     [ true; false ]
 
@@ -79,7 +79,7 @@ let test_diff_on_structured () =
     (fun (b, scale) ->
       let aig = Sbm_epfl.Epfl.generate ~scale b in
       let original = Aig.copy aig in
-      ignore (Sbm_core.Diff_resub.run aig);
+      ignore (Sbm_core.Diff_resub.optimize aig);
       Aig.check aig;
       match Sbm_cec.Cec.check original aig with
       | Sbm_cec.Cec.Equivalent -> ()
@@ -104,7 +104,7 @@ let test_depth_objective () =
     let original = Aig.copy aig in
     let depth_before = Aig.depth aig in
     let config = { Sbm_core.Diff_resub.default_config with objective = `Depth } in
-    ignore (Sbm_core.Diff_resub.run ~config aig);
+    ignore (Sbm_core.Diff_resub.optimize ~config aig);
     Aig.check aig;
     Helpers.assert_equiv_exhaustive ~msg:"depth objective" original aig;
     Alcotest.(check bool)

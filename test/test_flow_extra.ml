@@ -10,9 +10,9 @@ let all_engines =
     ("refactor", fun aig -> ignore (Sbm_aig.Refactor.run aig); aig);
     ("resub", fun aig -> ignore (Sbm_aig.Resub.run aig); aig);
     ("balance", fun aig -> Sbm_aig.Balance.run aig);
-    ("diff", fun aig -> ignore (Sbm_core.Diff_resub.run aig); aig);
-    ("mspf", fun aig -> ignore (Sbm_core.Mspf.run aig); aig);
-    ("hetero", fun aig -> Sbm_core.Hetero_kernel.run aig);
+    ("diff", fun aig -> ignore (Sbm_core.Diff_resub.optimize aig); aig);
+    ("mspf", fun aig -> ignore (Sbm_core.Mspf.optimize aig); aig);
+    ("hetero", fun aig -> fst (Sbm_core.Hetero_kernel.run aig));
     ("sweep", fun aig -> fst (Sbm_sat.Sweep.run aig));
     ("redundancy", fun aig -> ignore (Sbm_sat.Redundancy.run aig); aig);
     ("baseline", fun aig -> Sbm_core.Flow.baseline aig);
@@ -122,7 +122,7 @@ let test_partition_limit_extremes () =
   Alcotest.(check bool) "many partitions" true (List.length parts > 5);
   let original = Aig.copy aig in
   let config = { Sbm_core.Diff_resub.default_config with limits } in
-  ignore (Sbm_core.Diff_resub.run ~config aig);
+  ignore (Sbm_core.Diff_resub.optimize ~config aig);
   Aig.check aig;
   Helpers.assert_equiv_exhaustive ~msg:"tiny partitions" original aig
 

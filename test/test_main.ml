@@ -19,4 +19,5 @@ let () =
       ("diff-extra", Test_diff_extra.suite);
       ("mspf-tt", Test_mspf_tt.suite);
       ("word", Test_word.suite);
+      ("obs", Test_obs.suite);
     ]

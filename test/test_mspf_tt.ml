@@ -57,7 +57,7 @@ let test_bdd_reaches_further () =
   let tt_copy = Aig.copy aig in
   let bdd_copy = Aig.copy aig in
   ignore (Sbm_core.Mspf_tt.run tt_copy);
-  ignore (Sbm_core.Mspf.run bdd_copy);
+  ignore (Sbm_core.Mspf.optimize bdd_copy);
   Helpers.assert_equiv_exhaustive ~msg:"tt flavor" aig tt_copy;
   Helpers.assert_equiv_exhaustive ~msg:"bdd flavor" aig bdd_copy
 

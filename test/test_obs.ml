@@ -1,0 +1,385 @@
+(* The telemetry layer: span nesting, counter aggregation, reporter
+   output, and the contract the flow scripts rely on (one span per
+   scripted pass, size deltas chaining between passes). *)
+
+module Aig = Sbm_aig.Aig
+module Obs = Sbm_obs
+module Rng = Sbm_util.Rng
+
+(* --- a tiny JSON parser, enough to round-trip the reporter --- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> raise (Bad (Printf.sprintf "expected %c at %d" c !pos))
+    in
+    let literal word v =
+      String.iter expect word;
+      v
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> raise (Bad "unterminated string")
+        | Some '"' -> advance ()
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some 'n' -> Buffer.add_char buf '\n'
+          | Some 't' -> Buffer.add_char buf '\t'
+          | Some 'r' -> Buffer.add_char buf '\r'
+          | Some 'b' -> Buffer.add_char buf '\b'
+          | Some 'f' -> Buffer.add_char buf '\012'
+          | Some 'u' ->
+            (* \uXXXX: decode the code point as a raw byte when < 256
+               (the reporter only escapes control characters). *)
+            let hex = String.sub s (!pos + 1) 4 in
+            pos := !pos + 4;
+            Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ hex) land 0xff))
+          | Some c -> Buffer.add_char buf c
+          | None -> raise (Bad "bad escape"));
+          advance ();
+          go ()
+        | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char c =
+        (c >= '0' && c <= '9')
+        || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while (match peek () with Some c -> num_char c | None -> false) do
+        advance ()
+      done;
+      Num (float_of_string (String.sub s start (!pos - start)))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              members ((key, v) :: acc)
+            | Some '}' ->
+              advance ();
+              Obj (List.rev ((key, v) :: acc))
+            | _ -> raise (Bad "expected , or } in object")
+          in
+          members []
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              elements (v :: acc)
+            | Some ']' ->
+              advance ();
+              List (List.rev (v :: acc))
+            | _ -> raise (Bad "expected , or ] in array")
+          in
+          elements []
+        end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+      | None -> raise (Bad "empty input")
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then raise (Bad "trailing garbage");
+    v
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+
+  let to_int = function Some (Num f) -> Some (int_of_float f) | _ -> None
+  let to_str = function Some (Str s) -> Some s | _ -> None
+  let to_list = function Some (List l) -> l | _ -> []
+end
+
+(* --- span mechanics --- *)
+
+let test_null_sink () =
+  Alcotest.(check bool) "null disabled" false (Obs.enabled Obs.null);
+  let child = Obs.span Obs.null "child" in
+  Alcotest.(check bool) "children of null disabled" false (Obs.enabled child);
+  (* All operations on the sink are no-ops and must not raise. *)
+  Obs.add child "x" 5;
+  Obs.incr child "x";
+  Obs.close child
+
+let test_span_nesting () =
+  let trace = Obs.create () in
+  let root = Obs.root ~size:100 trace "flow" in
+  Alcotest.(check bool) "root enabled" true (Obs.enabled root);
+  let a = Obs.span ~size:100 root "pass-a" in
+  Obs.close ~size:90 a;
+  let b = Obs.span ~size:90 root "pass-b" in
+  let b1 = Obs.span b "inner" in
+  Obs.close b1;
+  Obs.close ~size:80 b;
+  Obs.close ~size:80 root;
+  match Obs.spans trace with
+  | [ r ] ->
+    Alcotest.(check string) "root name" "flow" r.Obs.name;
+    Alcotest.(check int) "two children" 2 (List.length r.Obs.children);
+    let names = List.map (fun n -> n.Obs.name) r.Obs.children in
+    Alcotest.(check (list string)) "child order" [ "pass-a"; "pass-b" ] names;
+    let b = List.nth r.Obs.children 1 in
+    Alcotest.(check int) "grandchild" 1 (List.length b.Obs.children);
+    Alcotest.(check (option int)) "size before" (Some 90) b.Obs.size_before;
+    Alcotest.(check (option int)) "size after" (Some 80) b.Obs.size_after;
+    Alcotest.(check bool) "wall time measured" true (r.Obs.wall_ns >= 0L)
+  | l -> Alcotest.failf "expected 1 root, got %d" (List.length l)
+
+let test_counter_totals () =
+  let trace = Obs.create () in
+  let root = Obs.root trace "r" in
+  Obs.add root "sat.conflicts" 3;
+  let child = Obs.span root "c" in
+  Obs.add child "sat.conflicts" 4;
+  Obs.incr child "sat.decisions";
+  Obs.add child "sat.decisions" 9;
+  Obs.close child;
+  Obs.close root;
+  Alcotest.(check int) "summed over tree" 7 (Obs.total trace "sat.conflicts");
+  Alcotest.(check int) "incr + add" 10 (Obs.total trace "sat.decisions");
+  Alcotest.(check int) "untouched counter" 0 (Obs.total trace "nope");
+  let totals = Obs.totals trace in
+  Alcotest.(check (list string))
+    "totals sorted" [ "sat.conflicts"; "sat.decisions" ] (List.map fst totals)
+
+let test_monotonic_clock () =
+  let t0 = Obs.monotonic_ns () in
+  let t1 = Obs.monotonic_ns () in
+  Alcotest.(check bool) "clock does not go backwards" true (t1 >= t0)
+
+(* --- reporters --- *)
+
+let sample_trace () =
+  let trace = Obs.create () in
+  let root = Obs.root ~size:50 ~depth:7 trace "sbm" in
+  let a = Obs.span ~size:50 root "pa\"ss" in
+  Obs.add a "bdd.nodes" 12;
+  Obs.add a "sat.conflicts" 2;
+  Obs.close ~size:44 a;
+  Obs.close ~size:44 ~depth:6 root;
+  trace
+
+let test_json_round_trip () =
+  let trace = sample_trace () in
+  let json = Json.parse (Obs.to_json trace) in
+  Alcotest.(check (option int)) "version" (Some 1) Json.(to_int (member "version" json));
+  let totals = Json.member "totals" json in
+  Alcotest.(check (option int))
+    "total bdd.nodes" (Some 12)
+    Json.(to_int (Option.bind totals (member "bdd.nodes")));
+  (match Json.to_list (Json.member "spans" json) with
+  | [ root ] ->
+    Alcotest.(check (option string)) "root name" (Some "sbm")
+      Json.(to_str (member "name" root));
+    Alcotest.(check (option int)) "size_before" (Some 50)
+      Json.(to_int (member "size_before" root));
+    Alcotest.(check (option int)) "depth_after" (Some 6)
+      Json.(to_int (member "depth_after" root));
+    (match Json.to_list (Json.member "children" root) with
+    | [ child ] ->
+      (* The escaped quote in the span name must survive. *)
+      Alcotest.(check (option string)) "escaped name" (Some "pa\"ss")
+        Json.(to_str (member "name" child));
+      Alcotest.(check (option int)) "counter" (Some 2)
+        Json.(to_int (Option.bind (Json.member "counters" child) (Json.member "sat.conflicts")))
+    | l -> Alcotest.failf "expected 1 child, got %d" (List.length l))
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l))
+
+let test_jsonl_and_csv () =
+  let trace = sample_trace () in
+  let jsonl = Obs.to_jsonl trace in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' jsonl)
+  in
+  Alcotest.(check int) "one line per span" 2 (List.length lines);
+  (* Every line parses as standalone JSON and carries a path. *)
+  let paths =
+    List.map (fun l -> Json.(to_str (member "path" (Json.parse l)))) lines
+  in
+  Alcotest.(check (list (option string)))
+    "flattened paths"
+    [ Some "sbm"; Some "sbm/pa\"ss" ]
+    paths;
+  let csv = Obs.to_csv trace in
+  (match String.split_on_char '\n' csv with
+  | header :: _ ->
+    Alcotest.(check string) "csv header"
+      "path,wall_ms,size_before,size_after,depth_before,depth_after,counters"
+      header
+  | [] -> Alcotest.fail "empty csv");
+  Alcotest.(check int) "csv rows" 3
+    (List.length (List.filter (fun l -> l <> "") (String.split_on_char '\n' csv)))
+
+let test_write_by_extension () =
+  let trace = sample_trace () in
+  let tmp suffix = Filename.temp_file "sbm_obs_test" suffix in
+  let read path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let j = tmp ".json" and l = tmp ".jsonl" and c = tmp ".csv" in
+  Obs.write trace j;
+  Obs.write trace l;
+  Obs.write trace c;
+  Alcotest.(check string) "json file" (Obs.to_json trace) (read j);
+  Alcotest.(check string) "jsonl file" (Obs.to_jsonl trace) (read l);
+  Alcotest.(check string) "csv file" (Obs.to_csv trace) (read c);
+  List.iter Sys.remove [ j; l; c ]
+
+(* --- the flow contract --- *)
+
+let flow_pass_names =
+  [
+    "baseline"; "gradient"; "hetero-kernel"; "mspf"; "collapse-decompose";
+    "boolean-difference"; "sat-sweep";
+  ]
+
+let test_flow_records_pass_spans () =
+  let rng = Rng.create 606 in
+  let aig = Helpers.random_xor_aig ~inputs:7 ~gates:45 ~outputs:4 rng in
+  let trace = Obs.create () in
+  let root = Obs.root ~size:(Aig.size aig) trace "sbm-low" in
+  let optimized = Sbm_core.Flow.sbm_once ~obs:root ~effort:Sbm_core.Flow.Low aig in
+  Obs.close ~size:(Aig.size optimized) root;
+  match Obs.spans trace with
+  | [ r ] -> (
+    match r.Obs.children with
+    | [ iter ] ->
+      Alcotest.(check string) "iteration span" "iteration-1" iter.Obs.name;
+      (* One child span per scripted pass, in script order. *)
+      Alcotest.(check (list string))
+        "one span per pass" flow_pass_names
+        (List.map (fun n -> n.Obs.name) iter.Obs.children);
+      (* Deltas chain: size_after of pass i = size_before of pass
+         i+1, and every pass records both endpoints. *)
+      let rec chain = function
+        | a :: (b : Obs.node) :: rest ->
+          Alcotest.(check (option int))
+            (Printf.sprintf "%s -> %s size chain" a.Obs.name b.Obs.name)
+            a.Obs.size_after b.Obs.size_before;
+          chain (b :: rest)
+        | [ last ] ->
+          Alcotest.(check (option int))
+            "last pass exits at the iteration's exit size" last.Obs.size_after
+            iter.Obs.size_after
+        | [] -> ()
+      in
+      List.iter
+        (fun (n : Obs.node) ->
+          Alcotest.(check bool)
+            (n.Obs.name ^ " measured") true
+            (n.Obs.size_before <> None && n.Obs.size_after <> None
+           && n.Obs.depth_before <> None && n.Obs.depth_after <> None))
+        iter.Obs.children;
+      chain iter.Obs.children;
+      (* The engines actually reported work. *)
+      Alcotest.(check bool)
+        "gradient counters present" true
+        (Obs.total trace "gradient.moves_tried" > 0);
+      Alcotest.(check bool)
+        "kernel counters present" true (Obs.total trace "kernel.trials" > 0)
+    | l -> Alcotest.failf "expected 1 iteration span, got %d" (List.length l))
+  | l -> Alcotest.failf "expected 1 root, got %d" (List.length l)
+
+let test_flow_disabled_obs_is_null () =
+  (* The default path records nothing and still optimizes. *)
+  let rng = Rng.create 607 in
+  let aig = Helpers.random_xor_aig ~inputs:6 ~gates:25 ~outputs:3 rng in
+  let optimized = Sbm_core.Flow.run (Sbm_core.Flow.Sbm Sbm_core.Flow.Low) aig in
+  Helpers.assert_equiv_exhaustive ~msg:"typed flow run" aig optimized
+
+let test_script_string_round_trip () =
+  List.iter
+    (fun script ->
+      let s = Sbm_core.Flow.to_string script in
+      match Sbm_core.Flow.of_string s with
+      | Some script' ->
+        Alcotest.(check string)
+          (s ^ " round-trips") s
+          (Sbm_core.Flow.to_string script')
+      | None -> Alcotest.failf "of_string failed on %s" s)
+    Sbm_core.Flow.all;
+  Alcotest.(check bool) "unknown flow rejected" true
+    (Sbm_core.Flow.of_string "resyn2" = None)
+
+let suite =
+  [
+    Alcotest.test_case "null sink" `Quick test_null_sink;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "counter totals" `Quick test_counter_totals;
+    Alcotest.test_case "monotonic clock" `Quick test_monotonic_clock;
+    Alcotest.test_case "json round-trip" `Quick test_json_round_trip;
+    Alcotest.test_case "jsonl and csv" `Quick test_jsonl_and_csv;
+    Alcotest.test_case "write by extension" `Quick test_write_by_extension;
+    Alcotest.test_case "flow records pass spans" `Quick test_flow_records_pass_spans;
+    Alcotest.test_case "flow with obs off" `Quick test_flow_disabled_obs_is_null;
+    Alcotest.test_case "script strings" `Quick test_script_string_round_trip;
+  ]
