@@ -12,6 +12,9 @@
      dune exec bench/main.exe -- ablation
      dune exec bench/main.exe -- timing  # Bechamel micro-benchmarks
 
+   [--hist] additionally prints each traced run's per-span wall-time
+   histogram (count / p50 / p90 / max).
+
    Absolute numbers cannot match the paper (our substrate regenerates
    the benchmarks rather than starting from the suite's heavily
    pre-optimized netlists, and the backend is a proxy, not a
@@ -42,12 +45,21 @@ let traced ~experiment ~bench aig f =
   bench_traces := (experiment, bench, trace) :: !bench_traces;
   result
 
+let print_histograms () =
+  List.iter
+    (fun (experiment, bench, trace) ->
+      Fmt.pr "@.-- %s/%s wall-time histogram --@." experiment bench;
+      Fmt.pr "%a" Obs.pp_histograms trace)
+    (List.rev !bench_traces)
+
 let write_bench_json () =
   match List.rev !bench_traces with
   | [] -> ()
   | runs ->
     let buf = Buffer.create 4096 in
-    Buffer.add_string buf "{\"version\":1,\"runs\":[";
+    (* Wrapper version 2: the embedded traces carry the v2 schema
+       (per-span GC deltas, top-level histograms). *)
+    Buffer.add_string buf "{\"version\":2,\"runs\":[";
     List.iteri
       (fun i (experiment, bench, trace) ->
         if i > 0 then Buffer.add_char buf ',';
@@ -466,6 +478,7 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let flag f = List.mem f args in
   let full = flag "--full" in
+  let hist = flag "--hist" in
   let effort = if flag "--high" then `High else `Low in
   let commands = List.filter (fun a -> not (String.length a > 2 && String.sub a 0 2 = "--")) args in
   let run = function
@@ -487,4 +500,5 @@ let () =
     sec3b ();
     ablation ()
   | cmds -> List.iter run cmds);
+  if hist then print_histograms ();
   write_bench_json ()

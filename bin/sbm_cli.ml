@@ -6,7 +6,9 @@
      stats     — print network statistics
      lutmap    — map to LUT-K and report area/depth
      asic      — map to standard cells and report area/timing/power
-     cec       — equivalence-check two AAG files *)
+     cec       — equivalence-check two AAG files
+     bench     — run a benchmark subset, write a QoR snapshot
+     diff      — compare two QoR snapshots, gate on regressions *)
 
 open Cmdliner
 
@@ -52,11 +54,19 @@ let generate_cmd =
     let doc = "Width scale in (0,1]: shrinks arithmetic operands." in
     Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc)
   in
-  let run name scale output =
+  let seed_arg =
+    let doc =
+      "RNG seed for the structured-random control benchmarks (cavlc, ctrl, \
+       i2c, mem_ctrl, router); functionally determined benchmarks ignore it. \
+       Default: the benchmark's built-in seed."
+    in
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let run name scale seed output =
     match Sbm_epfl.Epfl.of_name name with
     | None -> `Error (false, "unknown benchmark: " ^ name)
     | Some b ->
-      let aig = Sbm_epfl.Epfl.generate ~scale b in
+      let aig = Sbm_epfl.Epfl.generate ~scale ?seed b in
       let text = Sbm_aig.Aiger.write aig in
       (match output with
       | Some path ->
@@ -65,7 +75,9 @@ let generate_cmd =
       | None -> print_string text);
       `Ok ()
   in
-  let term = Term.(ret (const run $ bench_arg $ scale_arg $ output_arg)) in
+  let term =
+    Term.(ret (const run $ bench_arg $ scale_arg $ seed_arg $ output_arg))
+  in
   Cmd.v (Cmd.info "generate" ~doc:"Generate an EPFL-style benchmark") term
 
 (* --- opt --- *)
@@ -97,7 +109,16 @@ let opt_cmd =
     in
     Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
   in
-  let run level path flow verify trace report output =
+  let explain_arg =
+    let doc =
+      "Stream the gradient engine's per-move decisions to $(docv) as JSON \
+       lines: one record per attempted move with the move name, cost, gain, \
+       waterfall accept/reject verdict, remaining budget and the running \
+       gradient."
+    in
+    Arg.(value & opt (some string) None & info [ "explain" ] ~docv:"FILE" ~doc)
+  in
+  let run level path flow verify trace report explain output =
     setup_logs level;
     let aig = read_aig path in
     let before = Sbm_aig.Aig.size aig in
@@ -110,9 +131,25 @@ let opt_cmd =
         Sbm_obs.root ~size:before ~depth:(Sbm_aig.Aig.depth aig) t
           (Sbm_core.Flow.to_string flow)
     in
+    let explain_oc = Option.map open_out explain in
+    let explain_count = ref 0 in
+    let explain_cb =
+      Option.map
+        (fun oc (e : Sbm_core.Gradient.event) ->
+          incr explain_count;
+          output_string oc (Sbm_core.Gradient.event_to_json e);
+          output_char oc '\n')
+        explain_oc
+    in
     let t0 = Unix.gettimeofday () in
-    let optimized = Sbm_core.Flow.run ~obs flow aig in
+    let optimized = Sbm_core.Flow.run ~obs ?explain:explain_cb flow aig in
     let dt = Unix.gettimeofday () -. t0 in
+    Option.iter close_out explain_oc;
+    Option.iter
+      (fun file ->
+        Fmt.pr "gradient explain stream (%d records) written to %s@."
+          !explain_count file)
+      explain;
     Sbm_obs.close ~size:(Sbm_aig.Aig.size optimized)
       ~depth:(Sbm_aig.Aig.depth optimized) obs;
     Fmt.pr "size: %d -> %d (%.1f%%), depth %d, %.2fs@." before
@@ -143,7 +180,7 @@ let opt_cmd =
   let term =
     Term.(
       const run $ logs_arg $ aig_arg $ flow_arg $ verify_arg $ trace_arg
-      $ report_arg $ output_arg)
+      $ report_arg $ explain_arg $ output_arg)
   in
   Cmd.v (Cmd.info "opt" ~doc:"Optimize a network") term
 
@@ -211,8 +248,206 @@ let cec_cmd =
   let term = Term.(ret (const run $ aig_arg $ other_arg)) in
   Cmd.v (Cmd.info "cec" ~doc:"Combinational equivalence check") term
 
+(* --- bench --- *)
+
+let bench_cmd =
+  let benches_arg =
+    let doc =
+      "Benchmarks to run (default: the quick subset "
+      ^ String.concat ", " (List.map Sbm_epfl.Epfl.name Sbm_epfl.Epfl.quick_set)
+      ^ ")."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"BENCH" ~doc)
+  in
+  let flow_arg =
+    let flows =
+      List.map (fun s -> (Sbm_core.Flow.to_string s, s)) Sbm_core.Flow.all
+    in
+    let doc = "Flow to benchmark: " ^ String.concat " | " (List.map fst flows) ^ "." in
+    Arg.(value & opt (enum flows) (Sbm_core.Flow.Sbm Sbm_core.Flow.Low)
+         & info [ "flow" ] ~docv:"FLOW" ~doc)
+  in
+  let seed_arg =
+    let doc =
+      "RNG seed for the structured-random control benchmarks, recorded in \
+       the snapshot so a diff against it regenerates the same instances. \
+       0 (default) keeps each benchmark's built-in seed."
+    in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let scale_arg =
+    let doc = "Width scale in (0,1] for arithmetic benchmarks." in
+    Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc)
+  in
+  let label_arg =
+    let doc = "Free-form provenance label stored in the snapshot." in
+    Arg.(value & opt string "" & info [ "label" ] ~docv:"TEXT" ~doc)
+  in
+  let out_arg =
+    let doc = "Snapshot output path." in
+    Arg.(value & opt string "BENCH_sbm.json" & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let hist_arg =
+    let doc = "Print the per-span wall-time histogram of every run." in
+    Arg.(value & flag & info [ "histograms" ] ~doc)
+  in
+  let run level names flow seed scale label out hist =
+    setup_logs level;
+    let module Epfl = Sbm_epfl.Epfl in
+    let module Aig = Sbm_aig.Aig in
+    let resolve n =
+      match Epfl.of_name n with
+      | Some b -> `Ok b
+      | None -> `Bad n
+    in
+    let resolved = List.map resolve names in
+    match List.filter_map (function `Bad n -> Some n | `Ok _ -> None) resolved with
+    | bad :: _ -> `Error (false, "unknown benchmark: " ^ bad)
+    | [] ->
+      let benches =
+        match List.filter_map (function `Ok b -> Some b | `Bad _ -> None) resolved with
+        | [] -> Epfl.quick_set
+        | l -> l
+      in
+      let entry b =
+        let bench = Epfl.name b in
+        let seed_opt = if seed = 0 then None else Some seed in
+        let aig = Epfl.generate ~scale ?seed:seed_opt b in
+        let trace = Sbm_obs.create () in
+        let root =
+          Sbm_obs.root ~size:(Aig.size aig) ~depth:(Aig.depth aig) trace bench
+        in
+        let t0 = Unix.gettimeofday () in
+        let optimized = Sbm_core.Flow.run ~obs:root flow aig in
+        let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+        Sbm_obs.close ~size:(Aig.size optimized) ~depth:(Aig.depth optimized)
+          root;
+        let mapping = Sbm_lutmap.Lut_map.map ~k:6 optimized in
+        let qor =
+          {
+            Sbm_obs.Snapshot.size = Aig.size optimized;
+            depth = Aig.depth optimized;
+            luts = mapping.Sbm_lutmap.Lut_map.lut_count;
+            levels = mapping.Sbm_lutmap.Lut_map.depth;
+          }
+        in
+        Fmt.pr "%-11s size %6d -> %6d, depth %4d, LUT-6 %6d / %3d, %7.1fms@."
+          bench (Aig.size aig) qor.Sbm_obs.Snapshot.size
+          qor.Sbm_obs.Snapshot.depth qor.Sbm_obs.Snapshot.luts
+          qor.Sbm_obs.Snapshot.levels wall_ms;
+        if hist then Fmt.pr "%a" Sbm_obs.pp_histograms trace;
+        {
+          Sbm_obs.Snapshot.bench;
+          qor;
+          wall_ms;
+          counters = Sbm_obs.totals trace;
+        }
+      in
+      let label =
+        if label <> "" then label
+        else Fmt.str "flow=%s scale=%g" (Sbm_core.Flow.to_string flow) scale
+      in
+      let snapshot =
+        Sbm_obs.Snapshot.make ~label ~seed (List.map entry benches)
+      in
+      (match Sbm_obs.Snapshot.write snapshot out with
+      | () -> Fmt.pr "snapshot (%d benchmarks) written to %s@."
+                (List.length benches) out;
+              `Ok ()
+      | exception Sys_error msg ->
+        `Error (false, "cannot write snapshot: " ^ msg))
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ logs_arg $ benches_arg $ flow_arg $ seed_arg $ scale_arg
+       $ label_arg $ out_arg $ hist_arg))
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Run a benchmark subset and write a versioned QoR snapshot")
+    term
+
+(* --- diff --- *)
+
+let diff_cmd =
+  let old_arg =
+    let doc = "Baseline snapshot (written by $(b,sbm bench))." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.json" ~doc)
+  in
+  let new_arg =
+    let doc = "New snapshot to compare against the baseline." in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW.json" ~doc)
+  in
+  let threshold_arg =
+    let doc =
+      "QoR tolerance in percent: a size/depth/LUT/level increase beyond \
+       $(docv) is a regression."
+    in
+    Arg.(value & opt float Sbm_report.Report.default_tolerance.Sbm_report.Report.qor_pct
+         & info [ "threshold" ] ~docv:"PCT" ~doc)
+  in
+  let time_threshold_arg =
+    let doc = "Wall-time tolerance in percent." in
+    Arg.(value & opt float Sbm_report.Report.default_tolerance.Sbm_report.Report.time_pct
+         & info [ "time-threshold" ] ~docv:"PCT" ~doc)
+  in
+  let ignore_time_arg =
+    let doc =
+      "Never classify a wall-time increase as a regression (for gating on \
+       machines not comparable to the baseline host)."
+    in
+    Arg.(value & flag & info [ "ignore-time" ] ~doc)
+  in
+  let counters_arg =
+    let doc = "Also print changed engine counters per benchmark." in
+    Arg.(value & flag & info [ "counters" ] ~doc)
+  in
+  let run old_path new_path threshold time_threshold ignore_time counters =
+    let load path =
+      match Sbm_report.Report.load_snapshot path with
+      | Ok s -> `Ok s
+      | Error msg -> `Bad msg
+    in
+    match (load old_path, load new_path) with
+    | `Bad msg, _ | _, `Bad msg -> `Error (false, msg)
+    | `Ok old_snap, `Ok new_snap ->
+      let tolerance =
+        {
+          Sbm_report.Report.qor_pct = threshold;
+          time_pct = (if ignore_time then infinity else time_threshold);
+        }
+      in
+      let d = Sbm_report.Report.diff ~tolerance old_snap new_snap in
+      Fmt.pr "old: %s@.new: %s@." old_snap.Sbm_obs.Snapshot.label
+        new_snap.Sbm_obs.Snapshot.label;
+      Fmt.pr "%a" Sbm_report.Report.pp d;
+      if counters then Fmt.pr "%a" Sbm_report.Report.pp_counters d;
+      let code = Sbm_report.Report.exit_code d in
+      if code <> 0 then Stdlib.exit code;
+      `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ old_arg $ new_arg $ threshold_arg $ time_threshold_arg
+       $ ignore_time_arg $ counters_arg))
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two QoR snapshots; exit 1 when a metric regresses past the \
+          threshold")
+    term
+
 let () =
   let doc = "Scalable Boolean Methods in a modern synthesis flow" in
   let info = Cmd.info "sbm" ~version:"1.0.0" ~doc in
-  let group = Cmd.group info [ stats_cmd; generate_cmd; opt_cmd; lutmap_cmd; asic_cmd; cec_cmd ] in
+  let group =
+    Cmd.group info
+      [
+        stats_cmd; generate_cmd; opt_cmd; lutmap_cmd; asic_cmd; cec_cmd;
+        bench_cmd; diff_cmd;
+      ]
+  in
   exit (Cmd.eval group)

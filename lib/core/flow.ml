@@ -78,7 +78,7 @@ let baseline ?(obs = Obs.null) aig0 =
   keep "balance" Sbm_aig.Balance.run;
   fst (Aig.compact !aig)
 
-let sbm_iteration ~obs ~effort aig0 =
+let sbm_iteration ~obs ~explain ~effort aig0 =
   let aig = ref aig0 in
   let checkpoint name =
     Logs.debug (fun m -> m "flow: %s -> size %d" name (Aig.size !aig))
@@ -95,7 +95,9 @@ let sbm_iteration ~obs ~effort aig0 =
   let budget = match effort with Low -> 12 | High -> 30 in
   run_pass "gradient" (fun sp a ->
       let optimized, _stats =
-        Gradient.optimize ~obs:sp ~config:{ Gradient.default_config with budget } a
+        Gradient.optimize ~obs:sp ?explain
+          ~config:{ Gradient.default_config with budget }
+          a
       in
       keep_better a optimized);
   (* 2. Heterogeneous elimination for kernel extraction on
@@ -133,24 +135,25 @@ let sbm_iteration ~obs ~effort aig0 =
       fst (Aig.compact a));
   !aig
 
-let iteration_pass obs name effort aig =
-  pass obs name (fun sp a -> sbm_iteration ~obs:sp ~effort a) aig
+let iteration_pass obs explain name effort aig =
+  pass obs name (fun sp a -> sbm_iteration ~obs:sp ~explain ~effort a) aig
 
-let sbm_once ?(obs = Obs.null) ?(effort = High) aig0 =
+let sbm_once ?(obs = Obs.null) ?explain ?(effort = High) aig0 =
   let aig, _ = Aig.compact aig0 in
-  iteration_pass obs "iteration-1" effort aig
+  iteration_pass obs explain "iteration-1" effort aig
 
-let sbm ?(obs = Obs.null) ?(effort = High) aig0 =
+let sbm ?(obs = Obs.null) ?explain ?(effort = High) aig0 =
   (* The optimization flow is iterated twice, with different
      efforts (Section V-A). *)
   let aig, _ = Aig.compact aig0 in
-  let aig = iteration_pass obs "iteration-1" Low aig in
-  iteration_pass obs "iteration-2" effort aig
+  let aig = iteration_pass obs explain "iteration-1" Low aig in
+  iteration_pass obs explain "iteration-2" effort aig
 
-let run ?(obs = Obs.null) script aig =
+let run ?(obs = Obs.null) ?explain script aig =
   match script with
   | Baseline -> pass obs "baseline" (fun sp a -> baseline ~obs:sp a) aig
-  | Sbm effort -> sbm ~obs ~effort aig
-  | Gradient -> pass obs "gradient" (fun sp a -> fst (Gradient.run ~obs:sp a)) aig
+  | Sbm effort -> sbm ~obs ?explain ~effort aig
+  | Gradient ->
+    pass obs "gradient" (fun sp a -> fst (Gradient.run ~obs:sp ?explain a)) aig
   | Diff -> pass obs "boolean-difference" (fun sp a -> fst (Diff_resub.run ~obs:sp a)) aig
   | Mspf -> pass obs "mspf" (fun sp a -> fst (Mspf.run ~obs:sp a)) aig

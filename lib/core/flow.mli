@@ -37,19 +37,35 @@ val to_string : script -> string
     "gradient", "diff", "mspf"). *)
 val of_string : string -> script option
 
-(** [run ?obs script aig] dispatches on [script]. The input is not
-    modified. *)
-val run : ?obs:Sbm_obs.span -> script -> Sbm_aig.Aig.t -> Sbm_aig.Aig.t
+(** [run ?obs ?explain script aig] dispatches on [script]. The input
+    is not modified. [explain], when given, receives one
+    {!Gradient.event} per move the gradient engine attempts (scripts
+    that never reach the gradient engine emit nothing). *)
+val run :
+  ?obs:Sbm_obs.span ->
+  ?explain:(Gradient.event -> unit) ->
+  script ->
+  Sbm_aig.Aig.t ->
+  Sbm_aig.Aig.t
 
 (** [baseline ?obs aig] is the optimized network under the baseline
     script. The input is not modified. *)
 val baseline : ?obs:Sbm_obs.span -> Sbm_aig.Aig.t -> Sbm_aig.Aig.t
 
-(** [sbm ?obs ?effort aig] runs the full SBM script (default [High]).
-    The input is not modified. *)
-val sbm : ?obs:Sbm_obs.span -> ?effort:effort -> Sbm_aig.Aig.t -> Sbm_aig.Aig.t
+(** [sbm ?obs ?explain ?effort aig] runs the full SBM script (default
+    [High]). The input is not modified. *)
+val sbm :
+  ?obs:Sbm_obs.span ->
+  ?explain:(Gradient.event -> unit) ->
+  ?effort:effort ->
+  Sbm_aig.Aig.t ->
+  Sbm_aig.Aig.t
 
-(** [sbm_once ?obs ?effort aig] is a single iteration of the script
-    (the Low-effort half), for runtime-sensitive callers. *)
+(** [sbm_once ?obs ?explain ?effort aig] is a single iteration of the
+    script (the Low-effort half), for runtime-sensitive callers. *)
 val sbm_once :
-  ?obs:Sbm_obs.span -> ?effort:effort -> Sbm_aig.Aig.t -> Sbm_aig.Aig.t
+  ?obs:Sbm_obs.span ->
+  ?explain:(Gradient.event -> unit) ->
+  ?effort:effort ->
+  Sbm_aig.Aig.t ->
+  Sbm_aig.Aig.t

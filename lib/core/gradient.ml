@@ -29,6 +29,26 @@ type stats = {
   move_log : (string * int) list;
 }
 
+type event = {
+  iteration : int;
+  round : int;
+  tier : int;
+  move : string;
+  cost : int;
+  gain : int;
+  accepted : bool;
+  budget_left : int;
+  budget_spent : int;
+  gradient : float;
+  size : int;
+}
+
+let event_to_json e =
+  Printf.sprintf
+    "{\"iteration\":%d,\"round\":%d,\"tier\":%d,\"move\":%S,\"cost\":%d,\"gain\":%d,\"accepted\":%b,\"budget_left\":%d,\"budget_spent\":%d,\"gradient\":%.6f,\"size\":%d}"
+    e.iteration e.round e.tier e.move e.cost e.gain e.accepted e.budget_left
+    e.budget_spent e.gradient e.size
+
 (* A move transforms the AIG (possibly returning a rebuilt one) and
    reports its exact size gain. All moves guarantee gain >= 0: pure
    in-place passes only commit improving changes, and rebuilding moves
@@ -80,7 +100,8 @@ let moves ~zero_gain =
     rebuilding "eliminate & kernel -h" 6 (fun obs aig -> fst (Hetero_kernel.run ~obs aig));
   ]
 
-let optimize ?(obs = Obs.null) ?(config = default_config) aig0 =
+let optimize ?(obs = Obs.null) ?(explain = fun (_ : event) -> ())
+    ?(config = default_config) aig0 =
   let aig = ref aig0 in
   let all_moves = moves ~zero_gain:config.zero_gain_moves in
   let max_cost = List.fold_left (fun acc m -> max acc m.cost) 1 all_moves in
@@ -127,7 +148,28 @@ let optimize ?(obs = Obs.null) ?(config = default_config) aig0 =
     end
   in
   let continue_ = ref true in
+  let round = ref 0 in
   while !continue_ && !budget > 0 do
+    incr round;
+    (* The early-termination gradient as of the start of this round:
+       what the explain stream reports for every attempt in it. *)
+    let round_gradient = gradient () in
+    let emit m ~gain ~accepted ~size =
+      explain
+        {
+          iteration = !tried;
+          round = !round;
+          tier = !tier;
+          move = m.name;
+          cost = m.cost;
+          gain;
+          accepted;
+          budget_left = !budget;
+          budget_spent = !spent;
+          gradient = round_gradient;
+          size;
+        }
+    in
     (* Candidate moves at the current tier, most promising first
        (recorded success, then cheapness). *)
     let tier_moves =
@@ -148,6 +190,7 @@ let optimize ?(obs = Obs.null) ?(config = default_config) aig0 =
         total_gain := !total_gain + gain
       end;
       log := (m.name, gain) :: !log;
+      emit m ~gain ~accepted:(gain > 0) ~size:(Aig.size !aig);
       gain
     in
     let round_gain =
@@ -162,8 +205,11 @@ let optimize ?(obs = Obs.null) ?(config = default_config) aig0 =
         in
         go tier_moves
       | Parallel ->
-        (* Evaluate all moves on copies; commit the best. *)
+        (* Evaluate all moves on copies; commit the best. The explain
+           events are emitted once the round's winner is known, in
+           attempt order. *)
         let best = ref None in
+        let attempts = ref [] in
         List.iter
           (fun m ->
             if !budget > 0 then begin
@@ -174,18 +220,39 @@ let optimize ?(obs = Obs.null) ?(config = default_config) aig0 =
               let next, gain = timed_apply m copy in
               stat m.name (gain > 0);
               log := (m.name, gain) :: !log;
+              attempts := (!tried, m, gain, Aig.size next) :: !attempts;
               match !best with
               | Some (bg, _, _) when bg >= gain -> ()
               | Some _ | None -> best := Some (gain, m, next)
             end)
           tier_moves;
-        (match !best with
-        | Some (gain, _, next) when gain > 0 ->
-          aig := next;
-          incr gained;
-          total_gain := !total_gain + gain;
-          gain
-        | Some _ | None -> 0)
+        let committed =
+          match !best with
+          | Some (gain, m, next) when gain > 0 ->
+            aig := next;
+            incr gained;
+            total_gain := !total_gain + gain;
+            Some m
+          | Some _ | None -> None
+        in
+        List.iter
+          (fun (iteration, m, gain, size) ->
+            explain
+              {
+                iteration;
+                round = !round;
+                tier = !tier;
+                move = m.name;
+                cost = m.cost;
+                gain;
+                accepted = (match committed with Some c -> c == m | None -> false);
+                budget_left = !budget;
+                budget_spent = !spent;
+                gradient = round_gradient;
+                size;
+              })
+          (List.rev !attempts);
+        (match !best with Some (gain, _, _) when gain > 0 -> gain | _ -> 0)
     in
     push_gain round_gain;
     if round_gain = 0 then begin
@@ -206,7 +273,8 @@ let optimize ?(obs = Obs.null) ?(config = default_config) aig0 =
     Obs.add obs "gradient.moves_gained" !gained;
     Obs.add obs "gradient.gain" !total_gain;
     Obs.add obs "gradient.budget_spent" !spent;
-    Obs.add obs "gradient.budget_extensions" !extensions
+    Obs.add obs "gradient.budget_extensions" !extensions;
+    Obs.add obs "gradient.rounds" !round
   end;
   ( !aig,
     {
@@ -218,6 +286,6 @@ let optimize ?(obs = Obs.null) ?(config = default_config) aig0 =
       move_log = List.rev !log;
     } )
 
-let run ?obs ?config aig =
-  let optimized, stats = optimize ?obs ?config (Aig.copy aig) in
+let run ?obs ?explain ?config aig =
+  let optimized, stats = optimize ?obs ?explain ?config (Aig.copy aig) in
   (fst (Aig.compact optimized), stats)

@@ -36,18 +36,54 @@ type stats = {
   move_log : (string * int) list; (** move name, gain — chronological *)
 }
 
-(** [run ?obs ?config aig] optimizes a copy of [aig] and returns the
-    compacted result with run statistics; the input is not modified.
-    The result never has more nodes than the input. When [obs] is an
-    enabled span, every attempted move becomes a child span (with
-    [move.cost]/[move.gain] counters) and the run totals land on
-    [obs] as [gradient.*] counters. *)
-val run :
-  ?obs:Sbm_obs.span -> ?config:config -> Sbm_aig.Aig.t -> Sbm_aig.Aig.t * stats
+(** One attempted move, as seen by the selection rule — the unit of
+    the [--explain] telemetry stream. Every move the engine charges
+    budget for produces exactly one event, in chronological order. *)
+type event = {
+  iteration : int;  (** 1-based attempt index (= [moves_tried] so far) *)
+  round : int;  (** 1-based waterfall/parallel round *)
+  tier : int;  (** cost tier the round ran at *)
+  move : string;
+  cost : int;  (** budget charged for the attempt *)
+  gain : int;  (** nodes saved by the attempt *)
+  accepted : bool;
+      (** whether the selection rule committed this move's result:
+          waterfall accepts any gaining move, parallel only the
+          round's best gaining move *)
+  budget_left : int;  (** budget remaining after charging [cost] *)
+  budget_spent : int;  (** cumulative cost so far *)
+  gradient : float;
+      (** the early-termination gradient over the last [k] rounds, as
+          of the start of this round (1.0 while the window is not yet
+          full) *)
+  size : int;  (** network size after the attempt was resolved *)
+}
 
-(** [optimize ?obs ?config aig] is the in-place engine behind {!run}:
-    it mutates (and possibly rebuilds) [aig] and returns the network
-    to use plus statistics. Flow scripts use it to avoid copying
-    between passes. *)
+(** [event_to_json e] is a single-line JSON object with the fields of
+    [e] (the record format of [sbm opt --explain FILE]). *)
+val event_to_json : event -> string
+
+(** [run ?obs ?explain ?config aig] optimizes a copy of [aig] and
+    returns the compacted result with run statistics; the input is not
+    modified. The result never has more nodes than the input. When
+    [obs] is an enabled span, every attempted move becomes a child
+    span (with [move.cost]/[move.gain] counters) and the run totals
+    land on [obs] as [gradient.*] counters. When [explain] is given it
+    receives one {!event} per attempted move, in order. *)
+val run :
+  ?obs:Sbm_obs.span ->
+  ?explain:(event -> unit) ->
+  ?config:config ->
+  Sbm_aig.Aig.t ->
+  Sbm_aig.Aig.t * stats
+
+(** [optimize ?obs ?explain ?config aig] is the in-place engine behind
+    {!run}: it mutates (and possibly rebuilds) [aig] and returns the
+    network to use plus statistics. Flow scripts use it to avoid
+    copying between passes. *)
 val optimize :
-  ?obs:Sbm_obs.span -> ?config:config -> Sbm_aig.Aig.t -> Sbm_aig.Aig.t * stats
+  ?obs:Sbm_obs.span ->
+  ?explain:(event -> unit) ->
+  ?config:config ->
+  Sbm_aig.Aig.t ->
+  Sbm_aig.Aig.t * stats

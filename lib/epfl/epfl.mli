@@ -45,6 +45,10 @@ val all : benchmark list
 val table1_set : benchmark list
 val table2_set : benchmark list
 
+(** Small, fast benchmarks: the default subset of [sbm bench] and the
+    CI regression gate. *)
+val quick_set : benchmark list
+
 val name : benchmark -> string
 val of_name : string -> benchmark option
 
@@ -52,10 +56,13 @@ val of_name : string -> benchmark option
     benchmark at scale 1.0. *)
 val io_signature : benchmark -> int * int
 
-(** [generate ?scale b] constructs the network. [scale] in (0, 1]
-    divides word widths (arithmetic benchmarks only; control
-    benchmarks ignore it). Default 1.0. *)
-val generate : ?scale:float -> benchmark -> Sbm_aig.Aig.t
+(** [generate ?scale ?seed b] constructs the network. [scale] in
+    (0, 1] divides word widths (arithmetic benchmarks only; control
+    benchmarks ignore it). Default 1.0. [seed] replaces the built-in
+    RNG seed of the structured-random control benchmarks (cavlc, ctrl,
+    i2c, mem_ctrl, router) so snapshots can pin or vary the generated
+    instance; functionally determined benchmarks ignore it. *)
+val generate : ?scale:float -> ?seed:int -> benchmark -> Sbm_aig.Aig.t
 
 (** [random_control ~seed ~inputs ~outputs ~gates] is the seeded
     structured-random control-logic generator behind cavlc / i2c /

@@ -10,6 +10,8 @@ type rec_ = {
   mutable r_size1 : int; (* -1 = unset *)
   mutable r_depth0 : int;
   mutable r_depth1 : int;
+  r_gc0 : Gc.stat; (* quick_stat at open *)
+  mutable r_gc1 : Gc.stat option; (* quick_stat at close *)
   mutable r_counters : (string, int ref) Hashtbl.t option;
   mutable r_children : rec_ list; (* reversed *)
 }
@@ -32,6 +34,8 @@ let fresh ?(size = -1) ?(depth = -1) name =
     r_size1 = -1;
     r_depth0 = depth;
     r_depth1 = -1;
+    r_gc0 = Gc.quick_stat ();
+    r_gc1 = None;
     r_counters = None;
     r_children = [];
   }
@@ -52,7 +56,10 @@ let span ?size ?depth parent name =
 let close ?size ?depth = function
   | Noop -> ()
   | Span r ->
-    if r.r_t1 = 0L then r.r_t1 <- monotonic_ns ();
+    if r.r_t1 = 0L then begin
+      r.r_t1 <- monotonic_ns ();
+      r.r_gc1 <- Some (Gc.quick_stat ())
+    end;
     (match size with Some s -> r.r_size1 <- s | None -> ());
     (match depth with Some d -> r.r_depth1 <- d | None -> ())
 
@@ -76,6 +83,13 @@ let incr span name = add span name 1
 
 (* --- freezing --- *)
 
+type gc_delta = {
+  minor_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
 type node = {
   name : string;
   wall_ns : int64;
@@ -83,14 +97,24 @@ type node = {
   size_after : int option;
   depth_before : int option;
   depth_after : int option;
+  gc : gc_delta;
   counters : (string * int) list;
   children : node list;
 }
 
 let opt_of_int i = if i < 0 then None else Some i
 
-let rec freeze now r =
+let gc_delta_of (g0 : Gc.stat) (g1 : Gc.stat) =
+  {
+    minor_words = Float.max 0.0 (g1.Gc.minor_words -. g0.Gc.minor_words);
+    major_words = Float.max 0.0 (g1.Gc.major_words -. g0.Gc.major_words);
+    minor_collections = max 0 (g1.Gc.minor_collections - g0.Gc.minor_collections);
+    major_collections = max 0 (g1.Gc.major_collections - g0.Gc.major_collections);
+  }
+
+let rec freeze now gc_now r =
   let stop = if r.r_t1 = 0L then now else r.r_t1 in
+  let gc_stop = match r.r_gc1 with Some g -> g | None -> gc_now in
   let counters =
     match r.r_counters with
     | None -> []
@@ -105,15 +129,17 @@ let rec freeze now r =
     size_after = opt_of_int r.r_size1;
     depth_before = opt_of_int r.r_depth0;
     depth_after = opt_of_int r.r_depth1;
+    gc = gc_delta_of r.r_gc0 gc_stop;
     counters;
     (* [r_children] is stored newest-first; [rev_map] restores opening
        order. *)
-    children = List.rev_map (freeze now) r.r_children;
+    children = List.rev_map (freeze now gc_now) r.r_children;
   }
 
 let spans trace =
   let now = monotonic_ns () in
-  List.rev_map (freeze now) trace.roots
+  let gc_now = Gc.quick_stat () in
+  List.rev_map (freeze now gc_now) trace.roots
 
 let totals trace =
   let acc : (string, int) Hashtbl.t = Hashtbl.create 32 in
@@ -131,9 +157,64 @@ let totals trace =
 let total trace name =
   Option.value ~default:0 (List.assoc_opt name (totals trace))
 
-(* --- reporters --- *)
+(* --- value distributions --- *)
 
 let ms_of_ns ns = Int64.to_float ns /. 1e6
+
+type dist = {
+  count : int;
+  total_ms : float;
+  p50_ms : float;
+  p90_ms : float;
+  max_ms : float;
+}
+
+(* Nearest-rank percentile: the smallest sample such that at least
+   [p * count] samples are <= it. [values] need not be sorted. *)
+let percentile values p =
+  let n = Array.length values in
+  if n = 0 then invalid_arg "Sbm_obs.percentile: empty sample";
+  if p < 0.0 || p > 1.0 then invalid_arg "Sbm_obs.percentile: p outside [0,1]";
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  let rank = int_of_float (ceil (p *. float_of_int n)) - 1 in
+  sorted.(max 0 (min (n - 1) rank))
+
+let dist_of_samples values =
+  let total = Array.fold_left ( +. ) 0.0 values in
+  {
+    count = Array.length values;
+    total_ms = total;
+    p50_ms = percentile values 0.5;
+    p90_ms = percentile values 0.9;
+    max_ms = percentile values 1.0;
+  }
+
+let histograms trace =
+  let acc : (string, float list ref) Hashtbl.t = Hashtbl.create 32 in
+  let rec walk n =
+    let ms = ms_of_ns n.wall_ns in
+    (match Hashtbl.find_opt acc n.name with
+    | Some cell -> cell := ms :: !cell
+    | None -> Hashtbl.add acc n.name (ref [ ms ]));
+    List.iter walk n.children
+  in
+  List.iter walk (spans trace);
+  Hashtbl.fold
+    (fun name cell l -> (name, dist_of_samples (Array.of_list !cell)) :: l)
+    acc []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp_histograms ppf trace =
+  Fmt.pf ppf "%-32s %6s %10s %10s %10s %10s@." "span" "count" "p50 ms"
+    "p90 ms" "max ms" "total ms";
+  List.iter
+    (fun (name, d) ->
+      Fmt.pf ppf "%-32s %6d %10.3f %10.3f %10.3f %10.3f@." name d.count
+        d.p50_ms d.p90_ms d.max_ms d.total_ms)
+    (histograms trace)
+
+(* --- reporters --- *)
 
 let pp ppf trace =
   let rec go indent n =
@@ -198,6 +279,11 @@ let buf_span_fields b n =
   field "size_after" n.size_after;
   field "depth_before" n.depth_before;
   field "depth_after" n.depth_after;
+  Buffer.add_string b
+    (Printf.sprintf
+       ",\"gc\":{\"minor_words\":%.0f,\"major_words\":%.0f,\"minor_collections\":%d,\"major_collections\":%d}"
+       n.gc.minor_words n.gc.major_words n.gc.minor_collections
+       n.gc.major_collections);
   if n.counters <> [] then begin
     Buffer.add_string b ",\"counters\":";
     buf_counters b n.counters
@@ -216,9 +302,18 @@ let to_json trace =
       n.children;
     Buffer.add_string b "]}"
   in
-  Buffer.add_string b "{\"version\":1,\"totals\":";
+  Buffer.add_string b "{\"version\":2,\"totals\":";
   buf_counters b (totals trace);
-  Buffer.add_string b ",\"spans\":[";
+  Buffer.add_string b ",\"histograms\":{";
+  List.iteri
+    (fun i (name, d) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\"%s\":{\"count\":%d,\"total_ms\":%.6f,\"p50_ms\":%.6f,\"p90_ms\":%.6f,\"max_ms\":%.6f}"
+           (json_escape name) d.count d.total_ms d.p50_ms d.p90_ms d.max_ms))
+    (histograms trace);
+  Buffer.add_string b "},\"spans\":[";
   List.iteri
     (fun i n ->
       if i > 0 then Buffer.add_char b ',';
@@ -239,6 +334,36 @@ let to_jsonl trace =
   List.iter (go "") (spans trace);
   Buffer.contents b
 
+(* RFC 4180 quoting: a cell containing a comma, quote or newline is
+   wrapped in double quotes with inner quotes doubled. *)
+let csv_cell s =
+  if String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+  then begin
+    let b = Buffer.create (String.length s + 8) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+  else s
+
+(* Counter names may contain the [k=v;k=v] packing's own separators;
+   escape them with a backslash so the cell stays parseable. *)
+let counter_key_escape s =
+  if String.exists (function ';' | '=' | '\\' -> true | _ -> false) s then begin
+    let b = Buffer.create (String.length s + 4) in
+    String.iter
+      (fun c ->
+        (match c with ';' | '=' | '\\' -> Buffer.add_char b '\\' | _ -> ());
+        Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+  else s
+
 let to_csv trace =
   let b = Buffer.create 4096 in
   Buffer.add_string b
@@ -248,12 +373,14 @@ let to_csv trace =
     let path = if path = "" then n.name else path ^ "/" ^ n.name in
     let counters =
       String.concat ";"
-        (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) n.counters)
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=%d" (counter_key_escape k) v)
+           n.counters)
     in
     Buffer.add_string b
-      (Printf.sprintf "%s,%.6f,%s,%s,%s,%s,%s\n" path (ms_of_ns n.wall_ns)
-         (cell n.size_before) (cell n.size_after) (cell n.depth_before)
-         (cell n.depth_after) counters);
+      (Printf.sprintf "%s,%.6f,%s,%s,%s,%s,%s\n" (csv_cell path)
+         (ms_of_ns n.wall_ns) (cell n.size_before) (cell n.size_after)
+         (cell n.depth_before) (cell n.depth_after) (csv_cell counters));
     List.iter (go path) n.children
   in
   List.iter (go "") (spans trace);
@@ -269,3 +396,55 @@ let write trace path =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (render trace))
+
+(* --- QoR snapshots --- *)
+
+module Snapshot = struct
+  type qor = { size : int; depth : int; luts : int; levels : int }
+
+  type entry = {
+    bench : string;
+    qor : qor;
+    wall_ms : float;
+    counters : (string * int) list;
+  }
+
+  type t = { version : int; label : string; seed : int; entries : entry list }
+
+  let current_version = 1
+
+  let make ?(label = "") ?(seed = 0) entries =
+    let entries =
+      List.sort (fun a b -> String.compare a.bench b.bench) entries
+    in
+    { version = current_version; label; seed; entries }
+
+  let find t bench = List.find_opt (fun e -> e.bench = bench) t.entries
+
+  let to_json t =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b
+      (Printf.sprintf "{\"version\":%d,\"label\":\"%s\",\"seed\":%d,\"entries\":["
+         t.version (json_escape t.label) t.seed);
+    List.iteri
+      (fun i e ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"bench\":\"%s\",\"size\":%d,\"depth\":%d,\"luts\":%d,\"levels\":%d,\"wall_ms\":%.3f,\"counters\":"
+             (json_escape e.bench) e.qor.size e.qor.depth e.qor.luts
+             e.qor.levels e.wall_ms);
+        buf_counters b e.counters;
+        Buffer.add_char b '}')
+      t.entries;
+    Buffer.add_string b "]}";
+    Buffer.contents b
+
+  let write t path =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (to_json t);
+        output_char oc '\n')
+end

@@ -67,6 +67,18 @@ val incr : span -> string -> unit
     A frozen, immutable view of the recorded forest — the input to the
     reporters and to tests. *)
 
+(** Allocation/collection activity while a span was open, from
+    [Gc.quick_stat] deltas (open vs. close; spans still open at freeze
+    time are measured against the current stat). Words are the
+    runtime's [float] word counts; negative deltas (impossible under a
+    monotonic GC, but defensively) clamp to 0. *)
+type gc_delta = {
+  minor_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
 type node = {
   name : string;
   wall_ns : int64;  (** monotonic wall time spent inside the span *)
@@ -74,6 +86,7 @@ type node = {
   size_after : int option;
   depth_before : int option;
   depth_after : int option;
+  gc : gc_delta;  (** GC activity inside the span (children included) *)
   counters : (string * int) list;  (** sorted by name *)
   children : node list;  (** in opening order *)
 }
@@ -90,6 +103,32 @@ val totals : trace -> (string * int) list
     never touched). *)
 val total : trace -> string -> int
 
+(** {1 Value distributions}
+
+    Spans sharing a name (e.g. the per-partition or per-move child
+    spans an engine opens in a loop) form a sample; the histogram view
+    summarizes each sample's wall-time distribution. *)
+
+type dist = {
+  count : int;
+  total_ms : float;
+  p50_ms : float;  (** median (nearest-rank) *)
+  p90_ms : float;
+  max_ms : float;
+}
+
+(** [percentile values p] is the nearest-rank [p]-percentile
+    ([p] in [0,1]) of an unsorted, non-empty sample. Raises
+    [Invalid_argument] on an empty sample or [p] outside [0,1]. *)
+val percentile : float array -> float -> float
+
+(** [histograms trace] groups every span in the forest by name and
+    summarizes each group's wall time; sorted by span name. *)
+val histograms : trace -> (string * dist) list
+
+(** Render {!histograms} as an aligned table. *)
+val pp_histograms : Format.formatter -> trace -> unit
+
 (** {1 Reporters} *)
 
 (** Human-readable tree: one line per span with wall time and deltas,
@@ -97,7 +136,9 @@ val total : trace -> string -> int
 val pp : Format.formatter -> trace -> unit
 
 (** Nested JSON document:
-    [{"version":1,"totals":{...},"spans":[...]}]. *)
+    [{"version":2,"totals":{...},"histograms":{...},"spans":[...]}].
+    Version 2 adds the top-level [histograms] object and a per-span
+    [gc] object. *)
 val to_json : trace -> string
 
 (** One JSON object per line, spans flattened depth-first with a
@@ -106,9 +147,57 @@ val to_jsonl : trace -> string
 
 (** CSV with header
     [path,wall_ms,size_before,size_after,depth_before,depth_after,counters];
-    counters are packed as [k=v;k=v]. *)
+    counters are packed as [k=v;k=v]. Cells containing commas, quotes
+    or newlines are RFC 4180-quoted; [;]/[=]/[\ ] inside counter names
+    are backslash-escaped so the packed cell stays parseable. *)
 val to_csv : trace -> string
 
 (** [write trace path] renders by extension: [.jsonl] -> {!to_jsonl},
     [.csv] -> {!to_csv}, anything else -> {!to_json}. *)
 val write : trace -> string -> unit
+
+(** {1 QoR snapshots}
+
+    A snapshot is the durable unit of regression tracking: one record
+    per benchmark carrying the quality-of-result metrics the paper's
+    tables report (AIG size/depth, LUT-6 count/levels), the flow's
+    wall time, and the aggregated engine counters of the run.
+    [sbm bench] writes one; [Sbm_report] loads and diffs two. *)
+
+module Snapshot : sig
+  (** The four QoR columns of Tables I/II. *)
+  type qor = { size : int; depth : int; luts : int; levels : int }
+
+  type entry = {
+    bench : string;
+    qor : qor;
+    wall_ms : float;  (** flow wall time for this benchmark *)
+    counters : (string * int) list;  (** trace totals, sorted by name *)
+  }
+
+  type t = {
+    version : int;
+    label : string;  (** free-form provenance (git rev, flow, scale) *)
+    seed : int;  (** RNG seed the benchmarks were generated with *)
+    entries : entry list;  (** sorted by bench name *)
+  }
+
+  (** Schema version written by {!make} (currently 1). Readers accept
+      any version [<= current_version]. *)
+  val current_version : int
+
+  (** [make ?label ?seed entries] is a current-version snapshot with
+      entries sorted by benchmark name. *)
+  val make : ?label:string -> ?seed:int -> entry list -> t
+
+  val find : t -> string -> entry option
+
+  (** Single-line JSON document:
+      [{"version":1,"label":"...","seed":1,"entries":[{"bench":...,
+      "size":...,"depth":...,"luts":...,"levels":...,"wall_ms":...,
+      "counters":{...}}]}]. *)
+  val to_json : t -> string
+
+  (** [write t path] writes {!to_json} plus a trailing newline. *)
+  val write : t -> string -> unit
+end

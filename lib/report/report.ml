@@ -1,0 +1,225 @@
+module Snapshot = Sbm_obs.Snapshot
+
+(* --- loading --- *)
+
+let snapshot_of_json s =
+  match Json.parse s with
+  | exception Json.Bad msg -> Error ("malformed JSON: " ^ msg)
+  | json -> (
+    match Json.(to_int (member "version" json)) with
+    | None -> Error "not a snapshot: missing \"version\""
+    | Some v when v > Snapshot.current_version ->
+      Error
+        (Printf.sprintf "snapshot version %d is newer than supported (%d)" v
+           Snapshot.current_version)
+    | Some version -> (
+      let entry_of_json j =
+        match Json.(to_str (member "bench" j)) with
+        | None -> Error "entry without \"bench\""
+        | Some bench -> (
+          let int field = Json.(to_int (member field j)) in
+          match (int "size", int "depth", int "luts", int "levels") with
+          | Some size, Some depth, Some luts, Some levels ->
+            let counters =
+              Json.to_obj (Json.member "counters" j)
+              |> List.filter_map (fun (k, v) ->
+                     match Json.to_int (Some v) with
+                     | Some n -> Some (k, n)
+                     | None -> None)
+            in
+            Ok
+              {
+                Snapshot.bench;
+                qor = { Snapshot.size; depth; luts; levels };
+                wall_ms =
+                  Option.value ~default:0.0
+                    Json.(to_float (member "wall_ms" j));
+                counters;
+              }
+          | _ -> Error (Printf.sprintf "entry %S: missing QoR field" bench))
+      in
+      let rec entries acc = function
+        | [] -> Ok (List.rev acc)
+        | j :: rest -> (
+          match entry_of_json j with
+          | Ok e -> entries (e :: acc) rest
+          | Error _ as e -> e)
+      in
+      match entries [] (Json.to_list (Json.member "entries" json)) with
+      | Error msg -> Error msg
+      | Ok entries ->
+        Ok
+          {
+            Snapshot.version;
+            label = Option.value ~default:"" Json.(to_str (member "label" json));
+            seed = Option.value ~default:0 Json.(to_int (member "seed" json));
+            entries =
+              List.sort
+                (fun a b -> String.compare a.Snapshot.bench b.Snapshot.bench)
+                entries;
+          }))
+
+let load_snapshot path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    (match snapshot_of_json (String.trim s) with
+    | Ok _ as ok -> ok
+    | Error msg -> Error (path ^ ": " ^ msg))
+
+(* --- diffing --- *)
+
+type tolerance = { qor_pct : float; time_pct : float }
+
+let default_tolerance = { qor_pct = 2.0; time_pct = 25.0 }
+
+type verdict = Improved | Unchanged | Tolerated | Regressed
+
+let severity = function
+  | Improved -> 0
+  | Unchanged -> 1
+  | Tolerated -> 2
+  | Regressed -> 3
+
+let worst a b = if severity a >= severity b then a else b
+
+type delta = {
+  metric : string;
+  old_value : float;
+  new_value : float;
+  pct : float;
+  verdict : verdict;
+}
+
+type counter_delta = { counter : string; old_count : int; new_count : int }
+
+type row = {
+  bench : string;
+  deltas : delta list;
+  counter_deltas : counter_delta list;
+  verdict : verdict;
+}
+
+type t = {
+  rows : row list;
+  only_old : string list;
+  only_new : string list;
+  verdict : verdict;
+}
+
+let classify ~tol ~old_value ~new_value metric =
+  let denom = if Float.abs old_value < 1e-9 then 1.0 else Float.abs old_value in
+  let pct = 100.0 *. (new_value -. old_value) /. denom in
+  let verdict =
+    if new_value < old_value then Improved
+    else if new_value = old_value then Unchanged
+    else if pct <= tol then Tolerated
+    else Regressed
+  in
+  { metric; old_value; new_value; pct; verdict }
+
+let counter_deltas (o : Snapshot.entry) (n : Snapshot.entry) =
+  let names =
+    List.sort_uniq String.compare (List.map fst o.counters @ List.map fst n.counters)
+  in
+  List.filter_map
+    (fun counter ->
+      let get e = Option.value ~default:0 (List.assoc_opt counter e.Snapshot.counters) in
+      let old_count = get o and new_count = get n in
+      if old_count = new_count then None
+      else Some { counter; old_count; new_count })
+    names
+
+let diff ?(tolerance = default_tolerance) (o : Snapshot.t) (n : Snapshot.t) =
+  let row (oe : Snapshot.entry) (ne : Snapshot.entry) =
+    let qor metric old_value new_value =
+      classify ~tol:tolerance.qor_pct ~old_value ~new_value metric
+    in
+    let deltas =
+      [
+        qor "size" (float_of_int oe.qor.size) (float_of_int ne.qor.size);
+        qor "depth" (float_of_int oe.qor.depth) (float_of_int ne.qor.depth);
+        qor "luts" (float_of_int oe.qor.luts) (float_of_int ne.qor.luts);
+        qor "levels" (float_of_int oe.qor.levels) (float_of_int ne.qor.levels);
+        classify ~tol:tolerance.time_pct ~old_value:oe.wall_ms
+          ~new_value:ne.wall_ms "wall_ms";
+      ]
+    in
+    {
+      bench = oe.bench;
+      deltas;
+      counter_deltas = counter_deltas oe ne;
+      verdict =
+        List.fold_left (fun acc (d : delta) -> worst acc d.verdict) Improved deltas;
+    }
+  in
+  let rows =
+    List.filter_map
+      (fun oe ->
+        Option.map (row oe) (Snapshot.find n oe.Snapshot.bench))
+      o.entries
+  in
+  let missing_from other = fun (e : Snapshot.entry) -> Snapshot.find other e.bench = None in
+  let only_old = List.filter (missing_from n) o.entries |> List.map (fun e -> e.Snapshot.bench) in
+  let only_new = List.filter (missing_from o) n.entries |> List.map (fun e -> e.Snapshot.bench) in
+  let verdict =
+    let base = if only_old <> [] then Regressed else Improved in
+    List.fold_left (fun acc (r : row) -> worst acc r.verdict) base rows
+  in
+  { rows; only_old; only_new; verdict }
+
+(* --- rendering --- *)
+
+let verdict_tag = function
+  | Improved -> "improved"
+  | Unchanged -> "="
+  | Tolerated -> "ok"
+  | Regressed -> "REGRESSED"
+
+let pp_value ppf (metric, v) =
+  if metric = "wall_ms" then Fmt.pf ppf "%10.1f" v
+  else Fmt.pf ppf "%10.0f" v
+
+let pp ppf d =
+  Fmt.pf ppf "%-12s %-8s %10s %10s %8s  %s@." "benchmark" "metric" "old" "new"
+    "delta" "verdict";
+  List.iter
+    (fun (r : row) ->
+      List.iter
+        (fun dl ->
+          Fmt.pf ppf "%-12s %-8s %a %a %+7.1f%%  %s@." r.bench dl.metric
+            pp_value (dl.metric, dl.old_value) pp_value (dl.metric, dl.new_value)
+            dl.pct (verdict_tag dl.verdict))
+        r.deltas)
+    d.rows;
+  List.iter (fun b -> Fmt.pf ppf "%-12s dropped from new snapshot: REGRESSED@." b)
+    d.only_old;
+  List.iter (fun b -> Fmt.pf ppf "%-12s only in new snapshot@." b) d.only_new;
+  let count v =
+    List.length (List.filter (fun (r : row) -> r.verdict = v) d.rows)
+  in
+  Fmt.pf ppf "summary: %d benchmarks — %d improved, %d unchanged, %d within tolerance, %d regressed%s@."
+    (List.length d.rows) (count Improved) (count Unchanged) (count Tolerated)
+    (count Regressed)
+    (if d.only_old <> [] then Fmt.str ", %d dropped" (List.length d.only_old)
+     else "")
+
+let pp_counters ppf d =
+  List.iter
+    (fun (r : row) ->
+      if r.counter_deltas <> [] then begin
+        Fmt.pf ppf "%s:@." r.bench;
+        List.iter
+          (fun c ->
+            Fmt.pf ppf "  %-32s %10d -> %-10d (%+d)@." c.counter c.old_count
+              c.new_count (c.new_count - c.old_count))
+          r.counter_deltas
+      end)
+    d.rows
+
+let exit_code d = if d.verdict = Regressed then 1 else 0

@@ -1,0 +1,87 @@
+(** Regression analysis over QoR snapshots.
+
+    This is the consumption side of the telemetry layer: load two
+    {!Sbm_obs.Snapshot.t} documents (the committed baseline and a
+    fresh [sbm bench] run), compute a structured per-benchmark diff of
+    the QoR metrics (AIG size/depth, LUT-6 count/levels), wall time
+    and engine counters, classify every delta against configurable
+    tolerance thresholds, and render the regression table [sbm diff]
+    prints and CI gates on. *)
+
+(** {1 Loading snapshots} *)
+
+(** [snapshot_of_json s] parses a snapshot document. Accepts any
+    [version <= Sbm_obs.Snapshot.current_version] (older readers'
+    missing optional fields default: [label ""], [seed 0]); rejects
+    documents from the future or with malformed entries. *)
+val snapshot_of_json : string -> (Sbm_obs.Snapshot.t, string) result
+
+(** [load_snapshot path] reads and parses a snapshot file. *)
+val load_snapshot : string -> (Sbm_obs.Snapshot.t, string) result
+
+(** {1 Diffing} *)
+
+(** Classification thresholds, in percent of the baseline value.
+    Lower is better for every metric; a delta within [+pct] of the
+    baseline is tolerated. Set [time_pct = infinity] to ignore wall
+    time entirely (CI machines are not comparable to the baseline
+    host). *)
+type tolerance = { qor_pct : float; time_pct : float }
+
+(** [{ qor_pct = 2.0; time_pct = 25.0 }] — QoR is deterministic, so
+    2 % absorbs only metric coupling (e.g. depth jitter from an equal
+    -size result); wall time is noisy, so 25 %. *)
+val default_tolerance : tolerance
+
+type verdict =
+  | Improved  (** metric decreased *)
+  | Unchanged
+  | Tolerated  (** increased, within tolerance *)
+  | Regressed  (** increased past tolerance *)
+
+(** [worst a b] is the more severe verdict ([Regressed] > [Tolerated]
+    > [Unchanged] > [Improved]). *)
+val worst : verdict -> verdict -> verdict
+
+type delta = {
+  metric : string;  (** "size", "depth", "luts", "levels" or "wall_ms" *)
+  old_value : float;
+  new_value : float;
+  pct : float;  (** 100 * (new - old) / old *)
+  verdict : verdict;
+}
+
+type counter_delta = { counter : string; old_count : int; new_count : int }
+
+type row = {
+  bench : string;
+  deltas : delta list;  (** size, depth, luts, levels, wall_ms *)
+  counter_deltas : counter_delta list;  (** changed counters only *)
+  verdict : verdict;  (** worst of [deltas] *)
+}
+
+type t = {
+  rows : row list;  (** benchmarks present in both snapshots *)
+  only_old : string list;  (** dropped benchmarks — counts as regression *)
+  only_new : string list;  (** added benchmarks — informational *)
+  verdict : verdict;  (** worst row verdict; [Regressed] if [only_old <> []] *)
+}
+
+(** [diff ?tolerance old_snapshot new_snapshot] classifies every
+    metric of every benchmark present in both snapshots. *)
+val diff : ?tolerance:tolerance -> Sbm_obs.Snapshot.t -> Sbm_obs.Snapshot.t -> t
+
+(** {1 Rendering and gating} *)
+
+(** The per-benchmark regression table: one line per metric with old
+    and new values, the percent delta and the verdict, plus dropped /
+    added benchmarks and a one-line summary. *)
+val pp : Format.formatter -> t -> unit
+
+(** Changed engine counters, per benchmark (the "why" behind a QoR
+    shift: SAT conflicts, BDD traffic, moves accepted, ...). *)
+val pp_counters : Format.formatter -> t -> unit
+
+(** [exit_code d] is 0 unless [d.verdict = Regressed], then 1 — the
+    process exit code contract of [sbm diff]. *)
+val exit_code : t -> int

@@ -20,4 +20,5 @@ let () =
       ("mspf-tt", Test_mspf_tt.suite);
       ("word", Test_word.suite);
       ("obs", Test_obs.suite);
+      ("report", Test_report.suite);
     ]

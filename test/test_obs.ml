@@ -1,160 +1,13 @@
-(* The telemetry layer: span nesting, counter aggregation, reporter
-   output, and the contract the flow scripts rely on (one span per
-   scripted pass, size deltas chaining between passes). *)
+(* The telemetry layer: span nesting, counter aggregation, value
+   distributions, GC deltas, reporter output, and the contract the
+   flow scripts rely on (one span per scripted pass, size deltas
+   chaining between passes). The JSON parser used to round-trip the
+   reporters lives in the report library. *)
 
 module Aig = Sbm_aig.Aig
 module Obs = Sbm_obs
 module Rng = Sbm_util.Rng
-
-(* --- a tiny JSON parser, enough to round-trip the reporter --- *)
-
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
-
-  exception Bad of string
-
-  let parse (s : string) : t =
-    let n = String.length s in
-    let pos = ref 0 in
-    let peek () = if !pos < n then Some s.[!pos] else None in
-    let advance () = incr pos in
-    let rec skip_ws () =
-      match peek () with
-      | Some (' ' | '\t' | '\n' | '\r') ->
-        advance ();
-        skip_ws ()
-      | _ -> ()
-    in
-    let expect c =
-      match peek () with
-      | Some c' when c' = c -> advance ()
-      | _ -> raise (Bad (Printf.sprintf "expected %c at %d" c !pos))
-    in
-    let literal word v =
-      String.iter expect word;
-      v
-    in
-    let parse_string () =
-      expect '"';
-      let buf = Buffer.create 16 in
-      let rec go () =
-        match peek () with
-        | None -> raise (Bad "unterminated string")
-        | Some '"' -> advance ()
-        | Some '\\' ->
-          advance ();
-          (match peek () with
-          | Some 'n' -> Buffer.add_char buf '\n'
-          | Some 't' -> Buffer.add_char buf '\t'
-          | Some 'r' -> Buffer.add_char buf '\r'
-          | Some 'b' -> Buffer.add_char buf '\b'
-          | Some 'f' -> Buffer.add_char buf '\012'
-          | Some 'u' ->
-            (* \uXXXX: decode the code point as a raw byte when < 256
-               (the reporter only escapes control characters). *)
-            let hex = String.sub s (!pos + 1) 4 in
-            pos := !pos + 4;
-            Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ hex) land 0xff))
-          | Some c -> Buffer.add_char buf c
-          | None -> raise (Bad "bad escape"));
-          advance ();
-          go ()
-        | Some c ->
-          advance ();
-          Buffer.add_char buf c;
-          go ()
-      in
-      go ();
-      Buffer.contents buf
-    in
-    let parse_number () =
-      let start = !pos in
-      let num_char c =
-        (c >= '0' && c <= '9')
-        || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
-      in
-      while (match peek () with Some c -> num_char c | None -> false) do
-        advance ()
-      done;
-      Num (float_of_string (String.sub s start (!pos - start)))
-    in
-    let rec parse_value () =
-      skip_ws ();
-      match peek () with
-      | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin
-          advance ();
-          Obj []
-        end
-        else begin
-          let rec members acc =
-            skip_ws ();
-            let key = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-              advance ();
-              members ((key, v) :: acc)
-            | Some '}' ->
-              advance ();
-              Obj (List.rev ((key, v) :: acc))
-            | _ -> raise (Bad "expected , or } in object")
-          in
-          members []
-        end
-      | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin
-          advance ();
-          List []
-        end
-        else begin
-          let rec elements acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-              advance ();
-              elements (v :: acc)
-            | Some ']' ->
-              advance ();
-              List (List.rev (v :: acc))
-            | _ -> raise (Bad "expected , or ] in array")
-          in
-          elements []
-        end
-      | Some '"' -> Str (parse_string ())
-      | Some 't' -> literal "true" (Bool true)
-      | Some 'f' -> literal "false" (Bool false)
-      | Some 'n' -> literal "null" Null
-      | Some _ -> parse_number ()
-      | None -> raise (Bad "empty input")
-    in
-    let v = parse_value () in
-    skip_ws ();
-    if !pos <> n then raise (Bad "trailing garbage");
-    v
-
-  let member key = function
-    | Obj fields -> List.assoc_opt key fields
-    | _ -> None
-
-  let to_int = function Some (Num f) -> Some (int_of_float f) | _ -> None
-  let to_str = function Some (Str s) -> Some s | _ -> None
-  let to_list = function Some (List l) -> l | _ -> []
-end
+module Json = Sbm_report.Json
 
 (* --- span mechanics --- *)
 
@@ -228,7 +81,7 @@ let sample_trace () =
 let test_json_round_trip () =
   let trace = sample_trace () in
   let json = Json.parse (Obs.to_json trace) in
-  Alcotest.(check (option int)) "version" (Some 1) Json.(to_int (member "version" json));
+  Alcotest.(check (option int)) "version" (Some 2) Json.(to_int (member "version" json));
   let totals = Json.member "totals" json in
   Alcotest.(check (option int))
     "total bdd.nodes" (Some 12)
@@ -293,6 +146,180 @@ let test_write_by_extension () =
   Alcotest.(check string) "jsonl file" (Obs.to_jsonl trace) (read l);
   Alcotest.(check string) "csv file" (Obs.to_csv trace) (read c);
   List.iter Sys.remove [ j; l; c ]
+
+let test_json_gc_and_histograms () =
+  let trace = sample_trace () in
+  let json = Json.parse (Obs.to_json trace) in
+  (match Json.to_list (Json.member "spans" json) with
+  | [ root ] ->
+    let gc = Json.member "gc" root in
+    Alcotest.(check bool) "gc present" true (gc <> None);
+    Alcotest.(check bool)
+      "gc minor_words is a number" true
+      (Json.to_float (Option.bind gc (Json.member "minor_words")) <> None)
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l));
+  let hist = Json.member "histograms" json in
+  Alcotest.(check bool)
+    "histogram entry per span name" true
+    (List.map fst (Json.to_obj hist) = [ "pa\"ss"; "sbm" ]);
+  Alcotest.(check (option int))
+    "count" (Some 1)
+    Json.(to_int (Option.bind (Option.bind hist (member "sbm")) (member "count")))
+
+(* --- value distributions --- *)
+
+let test_percentile_known_inputs () =
+  let check msg expected values p =
+    Alcotest.(check (float 1e-9)) msg expected (Obs.percentile values p)
+  in
+  check "median of 1..4 (nearest rank)" 2.0 [| 1.0; 2.0; 3.0; 4.0 |] 0.5;
+  check "median of 1..5" 3.0 [| 5.0; 1.0; 4.0; 2.0; 3.0 |] 0.5;
+  check "p90 of 1..10" 9.0 (Array.init 10 (fun i -> float_of_int (i + 1))) 0.9;
+  check "p0 is the minimum" 1.0 [| 3.0; 1.0; 2.0 |] 0.0;
+  check "p100 is the maximum" 3.0 [| 3.0; 1.0; 2.0 |] 1.0;
+  check "singleton" 7.5 [| 7.5 |] 0.9;
+  Alcotest.check_raises "empty sample rejected"
+    (Invalid_argument "Sbm_obs.percentile: empty sample") (fun () ->
+      ignore (Obs.percentile [||] 0.5));
+  Alcotest.check_raises "p out of range rejected"
+    (Invalid_argument "Sbm_obs.percentile: p outside [0,1]") (fun () ->
+      ignore (Obs.percentile [| 1.0 |] 1.5))
+
+let test_histograms_group_by_name () =
+  let trace = Obs.create () in
+  let root = Obs.root trace "flow" in
+  for _ = 1 to 3 do
+    Obs.close (Obs.span root "move")
+  done;
+  Obs.close (Obs.span root "other");
+  Obs.close root;
+  match Obs.histograms trace with
+  | [ ("flow", f); ("move", m); ("other", o) ] ->
+    Alcotest.(check int) "3 samples of move" 3 m.Obs.count;
+    Alcotest.(check int) "1 sample of flow" 1 f.Obs.count;
+    Alcotest.(check int) "1 sample of other" 1 o.Obs.count;
+    Alcotest.(check bool) "ordered percentiles" true
+      (0.0 <= m.Obs.p50_ms && m.Obs.p50_ms <= m.Obs.p90_ms
+      && m.Obs.p90_ms <= m.Obs.max_ms
+      && m.Obs.max_ms <= m.Obs.total_ms +. 1e-9)
+  | l ->
+    Alcotest.failf "expected histograms for flow/move/other, got %d entries"
+      (List.length l)
+
+let test_gc_delta_captured () =
+  let trace = Obs.create () in
+  let root = Obs.root trace "alloc" in
+  (* Allocate enough to move the minor-words counter for sure. *)
+  let junk = Sys.opaque_identity (List.init 50_000 (fun i -> (i, i))) in
+  ignore (Sys.opaque_identity (List.length junk));
+  Obs.close root;
+  match Obs.spans trace with
+  | [ n ] ->
+    Alcotest.(check bool) "minor words counted" true (n.Obs.gc.Obs.minor_words > 0.0);
+    Alcotest.(check bool) "collections non-negative" true
+      (n.Obs.gc.Obs.minor_collections >= 0 && n.Obs.gc.Obs.major_collections >= 0)
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l)
+
+(* --- CSV escaping --- *)
+
+(* A strict RFC 4180 row parser: unquoted cells up to the next comma,
+   quoted cells with doubled inner quotes. *)
+let parse_csv_row line =
+  let n = String.length line in
+  let cells = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    cells := Buffer.contents buf :: !cells;
+    Buffer.clear buf
+  in
+  let i = ref 0 in
+  while !i < n do
+    if Buffer.length buf = 0 && line.[!i] = '"' then begin
+      (* quoted cell *)
+      incr i;
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then Alcotest.fail "unterminated quoted cell"
+        else if line.[!i] = '"' then
+          if !i + 1 < n && line.[!i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf line.[!i];
+          incr i
+        end
+      done
+    end
+    else if line.[!i] = ',' then begin
+      flush ();
+      incr i
+    end
+    else begin
+      Buffer.add_char buf line.[!i];
+      incr i
+    end
+  done;
+  flush ();
+  List.rev !cells
+
+(* Invert the [k=v;k=v] packing, honouring backslash escapes. *)
+let parse_counters_cell cell =
+  let n = String.length cell in
+  let out = ref [] in
+  let key = Buffer.create 16 in
+  let value = Buffer.create 8 in
+  let in_value = ref false in
+  let flush () =
+    if Buffer.length key > 0 || Buffer.length value > 0 then
+      out := (Buffer.contents key, int_of_string (Buffer.contents value)) :: !out;
+    Buffer.clear key;
+    Buffer.clear value;
+    in_value := false
+  in
+  let i = ref 0 in
+  while !i < n do
+    (match cell.[!i] with
+    | '\\' when !i + 1 < n ->
+      incr i;
+      Buffer.add_char (if !in_value then value else key) cell.[!i]
+    | ';' -> flush ()
+    | '=' when not !in_value -> in_value := true
+    | c -> Buffer.add_char (if !in_value then value else key) c);
+    incr i
+  done;
+  flush ();
+  List.rev !out
+
+let test_csv_escaping_round_trip () =
+  let trace = Obs.create () in
+  let root = Obs.root ~size:10 trace "pass,one" in
+  Obs.add root "weird;name=x" 7;
+  Obs.add root "plain" 3;
+  Obs.add root "back\\slash" 1;
+  Obs.close ~size:8 root;
+  let csv = Obs.to_csv trace in
+  match List.filter (fun l -> l <> "") (String.split_on_char '\n' csv) with
+  | [ header; row ] ->
+    Alcotest.(check int)
+      "header and row have the same arity"
+      (List.length (parse_csv_row header))
+      (List.length (parse_csv_row row));
+    (match parse_csv_row row with
+    | [ path; _wall; size_before; size_after; _d0; _d1; counters ] ->
+      Alcotest.(check string) "comma in span name survives" "pass,one" path;
+      Alcotest.(check string) "size before" "10" size_before;
+      Alcotest.(check string) "size after" "8" size_after;
+      Alcotest.(check (list (pair string int)))
+        "counters unpack exactly"
+        [ ("back\\slash", 1); ("plain", 3); ("weird;name=x", 7) ]
+        (parse_counters_cell counters)
+    | cells -> Alcotest.failf "expected 7 cells, got %d" (List.length cells))
+  | lines -> Alcotest.failf "expected 2 csv lines, got %d" (List.length lines)
 
 (* --- the flow contract --- *)
 
@@ -377,6 +404,11 @@ let suite =
     Alcotest.test_case "counter totals" `Quick test_counter_totals;
     Alcotest.test_case "monotonic clock" `Quick test_monotonic_clock;
     Alcotest.test_case "json round-trip" `Quick test_json_round_trip;
+    Alcotest.test_case "json gc and histograms" `Quick test_json_gc_and_histograms;
+    Alcotest.test_case "percentile math" `Quick test_percentile_known_inputs;
+    Alcotest.test_case "histograms group by name" `Quick test_histograms_group_by_name;
+    Alcotest.test_case "gc deltas" `Quick test_gc_delta_captured;
+    Alcotest.test_case "csv escaping round-trip" `Quick test_csv_escaping_round_trip;
     Alcotest.test_case "jsonl and csv" `Quick test_jsonl_and_csv;
     Alcotest.test_case "write by extension" `Quick test_write_by_extension;
     Alcotest.test_case "flow records pass spans" `Quick test_flow_records_pass_spans;

@@ -1,0 +1,280 @@
+(* The regression observatory: snapshot round-trips (including
+   reading documents older than the current schema version), diff
+   classification against tolerance thresholds, the exit-code gate,
+   and the gradient engine's explain stream. *)
+
+module Aig = Sbm_aig.Aig
+module Obs = Sbm_obs
+module Snapshot = Sbm_obs.Snapshot
+module Report = Sbm_report.Report
+module Json = Sbm_report.Json
+module Gradient = Sbm_core.Gradient
+module Rng = Sbm_util.Rng
+
+let entry ?(counters = []) ?(wall_ms = 100.0) bench size depth luts levels =
+  {
+    Snapshot.bench;
+    qor = { Snapshot.size; depth; luts; levels };
+    wall_ms;
+    counters;
+  }
+
+(* --- snapshot round-trip --- *)
+
+let test_snapshot_round_trip () =
+  let snapshot =
+    Snapshot.make ~label:"flow=sbm-low \"quoted\"" ~seed:42
+      [
+        entry ~counters:[ ("gradient.moves_tried", 12); ("sat.conflicts", 3) ]
+          ~wall_ms:12.5 "ctrl" 52 10 20 3;
+        entry ~wall_ms:640.125 "router" 105 10 30 3;
+      ]
+  in
+  match Report.snapshot_of_json (Snapshot.to_json snapshot) with
+  | Error msg -> Alcotest.failf "round trip failed: %s" msg
+  | Ok parsed ->
+    Alcotest.(check int) "version" Snapshot.current_version parsed.Snapshot.version;
+    Alcotest.(check string) "label with quotes" "flow=sbm-low \"quoted\""
+      parsed.Snapshot.label;
+    Alcotest.(check int) "seed" 42 parsed.Snapshot.seed;
+    Alcotest.(check bool) "entries identical" true
+      (parsed.Snapshot.entries = snapshot.Snapshot.entries)
+
+let test_snapshot_file_round_trip () =
+  let snapshot = Snapshot.make ~label:"t" [ entry "dec" 503 6 280 2 ] in
+  let path = Filename.temp_file "sbm_snapshot" ".json" in
+  Snapshot.write snapshot path;
+  let loaded = Report.load_snapshot path in
+  Sys.remove path;
+  match loaded with
+  | Error msg -> Alcotest.failf "load failed: %s" msg
+  | Ok parsed ->
+    Alcotest.(check bool) "file round trip" true (parsed = snapshot)
+
+let test_snapshot_version_tolerance () =
+  (* A version-0 document from a hypothetical older writer: no label,
+     no seed, no counters. Readers must accept it with defaults. *)
+  let v0 =
+    "{\"version\":0,\"entries\":[{\"bench\":\"ctrl\",\"size\":52,\"depth\":10,\"luts\":20,\"levels\":3}]}"
+  in
+  (match Report.snapshot_of_json v0 with
+  | Error msg -> Alcotest.failf "old version rejected: %s" msg
+  | Ok s ->
+    Alcotest.(check int) "old version kept" 0 s.Snapshot.version;
+    Alcotest.(check string) "label defaults" "" s.Snapshot.label;
+    Alcotest.(check int) "seed defaults" 0 s.Snapshot.seed;
+    (match s.Snapshot.entries with
+    | [ e ] ->
+      Alcotest.(check (list (pair string int))) "counters default" []
+        e.Snapshot.counters;
+      Alcotest.(check (float 1e-9)) "wall_ms defaults" 0.0 e.Snapshot.wall_ms
+    | l -> Alcotest.failf "expected 1 entry, got %d" (List.length l)));
+  (* Documents from the future are rejected, not misread. *)
+  (match Report.snapshot_of_json "{\"version\":99,\"entries\":[]}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "future version accepted");
+  (* Garbage is an error, not an exception. *)
+  match Report.snapshot_of_json "{\"version\":" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed JSON accepted"
+
+(* --- diff classification --- *)
+
+let test_diff_classification () =
+  let old_snap =
+    Snapshot.make
+      [
+        entry ~wall_ms:100.0 "improves" 100 10 40 5;
+        entry ~wall_ms:100.0 "tolerated" 100 10 40 5;
+        entry ~wall_ms:100.0 "regresses" 100 10 40 5;
+      ]
+  in
+  let new_snap =
+    Snapshot.make
+      [
+        entry ~wall_ms:100.0 "improves" 90 10 40 5;
+        entry ~wall_ms:100.0 "tolerated" 101 10 40 5;
+        entry ~wall_ms:100.0 "regresses" 110 10 40 5;
+      ]
+  in
+  let d =
+    Report.diff
+      ~tolerance:{ Report.qor_pct = 2.0; time_pct = 25.0 }
+      old_snap new_snap
+  in
+  let row bench =
+    List.find (fun (r : Report.row) -> r.Report.bench = bench) d.Report.rows
+  in
+  let size_delta bench =
+    List.find (fun (dl : Report.delta) -> dl.Report.metric = "size")
+      (row bench).Report.deltas
+  in
+  (* The row verdict is the worst delta, so an isolated improvement
+     leaves the row Unchanged; the size delta itself is Improved. *)
+  Alcotest.(check bool) "improvement" true
+    ((size_delta "improves").Report.verdict = Report.Improved);
+  Alcotest.(check bool) "improved row does not gate" true
+    ((row "improves").Report.verdict = Report.Unchanged);
+  Alcotest.(check bool) "within tolerance" true
+    ((row "tolerated").Report.verdict = Report.Tolerated);
+  Alcotest.(check bool) "regression" true
+    ((row "regresses").Report.verdict = Report.Regressed);
+  Alcotest.(check bool) "overall regressed" true
+    (d.Report.verdict = Report.Regressed);
+  Alcotest.(check int) "exit code on regression" 1 (Report.exit_code d);
+  (* Without the regressing benchmark the diff passes. *)
+  let ok =
+    Report.diff
+      (Snapshot.make [ entry "a" 100 10 40 5 ])
+      (Snapshot.make [ entry "a" 100 10 40 5 ])
+  in
+  Alcotest.(check int) "exit code when clean" 0 (Report.exit_code ok);
+  let improved =
+    Report.diff
+      (Snapshot.make [ entry "a" 100 10 40 5 ])
+      (Snapshot.make [ entry "a" 90 9 38 5 ])
+  in
+  Alcotest.(check int) "exit code on improvement" 0 (Report.exit_code improved)
+
+let test_diff_time_and_membership () =
+  (* Wall time regressions respect their own threshold, and
+     [time_pct = infinity] disables time gating entirely. *)
+  let old_snap = Snapshot.make [ entry ~wall_ms:100.0 "a" 100 10 40 5 ] in
+  let slow = Snapshot.make [ entry ~wall_ms:200.0 "a" 100 10 40 5 ] in
+  let gated =
+    Report.diff ~tolerance:{ Report.qor_pct = 2.0; time_pct = 25.0 } old_snap slow
+  in
+  Alcotest.(check int) "time regression gates" 1 (Report.exit_code gated);
+  let ungated =
+    Report.diff
+      ~tolerance:{ Report.qor_pct = 2.0; time_pct = infinity }
+      old_snap slow
+  in
+  Alcotest.(check int) "ignore-time passes" 0 (Report.exit_code ungated);
+  (* A benchmark missing from the new snapshot is a regression (the
+     gate must not pass because coverage silently shrank). *)
+  let dropped = Report.diff old_snap (Snapshot.make []) in
+  Alcotest.(check (list string)) "dropped listed" [ "a" ] dropped.Report.only_old;
+  Alcotest.(check int) "dropped bench fails the gate" 1 (Report.exit_code dropped);
+  (* A new benchmark is informational only. *)
+  let added = Report.diff (Snapshot.make []) old_snap in
+  Alcotest.(check (list string)) "added listed" [ "a" ] added.Report.only_new;
+  Alcotest.(check int) "added bench passes" 0 (Report.exit_code added)
+
+let test_diff_counter_deltas () =
+  let old_snap =
+    Snapshot.make
+      [ entry ~counters:[ ("sat.conflicts", 10); ("stable", 5) ] "a" 100 10 40 5 ]
+  in
+  let new_snap =
+    Snapshot.make
+      [ entry ~counters:[ ("sat.conflicts", 14); ("fresh", 2); ("stable", 5) ]
+          "a" 100 10 40 5 ]
+  in
+  match (Report.diff old_snap new_snap).Report.rows with
+  | [ r ] ->
+    Alcotest.(check (list (pair string (pair int int))))
+      "changed counters only, sorted"
+      [ ("fresh", (0, 2)); ("sat.conflicts", (10, 14)) ]
+      (List.map
+         (fun (c : Report.counter_delta) ->
+           (c.Report.counter, (c.Report.old_count, c.Report.new_count)))
+         r.Report.counter_deltas)
+  | l -> Alcotest.failf "expected 1 row, got %d" (List.length l)
+
+(* --- gradient explain stream --- *)
+
+let test_gradient_explain_stream () =
+  let rng = Rng.create 909 in
+  let aig = Helpers.random_xor_aig ~inputs:7 ~gates:60 ~outputs:4 rng in
+  let events = ref [] in
+  let _optimized, stats =
+    Gradient.run
+      ~explain:(fun e -> events := e :: !events)
+      ~config:{ Gradient.default_config with budget = 20 }
+      aig
+  in
+  let events = List.rev !events in
+  Alcotest.(check bool) "the engine did work" true (stats.Gradient.moves_tried > 0);
+  (* Exactly one event per attempted move, in order. *)
+  Alcotest.(check int) "one event per attempt" stats.Gradient.moves_tried
+    (List.length events);
+  List.iteri
+    (fun i (e : Gradient.event) ->
+      Alcotest.(check int) "iterations are sequential" (i + 1) e.Gradient.iteration)
+    events;
+  (* The waterfall verdict stream matches the run statistics. *)
+  Alcotest.(check int) "accepted events = gaining moves"
+    stats.Gradient.moves_gained
+    (List.length (List.filter (fun (e : Gradient.event) -> e.Gradient.accepted) events));
+  Alcotest.(check int) "charged costs sum to budget spent"
+    stats.Gradient.budget_spent
+    (List.fold_left (fun acc (e : Gradient.event) -> acc + e.Gradient.cost) 0 events);
+  (* Waterfall: an accepted move gained, a rejected one did not. *)
+  List.iter
+    (fun (e : Gradient.event) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "verdict consistent at iteration %d" e.Gradient.iteration)
+        true
+        (e.Gradient.accepted = (e.Gradient.gain > 0)))
+    events;
+  (* The event log agrees with the chronological move log. *)
+  Alcotest.(check (list (pair string int)))
+    "move log reproduced" stats.Gradient.move_log
+    (List.map (fun (e : Gradient.event) -> (e.Gradient.move, e.Gradient.gain)) events);
+  (* Every record serializes to standalone JSON carrying the verdict. *)
+  List.iter
+    (fun (e : Gradient.event) ->
+      let json = Json.parse (Gradient.event_to_json e) in
+      Alcotest.(check (option bool))
+        "accepted field" (Some e.Gradient.accepted)
+        (Json.to_bool (Json.member "accepted" json));
+      Alcotest.(check (option string))
+        "move field" (Some e.Gradient.move)
+        (Json.to_str (Json.member "move" json));
+      Alcotest.(check bool) "gradient field" true
+        (Json.to_float (Json.member "gradient" json) <> None))
+    events
+
+let test_gradient_explain_parallel () =
+  (* Parallel selection: at most one accepted event per round, and
+     only a gaining move can be accepted. *)
+  let rng = Rng.create 910 in
+  let aig = Helpers.random_xor_aig ~inputs:6 ~gates:40 ~outputs:3 rng in
+  let events = ref [] in
+  let _optimized, stats =
+    Gradient.run
+      ~explain:(fun e -> events := e :: !events)
+      ~config:
+        { Gradient.default_config with budget = 12; selection = Gradient.Parallel }
+      aig
+  in
+  let events = List.rev !events in
+  Alcotest.(check int) "one event per attempt" stats.Gradient.moves_tried
+    (List.length events);
+  let by_round = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Gradient.event) ->
+      if e.Gradient.accepted then begin
+        Alcotest.(check bool) "accepted implies gain" true (e.Gradient.gain > 0);
+        Alcotest.(check bool)
+          (Printf.sprintf "single accept in round %d" e.Gradient.round)
+          false
+          (Hashtbl.mem by_round e.Gradient.round);
+        Hashtbl.add by_round e.Gradient.round ()
+      end)
+    events;
+  Alcotest.(check int) "accepted rounds = gaining moves"
+    stats.Gradient.moves_gained (Hashtbl.length by_round)
+
+let suite =
+  [
+    Alcotest.test_case "snapshot round-trip" `Quick test_snapshot_round_trip;
+    Alcotest.test_case "snapshot file round-trip" `Quick test_snapshot_file_round_trip;
+    Alcotest.test_case "snapshot version tolerance" `Quick test_snapshot_version_tolerance;
+    Alcotest.test_case "diff classification" `Quick test_diff_classification;
+    Alcotest.test_case "diff time and membership" `Quick test_diff_time_and_membership;
+    Alcotest.test_case "diff counter deltas" `Quick test_diff_counter_deltas;
+    Alcotest.test_case "gradient explain stream" `Quick test_gradient_explain_stream;
+    Alcotest.test_case "gradient explain parallel" `Quick test_gradient_explain_parallel;
+  ]
