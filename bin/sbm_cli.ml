@@ -8,7 +8,9 @@
      asic      — map to standard cells and report area/timing/power
      cec       — equivalence-check two AAG files
      bench     — run a benchmark subset, write a QoR snapshot
-     diff      — compare two QoR snapshots, gate on regressions *)
+     diff      — compare two QoR snapshots, gate on regressions
+     attribute — run a flow and report per-engine node/LUT provenance
+     profile   — self/total-time hotspots and flamegraph stacks from a trace *)
 
 open Cmdliner
 
@@ -403,7 +405,14 @@ let diff_cmd =
     let doc = "Also print changed engine counters per benchmark." in
     Arg.(value & flag & info [ "counters" ] ~doc)
   in
-  let run old_path new_path threshold time_threshold ignore_time counters =
+  let json_arg =
+    let doc =
+      "Print the diff as a JSON document (verdict per benchmark and metric) \
+       instead of the human table. The exit-code contract is unchanged."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run old_path new_path threshold time_threshold ignore_time counters json =
     let load path =
       match Sbm_report.Report.load_snapshot path with
       | Ok s -> `Ok s
@@ -419,10 +428,13 @@ let diff_cmd =
         }
       in
       let d = Sbm_report.Report.diff ~tolerance old_snap new_snap in
-      Fmt.pr "old: %s@.new: %s@." old_snap.Sbm_obs.Snapshot.label
-        new_snap.Sbm_obs.Snapshot.label;
-      Fmt.pr "%a" Sbm_report.Report.pp d;
-      if counters then Fmt.pr "%a" Sbm_report.Report.pp_counters d;
+      if json then print_endline (Sbm_report.Report.to_json d)
+      else begin
+        Fmt.pr "old: %s@.new: %s@." old_snap.Sbm_obs.Snapshot.label
+          new_snap.Sbm_obs.Snapshot.label;
+        Fmt.pr "%a" Sbm_report.Report.pp d;
+        if counters then Fmt.pr "%a" Sbm_report.Report.pp_counters d
+      end;
       let code = Sbm_report.Report.exit_code d in
       if code <> 0 then Stdlib.exit code;
       `Ok ()
@@ -431,13 +443,127 @@ let diff_cmd =
     Term.(
       ret
         (const run $ old_arg $ new_arg $ threshold_arg $ time_threshold_arg
-       $ ignore_time_arg $ counters_arg))
+       $ ignore_time_arg $ counters_arg $ json_arg))
   in
   Cmd.v
     (Cmd.info "diff"
        ~doc:
          "Compare two QoR snapshots; exit 1 when a metric regresses past the \
           threshold")
+    term
+
+(* --- attribute --- *)
+
+let attribute_cmd =
+  let input_arg =
+    let doc =
+      "Benchmark name (one of "
+      ^ String.concat ", " (List.map Sbm_epfl.Epfl.name Sbm_epfl.Epfl.all)
+      ^ ") or a path to an ASCII AIGER (.aag) file."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT" ~doc)
+  in
+  let flow_arg =
+    let flows =
+      List.map (fun s -> (Sbm_core.Flow.to_string s, s)) Sbm_core.Flow.all
+    in
+    let doc = "Flow to attribute: " ^ String.concat " | " (List.map fst flows) ^ "." in
+    Arg.(value & opt (enum flows) (Sbm_core.Flow.Sbm Sbm_core.Flow.Low)
+         & info [ "flow" ] ~docv:"FLOW" ~doc)
+  in
+  let scale_arg =
+    let doc = "Width scale in (0,1] for generated arithmetic benchmarks." in
+    Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc)
+  in
+  let seed_arg =
+    let doc = "RNG seed for generated structured-random benchmarks." in
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let k_arg =
+    let doc = "LUT input count for the mapped-netlist shares." in
+    Arg.(value & opt int 6 & info [ "k" ] ~docv:"K" ~doc)
+  in
+  let json_arg =
+    let doc = "Print the attribution as JSON instead of the human tables." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run level input flow scale seed k json =
+    setup_logs level;
+    let aig =
+      match Sbm_epfl.Epfl.of_name input with
+      | Some b -> `Ok (Sbm_epfl.Epfl.generate ~scale ?seed b)
+      | None ->
+        if Sys.file_exists input then `Ok (read_aig input)
+        else `Bad ("unknown benchmark or missing file: " ^ input)
+    in
+    match aig with
+    | `Bad msg -> `Error (false, msg)
+    | `Ok aig ->
+      let optimized = Sbm_core.Flow.run flow aig in
+      let mapping = Sbm_lutmap.Lut_map.map ~k optimized in
+      let att = Sbm_report.Attribution.compute optimized mapping in
+      if json then print_endline (Sbm_report.Attribution.to_json att)
+      else begin
+        Fmt.pr "%s, flow %s: size %d -> %d@.@." input
+          (Sbm_core.Flow.to_string flow) (Sbm_aig.Aig.size aig)
+          (Sbm_aig.Aig.size optimized);
+        Fmt.pr "%a" Sbm_report.Attribution.pp att
+      end;
+      `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ logs_arg $ input_arg $ flow_arg $ scale_arg $ seed_arg
+       $ k_arg $ json_arg))
+  in
+  Cmd.v
+    (Cmd.info "attribute"
+       ~doc:
+         "Run a flow and report which engine's nodes survive to the final \
+          AIG and the mapped netlist")
+    term
+
+(* --- profile --- *)
+
+let profile_cmd =
+  let trace_arg =
+    let doc = "Telemetry trace (written by $(b,sbm opt --report FILE.json))." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE.json" ~doc)
+  in
+  let top_arg =
+    let doc = "Number of hotspot rows to print." in
+    Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let collapsed_arg =
+    let doc =
+      "Also write collapsed stacks to $(docv) — one \"stack;frames WEIGHT\" \
+       line per stack, weight in self-time microseconds — consumable \
+       directly by flamegraph.pl."
+    in
+    Arg.(value & opt (some string) None & info [ "collapsed" ] ~docv:"FILE" ~doc)
+  in
+  let run path top collapsed =
+    match Sbm_report.Profile.load path with
+    | Error msg -> `Error (false, msg)
+    | Ok spans ->
+      Fmt.pr "%a" (Sbm_report.Profile.pp_hotspots ~top) spans;
+      (match collapsed with
+      | None -> `Ok ()
+      | Some file -> (
+        match Sbm_report.Profile.write_collapsed spans file with
+        | () ->
+          Fmt.pr "collapsed stacks written to %s@." file;
+          `Ok ()
+        | exception Sys_error msg ->
+          `Error (false, "cannot write collapsed stacks: " ^ msg)))
+  in
+  let term = Term.(ret (const run $ trace_arg $ top_arg $ collapsed_arg)) in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Attribute wall time: self/total-time hotspots and flamegraph \
+          collapsed stacks from a telemetry trace")
     term
 
 let () =
@@ -447,7 +573,7 @@ let () =
     Cmd.group info
       [
         stats_cmd; generate_cmd; opt_cmd; lutmap_cmd; asic_cmd; cec_cmd;
-        bench_cmd; diff_cmd;
+        bench_cmd; diff_cmd; attribute_cmd; profile_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -10,6 +10,56 @@ let lpos l = l land -2
 let const0 = 0
 let const1 = 1
 
+(* Provenance tag: which scripted pass (and which kind of move inside
+   it) created a node. Tags are interned per AIG; the per-node side
+   table stores small integer ids, so stamping is one array write. *)
+module Origin = struct
+  type kind =
+    | Seed
+    | Rewrite
+    | Refactor
+    | Resub
+    | Balance
+    | Diff
+    | Mspf
+    | Kernel
+    | Sweep
+    | Other
+
+  type t = { pass : string; kind : kind }
+
+  let seed = { pass = "seed"; kind = Seed }
+
+  let make ~pass kind = { pass; kind }
+
+  let kind_to_string = function
+    | Seed -> "seed"
+    | Rewrite -> "rewrite"
+    | Refactor -> "refactor"
+    | Resub -> "resub"
+    | Balance -> "balance"
+    | Diff -> "diff-resub"
+    | Mspf -> "mspf"
+    | Kernel -> "kernel"
+    | Sweep -> "sweep"
+    | Other -> "other"
+
+  let kind_of_string = function
+    | "seed" -> Some Seed
+    | "rewrite" -> Some Rewrite
+    | "refactor" -> Some Refactor
+    | "resub" -> Some Resub
+    | "balance" -> Some Balance
+    | "diff-resub" -> Some Diff
+    | "mspf" -> Some Mspf
+    | "kernel" -> Some Kernel
+    | "sweep" -> Some Sweep
+    | "other" -> Some Other
+    | _ -> None
+
+  let pp fmt o = Format.fprintf fmt "%s(%s)" o.pass (kind_to_string o.kind)
+end
+
 (* fanin0.(n) = -1 marks a PI or the constant node (node 0). *)
 type t = {
   mutable fanin0 : int array;
@@ -25,6 +75,21 @@ type t = {
   inputs : Vec.t; (* node ids *)
   outs : Vec.t; (* literals *)
   strash : (int * int, int) Hashtbl.t;
+  (* Provenance side tables. [origins.(v)] is the interned id (into
+     [origin_defs]) of the origin current when node [v] was allocated;
+     id 0 is always [Origin.seed]. [origin_created.(i)] counts the AND
+     nodes ever built under origin [i] — including speculative
+     candidates later discarded, so live/created is a survival rate.
+     [origin_counting = false] during whole-network rebuilds
+     (compact/balance/SOP round-trips), which adopt tags instead of
+     creating logic. *)
+  mutable origins : int array;
+  mutable origin_defs : Origin.t array;
+  mutable origin_created : int array;
+  mutable origin_ids : (Origin.t, int) Hashtbl.t;
+  mutable n_origins : int;
+  mutable cur_origin : int;
+  mutable origin_counting : bool;
 }
 
 let create ?(expected = 64) () =
@@ -44,8 +109,16 @@ let create ?(expected = 64) () =
       inputs = Vec.create ();
       outs = Vec.create ();
       strash = Hashtbl.create 1024;
+      origins = Array.make cap 0;
+      origin_defs = Array.make 8 Origin.seed;
+      origin_created = Array.make 8 0;
+      origin_ids = Hashtbl.create 16;
+      n_origins = 1;
+      cur_origin = 0;
+      origin_counting = true;
     }
   in
+  Hashtbl.add aig.origin_ids Origin.seed 0;
   aig
 
 let num_inputs aig = Vec.size aig.inputs
@@ -92,12 +165,61 @@ let grow aig =
   let fo' = Array.init ncap (fun i -> if i < cap then aig.fanouts.(i) else Vec.create ~capacity:2 ()) in
   aig.fanouts <- fo';
   let ou' = Array.init ncap (fun i -> if i < cap then aig.out_uses.(i) else Vec.create ~capacity:1 ()) in
-  aig.out_uses <- ou'
+  aig.out_uses <- ou';
+  aig.origins <- ext aig.origins 0
+
+(* --- provenance --- *)
+
+let intern_origin aig (o : Origin.t) =
+  match Hashtbl.find_opt aig.origin_ids o with
+  | Some i -> i
+  | None ->
+    if aig.n_origins >= Array.length aig.origin_defs then begin
+      let ncap = 2 * Array.length aig.origin_defs in
+      let defs = Array.make ncap Origin.seed in
+      Array.blit aig.origin_defs 0 defs 0 aig.n_origins;
+      aig.origin_defs <- defs;
+      let created = Array.make ncap 0 in
+      Array.blit aig.origin_created 0 created 0 aig.n_origins;
+      aig.origin_created <- created
+    end;
+    let i = aig.n_origins in
+    aig.origin_defs.(i) <- o;
+    aig.origin_created.(i) <- 0;
+    aig.n_origins <- i + 1;
+    Hashtbl.add aig.origin_ids o i;
+    i
+
+let set_origin aig o = aig.cur_origin <- intern_origin aig o
+let current_origin aig = aig.origin_defs.(aig.cur_origin)
+
+let node_origin aig v =
+  if v < 0 || v >= aig.n then invalid_arg "Aig.node_origin";
+  aig.origin_defs.(aig.origins.(v))
+
+let set_node_origin aig v o =
+  if v < 0 || v >= aig.n then invalid_arg "Aig.set_node_origin";
+  aig.origins.(v) <- intern_origin aig o
+
+let note_created aig o count =
+  let i = intern_origin aig o in
+  aig.origin_created.(i) <- aig.origin_created.(i) + count
+
+let begin_rebuild fresh ~from =
+  fresh.origin_defs <- Array.copy from.origin_defs;
+  fresh.origin_created <- Array.copy from.origin_created;
+  fresh.origin_ids <- Hashtbl.copy from.origin_ids;
+  fresh.n_origins <- from.n_origins;
+  fresh.cur_origin <- from.cur_origin;
+  fresh.origin_counting <- false
+
+let end_rebuild fresh = fresh.origin_counting <- true
 
 let alloc aig =
   if aig.n >= Array.length aig.fanin0 then grow aig;
   let node = aig.n in
   aig.n <- node + 1;
+  aig.origins.(node) <- aig.cur_origin;
   node
 
 let add_input aig =
@@ -138,6 +260,9 @@ let band aig a b =
       Vec.push aig.fanouts.(node_of b) node;
       Hashtbl.add aig.strash (a, b) node;
       aig.num_live_ands <- aig.num_live_ands + 1;
+      if aig.origin_counting then
+        aig.origin_created.(aig.cur_origin) <-
+          aig.origin_created.(aig.cur_origin) + 1;
       lit_of node false
   end
 
@@ -423,6 +548,35 @@ let size aig =
   done;
   !count
 
+(* Per-origin (created, live) tallies. "Live" uses the same
+   reachable-from-outputs walk as [size], so the live column sums to
+   exactly [size aig]. *)
+let origin_stats aig =
+  let live = Array.make aig.n_origins 0 in
+  let id = new_trav aig in
+  let stack = Vec.create () in
+  let visit v =
+    if aig.trav.(v) <> id then begin
+      aig.trav.(v) <- id;
+      Vec.push stack v
+    end
+  in
+  Vec.iter (fun l -> visit (node_of l)) aig.outs;
+  while not (Vec.is_empty stack) do
+    let v = Vec.pop stack in
+    if is_and aig v then begin
+      live.(aig.origins.(v)) <- live.(aig.origins.(v)) + 1;
+      visit (node_of aig.fanin0.(v));
+      visit (node_of aig.fanin1.(v))
+    end
+  done;
+  let rows = ref [] in
+  for i = aig.n_origins - 1 downto 0 do
+    if live.(i) > 0 || aig.origin_created.(i) > 0 then
+      rows := (aig.origin_defs.(i), aig.origin_created.(i), live.(i)) :: !rows
+  done;
+  !rows
+
 let support aig node =
   let id = new_trav aig in
   let stack = Vec.create () in
@@ -531,14 +685,20 @@ let copy aig =
     inputs = Vec.copy aig.inputs;
     outs = Vec.copy aig.outs;
     strash = Hashtbl.copy aig.strash;
+    origins = Array.copy aig.origins;
+    origin_defs = Array.copy aig.origin_defs;
+    origin_created = Array.copy aig.origin_created;
+    origin_ids = Hashtbl.copy aig.origin_ids;
   }
 
 let compact aig =
   let fresh = create ~expected:(aig.n + 1) () in
+  begin_rebuild fresh ~from:aig;
   let map = Array.make aig.n (-1) in
   Vec.iter
     (fun v ->
       let l = add_input fresh in
+      fresh.origins.(node_of l) <- aig.origins.(v);
       map.(v) <- l)
     aig.inputs;
   map.(0) <- const0;
@@ -548,9 +708,15 @@ let compact aig =
       if is_and aig v then begin
         let f0 = aig.fanin0.(v) and f1 = aig.fanin1.(v) in
         let m f = map.(node_of f) lxor (f land 1) in
-        map.(v) <- band fresh (m f0) (m f1)
+        (* Adopt the old node's tag when the AND is freshly built;
+           strash hits keep their first tag (first-stamp-wins). *)
+        let n0 = fresh.n in
+        let nl = band fresh (m f0) (m f1) in
+        if node_of nl >= n0 then fresh.origins.(node_of nl) <- aig.origins.(v);
+        map.(v) <- nl
       end)
     order;
+  end_rebuild fresh;
   Vec.iter
     (fun l ->
       let nl = map.(node_of l) in
@@ -591,6 +757,16 @@ let check aig =
     if not aig.dead.(v) && refs.(v) <> aig.nrefs.(v) then
       fail "node %d: nref %d but counted %d" v aig.nrefs.(v) refs.(v)
   done;
+  (* Provenance: every node's tag must be an interned origin id. *)
+  for v = 0 to aig.n - 1 do
+    if not aig.dead.(v) then begin
+      let o = aig.origins.(v) in
+      if o < 0 || o >= aig.n_origins then
+        fail "node %d: origin id %d out of range (%d interned)" v o aig.n_origins
+    end
+  done;
+  if aig.cur_origin < 0 || aig.cur_origin >= aig.n_origins then
+    fail "current origin id %d out of range" aig.cur_origin;
   (* Strash consistency: every live AND is hashed under its key. *)
   for v = 0 to aig.n - 1 do
     if is_and aig v then begin

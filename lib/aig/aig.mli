@@ -38,6 +38,77 @@ val lpos : lit -> lit
 val const0 : lit
 val const1 : lit
 
+(** {1 Provenance}
+
+    Every node carries an origin tag: which scripted pass (and which
+    kind of move inside it) created it. Tags are interned per AIG —
+    stamping a node is one array write — and survive {!copy},
+    {!compact} and engine rebuilds (see {!begin_rebuild}). Attribution
+    reporters group the final network's live nodes by tag. *)
+
+module Origin : sig
+  (** The move kind, following the paper's engine taxonomy. *)
+  type kind =
+    | Seed  (** present in the input network *)
+    | Rewrite
+    | Refactor
+    | Resub
+    | Balance
+    | Diff  (** Boolean-difference resubstitution *)
+    | Mspf  (** MSPF don't-care substitution *)
+    | Kernel  (** heterogeneous eliminate / kernel extraction *)
+    | Sweep  (** SAT sweeping / redundancy removal *)
+    | Other
+
+  type t = { pass : string; kind : kind }
+
+  (** The default tag: nodes of the seed network. *)
+  val seed : t
+
+  val make : pass:string -> kind -> t
+  val kind_to_string : kind -> string
+  val kind_of_string : string -> kind option
+  val pp : Format.formatter -> t -> unit
+end
+
+(** [set_origin aig o] makes [o] the ambient origin: every node
+    allocated from now on is stamped with it. Flow scripts set this at
+    each pass boundary; engines set a default only when the ambient
+    origin is still {!Origin.seed} (standalone use). *)
+val set_origin : t -> Origin.t -> unit
+
+val current_origin : t -> Origin.t
+
+(** [node_origin aig v] is the tag of node [v]. *)
+val node_origin : t -> int -> Origin.t
+
+(** [set_node_origin aig v o] re-stamps node [v] (rebuilds adopting
+    per-node tags from a source network). *)
+val set_node_origin : t -> int -> Origin.t -> unit
+
+(** [note_created aig o n] adds [n] to origin [o]'s created count.
+    Rebuilding engines use it to credit genuinely new logic built
+    while creation counting is suspended (see {!begin_rebuild}). *)
+val note_created : t -> Origin.t -> int -> unit
+
+(** [begin_rebuild fresh ~from] prepares [fresh] (a newly created AIG)
+    to be rebuilt from [from]: the interned origin table and created
+    counts are carried over and creation counting is suspended, so the
+    reconstruction adopts tags instead of inflating churn statistics.
+    [end_rebuild] re-enables counting. {!compact} does this
+    internally; {!Balance.run} and SOP round-trips use it directly. *)
+val begin_rebuild : t -> from:t -> unit
+
+val end_rebuild : t -> unit
+
+(** [origin_stats aig] lists every origin with activity as
+    [(origin, created, live)]: [created] counts AND constructions ever
+    performed under the tag (speculative candidates included), [live]
+    the reachable live ANDs currently carrying it. The [live] column
+    sums to [size aig]. [live] can exceed [created] when a rebuild
+    (e.g. SOP elimination) expands a pass's cone in place. *)
+val origin_stats : t -> (Origin.t * int * int) list
+
 (** {1 Construction} *)
 
 (** [create ()] is an empty AIG (constant node only). *)

@@ -16,6 +16,9 @@ let super_leaves aig l =
 
 let run aig =
   let fresh = Aig.create ~expected:(Aig.num_nodes aig) () in
+  (* Balancing reassociates existing logic; each rebuilt tree adopts
+     the origin of the root it replaces rather than creating churn. *)
+  Aig.begin_rebuild fresh ~from:aig;
   let map = Array.make (Aig.num_nodes aig) Aig.const0 in
   let level = Hashtbl.create 256 in
   let level_of l =
@@ -28,6 +31,7 @@ let run aig =
   Array.iter
     (fun v ->
       if Aig.is_and aig v then begin
+        Aig.set_origin fresh (Aig.node_origin aig v);
         let leaves = super_leaves aig (Aig.lit_of v false) in
         let mapped =
           List.map (fun l -> map.(Aig.node_of l) lxor (l land 1)) leaves
@@ -74,4 +78,6 @@ let run aig =
       let nl = map.(Aig.node_of l) lxor (l land 1) in
       ignore (Aig.add_output fresh nl))
     (Aig.outputs aig);
+  Aig.end_rebuild fresh;
+  Aig.set_origin fresh (Aig.current_origin aig);
   fresh

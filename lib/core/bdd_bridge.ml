@@ -12,9 +12,12 @@ type t = {
   node_bdd : (int, Bdd.t) Hashtbl.t;
   by_bdd : (Bdd.t, int) Hashtbl.t;
   leaf_lits : Aig.lit array;
+  mutable bails : int; (* Bdd.Limit bail-outs observed through this ctx *)
 }
 
 let man t = t.man
+let limit_bails t = t.bails
+let bump_limit_bail t = t.bails <- t.bails + 1
 let aig t = t.aig
 let members t = t.order
 let leaves t = t.leaves
@@ -79,12 +82,12 @@ let compute_bdds t =
           | b ->
             Hashtbl.replace t.node_bdd v b;
             if not (Hashtbl.mem t.by_bdd b) then Hashtbl.replace t.by_bdd b v
-          | exception Bdd.Limit -> ())
+          | exception Bdd.Limit -> bump_limit_bail t)
         | _ -> ())
       t.order
   with Bdd.Limit ->
     (* Even variable allocation overran: leave the table partial. *)
-    ()
+    bump_limit_bail t
 
 let build ?(node_limit = 1_000_000) aig part =
   let member_set = Hashtbl.create 256 in
@@ -100,6 +103,7 @@ let build ?(node_limit = 1_000_000) aig part =
       node_bdd = Hashtbl.create 256;
       by_bdd = Hashtbl.create 256;
       leaf_lits = Array.map (fun v -> Aig.lit_of v false) part.Partition.leaves;
+      bails = 0;
     }
   in
   compute_bdds t;
@@ -118,7 +122,9 @@ let node_of_bdd t b =
       match Hashtbl.find_opt t.by_bdd nb with
       | Some v when not (Aig.is_dead t.aig v) -> Some (v, true)
       | _ -> None)
-    | exception Bdd.Limit -> None)
+    | exception Bdd.Limit ->
+      bump_limit_bail t;
+      None)
 
 let to_aig_lit t b =
   let memo = Hashtbl.create 64 in

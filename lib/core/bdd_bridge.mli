@@ -49,3 +49,17 @@ val roots : t -> int array
     structure (used after a non-equivalence-preserving rewrite, e.g.
     an MSPF-based substitution). *)
 val refresh : t -> unit
+
+(** {1 Bail-out accounting}
+
+    Every [Bdd.Limit] bail-out — the paper's Section III-C/IV-C
+    budget discipline — is counted instead of silently swallowed;
+    engines flush the total into their span as [bdd.limit_bails]. *)
+
+(** [limit_bails t] is the number of bail-outs observed so far through
+    this context (its own catch sites plus callers'). *)
+val limit_bails : t -> int
+
+(** [bump_limit_bail t] records a bail-out caught by a caller (e.g.
+    the difference computation or an MSPF cofactor walk). *)
+val bump_limit_bail : t -> unit

@@ -14,7 +14,9 @@ let compute ctx config ~f ~g =
   | None, _ | _, None -> None (* budget-overrun node: skip (III-C) *)
   | Some bddf, Some bddg -> (
     match Bdd.mxor man bddf bddg (* line 4 *) with
-    | exception Bdd.Limit -> None
+    | exception Bdd.Limit ->
+      Bdd_bridge.bump_limit_bail ctx;
+      None
     | bdd_diff -> (
       let g_lit = Aig.lit_of g false in
       match Bdd_bridge.node_of_bdd ctx bdd_diff with

@@ -61,7 +61,9 @@ let good_candidates ctx ~f ~g =
     | sf, sg ->
       let shared = List.exists (fun v -> List.mem v sg) sf in
       shared && not (Aig.in_tfi aig ~node:f ~root:g)
-    | exception Bdd.Limit -> false)
+    | exception Bdd.Limit ->
+      Bdd_bridge.bump_limit_bail ctx;
+      false)
   | _ -> false
 
 (* Functional filtering (Section III-B): a 64-pattern signature per
@@ -149,10 +151,15 @@ let run_partition aig config counters obs signatures part total =
     Sbm_obs.add obs "bdd.unique_hits" bs.Bdd.unique_hits;
     Sbm_obs.add obs "bdd.unique_misses" bs.Bdd.unique_misses;
     Sbm_obs.add obs "bdd.cache_hits" bs.Bdd.cache_hits;
-    Sbm_obs.add obs "bdd.cache_misses" bs.Bdd.cache_misses
+    Sbm_obs.add obs "bdd.cache_misses" bs.Bdd.cache_misses;
+    Sbm_obs.add obs "bdd.limit_bails" (Bdd_bridge.limit_bails ctx)
   end
 
 let optimize_stats ?(obs = Sbm_obs.null) ?(config = default_config) aig =
+  (* Difference implementations built from here on are this engine's
+     nodes — unless a flow script already set a finer-grained tag. *)
+  if (Aig.current_origin aig).Aig.Origin.kind = Aig.Origin.Seed then
+    Aig.set_origin aig (Aig.Origin.make ~pass:"boolean-difference" Aig.Origin.Diff);
   let total = ref 0 in
   let counters = { c_pairs = 0; c_diffs = 0; c_rewrites = 0 } in
   let parts =

@@ -27,10 +27,33 @@ let of_string = function
 let keep_better aig candidate =
   if Aig.size candidate <= Aig.size aig then candidate else aig
 
+(* Provenance tag of a scripted pass, by name. Container passes
+   (baseline, iteration-N) map to Other: the fine-grained steps inside
+   them re-stamp with their own tag. *)
+let origin_of_pass name =
+  let module O = Aig.Origin in
+  let prefix p = String.length name >= String.length p
+                 && String.sub name 0 (String.length p) = p
+  in
+  let kind =
+    if prefix "rewrite" then O.Rewrite
+    else if prefix "refactor" || name = "collapse-decompose" then O.Refactor
+    else if prefix "resub" then O.Resub
+    else if name = "balance" then O.Balance
+    else if name = "hetero-kernel" || prefix "eliminate" then O.Kernel
+    else if prefix "mspf" then O.Mspf
+    else if name = "boolean-difference" then O.Diff
+    else if name = "sat-sweep" then O.Sweep
+    else O.Other
+  in
+  O.make ~pass:name kind
+
 (* Wrap one scripted pass in a span recording wall time and the
    size/depth delta. Measurement (Aig.depth is O(n)) only happens when
-   the span is live; with observability off this is a direct call. *)
+   the span is live; with observability off this is a direct call.
+   Every node the pass builds is stamped with the pass's origin. *)
 let pass obs name f aig =
+  Aig.set_origin aig (origin_of_pass name);
   if not (Obs.enabled obs) then f Obs.null aig
   else begin
     let sp = Obs.span ~size:(Aig.size aig) ~depth:(Aig.depth aig) obs name in
@@ -42,6 +65,7 @@ let pass obs name f aig =
 (* Like [pass], but skips the O(n) depth measurement — used for the
    fine-grained steps inside [baseline]. *)
 let step obs name f aig =
+  Aig.set_origin aig (origin_of_pass name);
   if not (Obs.enabled obs) then f Obs.null aig
   else begin
     let sp = Obs.span ~size:(Aig.size aig) obs name in

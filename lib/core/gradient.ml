@@ -55,14 +55,20 @@ let event_to_json e =
    fall back to the input when they lose. Moves receive the span of
    their own attempt, so engine-level counters (BDD traffic, SAT
    effort) nest under the move that caused them. *)
-type move = { name : string; cost : int; apply : Obs.span -> Aig.t -> Aig.t * int }
+type move = {
+  name : string;
+  kind : Aig.Origin.kind; (* provenance tag for nodes the move builds *)
+  cost : int;
+  apply : Obs.span -> Aig.t -> Aig.t * int;
+}
 
-let in_place name cost pass =
-  { name; cost; apply = (fun obs aig -> (aig, pass obs aig)) }
+let in_place name kind cost pass =
+  { name; kind; cost; apply = (fun obs aig -> (aig, pass obs aig)) }
 
-let rebuilding name cost build =
+let rebuilding name kind cost build =
   {
     name;
+    kind;
     cost;
     apply =
       (fun obs aig ->
@@ -74,22 +80,22 @@ let rebuilding name cost build =
 
 let moves ~zero_gain =
   [
-    in_place "rewrite" 1 (fun _ aig -> Sbm_aig.Rewrite.run aig);
-    rebuilding "balance" 1 (fun _ aig -> Sbm_aig.Balance.run aig);
-    in_place "refactor" 2 (fun _ aig -> Sbm_aig.Refactor.run ~max_leaves:8 ~min_mffc:2 aig);
-    in_place "resub" 2 (fun _ aig -> Sbm_aig.Resub.run ~max_leaves:6 ~max_divisors:20 aig);
-    in_place "rewrite -z" 2 (fun _ aig ->
+    in_place "rewrite" Aig.Origin.Rewrite 1 (fun _ aig -> Sbm_aig.Rewrite.run aig);
+    rebuilding "balance" Aig.Origin.Balance 1 (fun _ aig -> Sbm_aig.Balance.run aig);
+    in_place "refactor" Aig.Origin.Refactor 2 (fun _ aig -> Sbm_aig.Refactor.run ~max_leaves:8 ~min_mffc:2 aig);
+    in_place "resub" Aig.Origin.Resub 2 (fun _ aig -> Sbm_aig.Resub.run ~max_leaves:6 ~max_divisors:20 aig);
+    in_place "rewrite -z" Aig.Origin.Rewrite 2 (fun _ aig ->
         if zero_gain then Sbm_aig.Rewrite.run ~zero_gain:true aig
         else Sbm_aig.Rewrite.run aig);
-    rebuilding "eliminate & kernel" 3 (fun obs aig ->
+    rebuilding "eliminate & kernel" Aig.Origin.Kernel 3 (fun obs aig ->
         fst
           (Hetero_kernel.run ~obs
              ~config:{ Hetero_kernel.default_config with partition_size = 60 }
              aig));
-    in_place "refactor -h" 4 (fun _ aig -> Sbm_aig.Refactor.run ~max_leaves:12 ~min_mffc:2 aig);
-    in_place "resub -h" 5 (fun _ aig ->
+    in_place "refactor -h" Aig.Origin.Refactor 4 (fun _ aig -> Sbm_aig.Refactor.run ~max_leaves:12 ~min_mffc:2 aig);
+    in_place "resub -h" Aig.Origin.Resub 5 (fun _ aig ->
         Sbm_aig.Resub.run ~max_leaves:9 ~max_divisors:60 aig);
-    in_place "mspf resub" 6 (fun obs aig ->
+    in_place "mspf resub" Aig.Origin.Mspf 6 (fun obs aig ->
         Mspf.optimize ~obs
           ~config:
             {
@@ -97,7 +103,8 @@ let moves ~zero_gain =
               limits = { Sbm_partition.Partition.default_limits with max_nodes = 150 };
             }
           aig);
-    rebuilding "eliminate & kernel -h" 6 (fun obs aig -> fst (Hetero_kernel.run ~obs aig));
+    rebuilding "eliminate & kernel -h" Aig.Origin.Kernel 6 (fun obs aig ->
+        fst (Hetero_kernel.run ~obs aig));
   ]
 
 let optimize ?(obs = Obs.null) ?(explain = fun (_ : event) -> ())
@@ -137,6 +144,10 @@ let optimize ?(obs = Obs.null) ?(explain = fun (_ : event) -> ())
   (* A child span per attempted move: the trajectory artifact the
      bench emits is exactly this sequence. *)
   let timed_apply m target =
+    (* Per-move provenance: nodes built by this attempt are the
+       gradient engine's, attributed to the specific move. *)
+    Aig.set_origin target
+      (Aig.Origin.make ~pass:("gradient/" ^ m.name) m.kind);
     if not (Obs.enabled obs) then m.apply Obs.null target
     else begin
       let sp = Obs.span ~size:(Aig.size target) obs m.name in

@@ -123,7 +123,17 @@ let partitions_of net size =
   in
   chunk [] [] 0 nodes
 
+(* Origin for logic created inside the SOP domain: the ambient tag if
+   a flow/gradient script already set one, the engine's own otherwise
+   (standalone use). *)
+let fallback_origin aig =
+  let ambient = Aig.current_origin aig in
+  if ambient.Aig.Origin.kind = Aig.Origin.Seed then
+    Aig.Origin.make ~pass:"hetero-kernel" Aig.Origin.Kernel
+  else ambient
+
 let run ?(obs = Sbm_obs.null) ?(config = default_config) aig =
+  let fallback = fallback_origin aig in
   let net = Network.of_aig aig in
   let lits_before = Network.num_lits net in
   let parts = partitions_of net config.partition_size in
@@ -142,7 +152,7 @@ let run ?(obs = Sbm_obs.null) ?(config = default_config) aig =
     Sbm_obs.add obs "kernel.improved_partitions" !improved;
     Sbm_obs.add obs "kernel.lits_saved" (lits_before - lits_after)
   end;
-  ( Network.to_aig net,
+  ( Network.to_aig ~provenance:(aig, fallback) net,
     {
       partitions = List.length parts;
       trials = !trials;
@@ -152,8 +162,9 @@ let run ?(obs = Sbm_obs.null) ?(config = default_config) aig =
     } )
 
 let run_homogeneous ~threshold ?(config = default_config) aig =
+  let fallback = fallback_origin aig in
   let net = Network.of_aig aig in
   ignore (Network.eliminate net ~threshold ~max_cubes:config.max_cubes ());
   ignore (Network.extract_kernels net ~max_passes:config.extract_passes ());
   ignore (Network.extract_cubes net ~max_passes:config.extract_passes ());
-  Network.to_aig net
+  Network.to_aig ~provenance:(aig, fallback) net

@@ -61,7 +61,9 @@ let cofactor_functions ctx n vn =
         end)
       (Bdd_bridge.members ctx);
     Some lookup
-  with Bdd.Limit -> None
+  with Bdd.Limit ->
+    Bdd_bridge.bump_limit_bail ctx;
+    None
 
 (* mspf(n) = conjunction over roots of xnor(f0, f1); bdd(0) means no
    freedom, bdd(1) means the node is unobservable. *)
@@ -69,7 +71,9 @@ let compute_mspf ctx n =
   let man = Bdd_bridge.man ctx in
   let nvars = Array.length (Bdd_bridge.leaves ctx) in
   match Bdd.ithvar man nvars with
-  | exception Bdd.Limit -> None
+  | exception Bdd.Limit ->
+    Bdd_bridge.bump_limit_bail ctx;
+    None
   | vn -> (
   match cofactor_functions ctx n vn with
   | None -> None
@@ -92,7 +96,9 @@ let compute_mspf ctx n =
           end)
         roots;
       Some !mspf
-    with Bdd.Limit -> None))
+    with Bdd.Limit ->
+      Bdd_bridge.bump_limit_bail ctx;
+      None))
 
 (* Search for connectable substitutes: candidates agreeing with [n]
    on the care set. *)
@@ -131,7 +137,9 @@ let connectable ctx config counters n mspf =
       if Bdd.is_zero man n_care then candidates := Aig.const0 :: !candidates
       else if n_care = care then candidates := Aig.const1 :: !candidates;
       !candidates
-    with Bdd.Limit -> [])
+    with Bdd.Limit ->
+      Bdd_bridge.bump_limit_bail ctx;
+      [])
 
 (* Members lying in the transitive fanin of a partition leaf: the
    partition is not convex around them, so the leaf-as-free-variable
@@ -222,10 +230,16 @@ let run_partition aig config counters obs part total =
     Obs.add obs "bdd.unique_hits" bs.Bdd.unique_hits;
     Obs.add obs "bdd.unique_misses" bs.Bdd.unique_misses;
     Obs.add obs "bdd.cache_hits" bs.Bdd.cache_hits;
-    Obs.add obs "bdd.cache_misses" bs.Bdd.cache_misses
+    Obs.add obs "bdd.cache_misses" bs.Bdd.cache_misses;
+    Obs.add obs "bdd.limit_bails" (Bdd_bridge.limit_bails ctx)
   end
 
 let optimize_stats ?(obs = Obs.null) ?(config = default_config) aig =
+  (* MSPF only substitutes existing literals, but candidate probing
+     can still build nodes; tag them unless a flow script already
+     set a finer-grained origin. *)
+  if (Aig.current_origin aig).Aig.Origin.kind = Aig.Origin.Seed then
+    Aig.set_origin aig (Aig.Origin.make ~pass:"mspf" Aig.Origin.Mspf);
   let total = ref 0 in
   let counters = { c_mspf = 0; c_cands = 0; c_subst = 0; c_const = 0 } in
   let parts = Partition.compute aig config.limits in

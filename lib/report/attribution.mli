@@ -1,0 +1,45 @@
+(** Provenance attribution: which engine's nodes survive.
+
+    Consumes the per-node origin tags maintained by {!Sbm_aig.Aig}
+    (see its [Origin] section) and a LUT mapping, and answers the
+    paper's Section V contribution question quantitatively: what share
+    of the final network — live AND nodes, and mapped LUT-6s — does
+    each pass and each engine account for, and what fraction of the
+    nodes a pass built actually survived. Shares sum to 100 % by
+    construction (every live node carries exactly one tag; the seed
+    network's untouched nodes count under [seed]). *)
+
+type row = {
+  pass : string;  (** origin pass id, e.g. ["gradient/rewrite"] *)
+  kind : Sbm_aig.Aig.Origin.kind;
+  created : int;
+      (** AND constructions ever performed under this tag, speculative
+          candidates included — a churn measure *)
+  live : int;  (** reachable live ANDs carrying the tag *)
+  live_pct : float;  (** share of the final AIG, percent *)
+  luts : int;  (** mapped LUTs whose root carries the tag *)
+  lut_pct : float;  (** share of the mapped netlist, percent *)
+}
+
+type t = {
+  total_live : int;  (** = [Aig.size], the sum of [live] over rows *)
+  total_luts : int;  (** = [mapping.lut_count], the sum of [luts] *)
+  rows : row list;  (** per distinct origin, live share descending *)
+  engines : row list;
+      (** aggregated by move kind; [pass] holds the kind name *)
+}
+
+(** [compute aig mapping] groups the live nodes of [aig] and the LUTs
+    of [mapping] (a LUT mapping of the same [aig]) by origin. *)
+val compute : Sbm_aig.Aig.t -> Sbm_lutmap.Lut_map.mapping -> t
+
+(** Human-readable tables: the engine-level summary, then per-pass
+    detail. Survival percent is live/created (unclamped — an in-place
+    rebuild can expand a pass's cone); ["-"] marks adopt-only tags. *)
+val pp : Format.formatter -> t -> unit
+
+(** Machine-readable form:
+    [{"total_live":N,"total_luts":N,"engines":[ROW...],"passes":[ROW...]}]
+    where ROW =
+    [{"pass":S,"kind":S,"created":N,"live":N,"live_pct":F,"luts":N,"lut_pct":F}]. *)
+val to_json : t -> string

@@ -1,0 +1,47 @@
+(** Time attribution over telemetry traces.
+
+    Consumes the span tree a trace report ([sbm opt --report FILE.json])
+    contains and answers "where did the milliseconds go": per span
+    name, how much wall time was spent in total (span inclusive) and
+    how much was {e self} time — wall time not attributed to any child
+    span. Also renders collapsed stacks consumable by Brendan Gregg's
+    [flamegraph.pl]. *)
+
+type span = { name : string; wall_ms : float; children : span list }
+
+(** [of_json s] parses a trace document (the [{"version":..,
+    "spans":[...]}] format of {!Sbm_obs.write}) into its span forest. *)
+val of_json : string -> (span list, string) result
+
+(** [load path] reads and parses a trace file. *)
+val load : string -> (span list, string) result
+
+(** [self_ms s] is [s]'s wall time minus its children's, clamped at 0. *)
+val self_ms : span -> float
+
+type agg = {
+  agg_name : string;
+  calls : int;  (** spans with this name anywhere in the forest *)
+  total_ms : float;
+      (** summed inclusive wall time; nested same-name spans are both
+          counted, as in any recursive profile *)
+  self_ms : float;  (** summed self time — sums to the run's wall time *)
+}
+
+(** [aggregate spans] groups the forest by span name, self time
+    descending. *)
+val aggregate : span list -> agg list
+
+(** [pp_hotspots ?top ppf spans] prints the top-[top] (default 20)
+    hotspot table: calls, total ms, self ms, self-time share. *)
+val pp_hotspots : ?top:int -> Format.formatter -> span list -> unit
+
+(** [to_collapsed spans] renders one ["stack;frames WEIGHT"] line per
+    distinct stack, weight = integer self-time microseconds, identical
+    stacks merged, zero-weight stacks dropped — the folded format
+    [flamegraph.pl] consumes directly. *)
+val to_collapsed : span list -> string list
+
+(** [write_collapsed spans path] writes {!to_collapsed} lines to a
+    file. *)
+val write_collapsed : span list -> string -> unit

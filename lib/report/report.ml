@@ -223,3 +223,53 @@ let pp_counters ppf d =
     d.rows
 
 let exit_code d = if d.verdict = Regressed then 1 else 0
+
+(* --- machine-readable output (sbm diff --json) --- *)
+
+let verdict_to_string = function
+  | Improved -> "improved"
+  | Unchanged -> "unchanged"
+  | Tolerated -> "tolerated"
+  | Regressed -> "regressed"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  let delta_json (dl : delta) =
+    Printf.sprintf
+      "{\"metric\":\"%s\",\"old\":%g,\"new\":%g,\"pct\":%.3f,\"verdict\":\"%s\"}"
+      (json_escape dl.metric) dl.old_value dl.new_value dl.pct
+      (verdict_to_string dl.verdict)
+  in
+  let counter_json (c : counter_delta) =
+    Printf.sprintf "{\"counter\":\"%s\",\"old\":%d,\"new\":%d}"
+      (json_escape c.counter) c.old_count c.new_count
+  in
+  let row_json (r : row) =
+    Printf.sprintf
+      "{\"bench\":\"%s\",\"verdict\":\"%s\",\"deltas\":[%s],\"counters\":[%s]}"
+      (json_escape r.bench)
+      (verdict_to_string r.verdict)
+      (String.concat "," (List.map delta_json r.deltas))
+      (String.concat "," (List.map counter_json r.counter_deltas))
+  in
+  let strings l =
+    String.concat "," (List.map (fun s -> "\"" ^ json_escape s ^ "\"") l)
+  in
+  Printf.sprintf
+    "{\"verdict\":\"%s\",\"rows\":[%s],\"only_old\":[%s],\"only_new\":[%s]}"
+    (verdict_to_string d.verdict)
+    (String.concat "," (List.map row_json d.rows))
+    (strings d.only_old) (strings d.only_new)

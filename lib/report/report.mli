@@ -85,3 +85,12 @@ val pp_counters : Format.formatter -> t -> unit
 (** [exit_code d] is 0 unless [d.verdict = Regressed], then 1 — the
     process exit code contract of [sbm diff]. *)
 val exit_code : t -> int
+
+val verdict_to_string : verdict -> string
+(** ["improved" | "unchanged" | "tolerated" | "regressed"]. *)
+
+(** [to_json d] is the machine-readable diff ([sbm diff --json]):
+    [{"verdict":S,"rows":[{"bench":S,"verdict":S,"deltas":[{"metric":S,
+    "old":F,"new":F,"pct":F,"verdict":S}...],"counters":[{"counter":S,
+    "old":N,"new":N}...]}...],"only_old":[S...],"only_new":[S...]}]. *)
+val to_json : t -> string

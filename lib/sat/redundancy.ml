@@ -64,7 +64,8 @@ let bypass_safe obs solver_limit aig v cand =
       Sbm_obs.incr obs "redundancy.sat_calls";
       Sbm_obs.add obs "sat.conflicts" (Solver.num_conflicts solver);
       Sbm_obs.add obs "sat.decisions" (Solver.num_decisions solver);
-      Sbm_obs.add obs "sat.propagations" (Solver.num_propagations solver)
+      Sbm_obs.add obs "sat.propagations" (Solver.num_propagations solver);
+      Sbm_obs.add obs "sat.restarts" (Solver.num_restarts solver)
     end;
     match result with
     | Solver.Unsat -> true

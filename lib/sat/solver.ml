@@ -27,6 +27,7 @@ type t = {
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
+  mutable restarts : int;
 }
 
 let create () =
@@ -50,12 +51,14 @@ let create () =
     conflicts = 0;
     decisions = 0;
     propagations = 0;
+    restarts = 0;
   }
 
 let num_vars t = t.nvars
 let num_conflicts t = t.conflicts
 let num_decisions t = t.decisions
 let num_propagations t = t.propagations
+let num_restarts t = t.restarts
 
 let ensure_var_capacity t =
   let need = t.nvars + 1 in
@@ -406,6 +409,7 @@ let solve ?(assumptions = []) ?(conflict_limit = max_int) t =
       else if !conflicts_here >= !restart_limit then begin
         conflicts_here := 0;
         restart_limit := !restart_limit * 3 / 2;
+        t.restarts <- t.restarts + 1;
         backtrack t (List.length assumption_lits)
       end
       else begin

@@ -45,3 +45,7 @@ val num_decisions : t -> int
 (** [num_propagations t] is the running count of implied assignments
     made by unit propagation. *)
 val num_propagations : t -> int
+
+(** [num_restarts t] is the running count of geometric restarts
+    (search abandoned back to the assumption level). *)
+val num_restarts : t -> int

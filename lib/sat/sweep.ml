@@ -85,7 +85,8 @@ let run ?(obs = Sbm_obs.null) ?(sim_rounds = 4) ?(conflict_limit = 1000) aig =
     Sbm_obs.add obs "sweep.merged" !merged;
     Sbm_obs.add obs "sat.conflicts" (Solver.num_conflicts solver);
     Sbm_obs.add obs "sat.decisions" (Solver.num_decisions solver);
-    Sbm_obs.add obs "sat.propagations" (Solver.num_propagations solver)
+    Sbm_obs.add obs "sat.propagations" (Solver.num_propagations solver);
+    Sbm_obs.add obs "sat.restarts" (Solver.num_restarts solver)
   end;
   let swept, _ = Aig.compact aig in
   (swept, !merged)

@@ -8,6 +8,9 @@ type node = {
   kind : kind;
   mutable cover : Sop.cover;
   mutable alive : bool;
+  (* Provenance carried from the source AIG ([of_aig]); [None] for
+     nodes created inside the SOP domain (kernel/cube extraction). *)
+  mutable origin : Aig.Origin.t option;
 }
 
 type t = {
@@ -28,20 +31,20 @@ let cover t id = (node t id).cover
 
 let alloc t kind cover =
   if t.n >= Array.length t.nodes then begin
-    let bigger = Array.make (2 * Array.length t.nodes) { kind = Internal; cover = []; alive = false } in
+    let bigger = Array.make (2 * Array.length t.nodes) { kind = Internal; cover = []; alive = false; origin = None } in
     Array.blit t.nodes 0 bigger 0 t.n;
     t.nodes <- bigger
   end;
   let id = t.n in
   t.n <- id + 1;
-  t.nodes.(id) <- { kind; cover; alive = true };
+  t.nodes.(id) <- { kind; cover; alive = true; origin = None };
   id
 
 let of_aig aig =
   let cap = Aig.num_nodes aig + 2 in
   let t =
     {
-      nodes = Array.make cap { kind = Internal; cover = []; alive = false };
+      nodes = Array.make cap { kind = Internal; cover = []; alive = false; origin = None };
       n = 0;
       inputs = Array.make (Aig.num_inputs aig) (-1);
       outs = [||];
@@ -63,7 +66,9 @@ let of_aig aig =
         let f0 = Aig.fanin0 aig v and f1 = Aig.fanin1 aig v in
         let lit f = Sop.lit_of map.(Aig.node_of f) (Aig.is_compl f) in
         let c = Sop.cube_of_list [ lit f0; lit f1 ] in
-        map.(v) <- alloc t Internal [ c ]
+        let id = alloc t Internal [ c ] in
+        t.nodes.(id).origin <- Some (Aig.node_origin aig v);
+        map.(v) <- id
       end)
     order;
   t.outs <-
@@ -332,8 +337,16 @@ let extract_cubes t ?(only = fun _ -> true) ~max_passes () =
   done;
   !created
 
-let to_aig t =
+(* [provenance = (src, fallback)] carries origin tags through the SOP
+   round-trip: the factored logic of each internal node is stamped
+   with the node's recorded origin (from [of_aig]); nodes created in
+   the SOP domain (extracted kernels/cubes) are stamped — and their
+   construction counted — under [fallback]. *)
+let to_aig ?provenance t =
   let aig = Aig.create ~expected:(t.n * 4) () in
+  (match provenance with
+  | None -> ()
+  | Some (src, _) -> Aig.begin_rebuild aig ~from:src);
   let map = Array.make t.n Aig.const0 in
   Array.iteri (fun _ id -> map.(id) <- Aig.add_input aig) t.inputs;
   let lit_of_sop_lit l =
@@ -387,12 +400,32 @@ let to_aig t =
       Sop.minimize cv
     else cv
   in
-  List.iter (fun id -> map.(id) <- factor (prepared id)) (internal_nodes t);
+  List.iter
+    (fun id ->
+      match provenance with
+      | None -> map.(id) <- factor (prepared id)
+      | Some (_, fallback) -> (
+        match (node t id).origin with
+        | Some o ->
+          Aig.set_origin aig o;
+          map.(id) <- factor (prepared id)
+        | None ->
+          (* Genuinely new logic: count the ANDs it factors into. *)
+          Aig.set_origin aig fallback;
+          let cp = Aig.mark_created aig in
+          map.(id) <- factor (prepared id);
+          Aig.note_created aig fallback (Aig.fresh_since aig cp)))
+    (internal_nodes t);
   Array.iter
     (fun (id, compl) ->
       let l = map.(id) in
       ignore (Aig.add_output aig (if compl then Aig.lnot l else l)))
     t.outs;
+  (match provenance with
+  | None -> ()
+  | Some (src, _) ->
+    Aig.end_rebuild aig;
+    Aig.set_origin aig (Aig.current_origin src));
   aig
 
 let mark t = t.n

@@ -12,12 +12,20 @@ type t
 type node_id = int
 
 (** [of_aig aig] builds a network with one two-literal AND cover per
-    AIG node. *)
+    AIG node. Each internal node records the provenance tag of the AIG
+    node it came from. *)
 val of_aig : Sbm_aig.Aig.t -> t
 
-(** [to_aig t] factors every cover (quick literal factoring) and
-    rebuilds an AIG with the same I/O signature. *)
-val to_aig : t -> Sbm_aig.Aig.t
+(** [to_aig ?provenance t] factors every cover (quick literal
+    factoring) and rebuilds an AIG with the same I/O signature.
+    [provenance = (src, fallback)] threads origin tags through the
+    round-trip: the factored logic of each node carried over from
+    [src] keeps its recorded tag, while nodes created inside the SOP
+    domain (extracted kernels / cubes) are stamped and counted under
+    [fallback]. Without [provenance] every node is tagged
+    {!Sbm_aig.Aig.Origin.seed}. *)
+val to_aig :
+  ?provenance:Sbm_aig.Aig.t * Sbm_aig.Aig.Origin.t -> t -> Sbm_aig.Aig.t
 
 (** [num_lits t] is the total literal count over internal nodes — the
     cost function of elimination and extraction. *)

@@ -20,5 +20,6 @@ let () =
       ("mspf-tt", Test_mspf_tt.suite);
       ("word", Test_word.suite);
       ("obs", Test_obs.suite);
+      ("provenance", Test_provenance.suite);
       ("report", Test_report.suite);
     ]

@@ -1,0 +1,187 @@
+(* Provenance invariants: every live node carries an origin tag, tags
+   survive copy/compact/balance and a full flow run, and attribution
+   shares sum to 100 %. *)
+
+module Aig = Sbm_aig.Aig
+module Origin = Sbm_aig.Aig.Origin
+module Rng = Sbm_util.Rng
+module Attribution = Sbm_report.Attribution
+
+(* Live-node tags grouped as (pass, kind-string, live), sorted — the
+   comparable fingerprint of a network's provenance. *)
+let live_tags aig =
+  Aig.origin_stats aig
+  |> List.filter_map (fun ((o : Origin.t), _created, live) ->
+         if live > 0 then Some (o.pass, Origin.kind_to_string o.kind, live)
+         else None)
+  |> List.sort compare
+
+let sum_live aig =
+  List.fold_left (fun acc (_, _, live) -> acc + live) 0 (Aig.origin_stats aig)
+
+let test_default_is_seed () =
+  let aig = Aig.create () in
+  let a = Aig.add_input aig in
+  let b = Aig.add_input aig in
+  let x = Aig.band aig a b in
+  ignore (Aig.add_output aig x);
+  Alcotest.(check string) "ambient origin" "seed" (Aig.current_origin aig).pass;
+  let o = Aig.node_origin aig (Aig.node_of x) in
+  Alcotest.(check string) "node tagged seed" "seed" o.Origin.pass;
+  Alcotest.(check bool) "kind seed" true (o.Origin.kind = Origin.Seed);
+  Alcotest.(check int) "live sums to size" (Aig.size aig) (sum_live aig)
+
+let test_set_origin_stamps_and_counts () =
+  let aig = Aig.create () in
+  let a = Aig.add_input aig in
+  let b = Aig.add_input aig in
+  let c = Aig.add_input aig in
+  let seeded = Aig.band aig a b in
+  let rw = Origin.make ~pass:"rewrite" Origin.Rewrite in
+  Aig.set_origin aig rw;
+  let fresh = Aig.band aig seeded c in
+  ignore (Aig.add_output aig fresh);
+  Alcotest.(check string) "new node tagged" "rewrite"
+    (Aig.node_origin aig (Aig.node_of fresh)).Origin.pass;
+  Alcotest.(check string) "old node keeps seed" "seed"
+    (Aig.node_origin aig (Aig.node_of seeded)).Origin.pass;
+  (* A strash hit must not re-stamp or re-count. *)
+  let hit = Aig.band aig a b in
+  Alcotest.(check int) "strash hit" seeded hit;
+  Alcotest.(check string) "hit keeps first stamp" "seed"
+    (Aig.node_origin aig (Aig.node_of hit)).Origin.pass;
+  let created_of pass =
+    List.fold_left
+      (fun acc ((o : Origin.t), created, _) ->
+        if o.pass = pass then acc + created else acc)
+      0 (Aig.origin_stats aig)
+  in
+  Alcotest.(check int) "rewrite created 1" 1 (created_of "rewrite");
+  Alcotest.(check int) "seed created 1" 1 (created_of "seed");
+  Aig.check aig
+
+let stamped_random_aig rng =
+  (* A random network built under several distinct tags. *)
+  let aig = Helpers.random_aig ~inputs:6 ~ands:60 ~outputs:4 rng in
+  let n = Aig.num_nodes aig in
+  let tags =
+    [|
+      Origin.seed;
+      Origin.make ~pass:"rewrite" Origin.Rewrite;
+      Origin.make ~pass:"gradient/resub" Origin.Resub;
+      Origin.make ~pass:"mspf" Origin.Mspf;
+    |]
+  in
+  for v = 1 to n - 1 do
+    if Aig.is_and aig v then
+      Aig.set_node_origin aig v tags.(Rng.int rng (Array.length tags))
+  done;
+  aig
+
+let test_copy_preserves_origins () =
+  let rng = Rng.create 7 in
+  for _ = 0 to 4 do
+    let aig = stamped_random_aig rng in
+    let cp = Aig.copy aig in
+    Alcotest.(check (list (triple string string int)))
+      "copy keeps live tags" (live_tags aig) (live_tags cp);
+    Aig.check cp
+  done
+
+let test_compact_preserves_origins () =
+  let rng = Rng.create 11 in
+  for _ = 0 to 4 do
+    let aig = stamped_random_aig rng in
+    let before = live_tags aig in
+    let compacted, _map = Aig.compact aig in
+    Alcotest.(check (list (triple string string int)))
+      "compact keeps live tags" before (live_tags compacted);
+    Alcotest.(check int) "live sums to size" (Aig.size compacted)
+      (sum_live compacted);
+    Alcotest.(check string) "ambient origin survives"
+      (Aig.current_origin aig).Origin.pass
+      (Aig.current_origin compacted).Origin.pass;
+    Aig.check compacted
+  done
+
+let test_balance_adopts_origins () =
+  let rng = Rng.create 23 in
+  for _ = 0 to 4 do
+    let aig = stamped_random_aig rng in
+    let balanced = Sbm_aig.Balance.run aig in
+    (* Balance rebuilds trees, so per-tag live counts can shift, but
+       every tag set present before must still be the only tags after
+       (no balance-invented tag), and every live node must be tagged. *)
+    let tag_names net =
+      live_tags net |> List.map (fun (p, _, _) -> p) |> List.sort_uniq compare
+    in
+    List.iter
+      (fun p ->
+        Alcotest.(check bool)
+          ("tag " ^ p ^ " known before balance")
+          true
+          (List.mem p (tag_names aig @ [ "seed" ])))
+      (tag_names balanced);
+    Alcotest.(check int) "live sums to size" (Aig.size balanced)
+      (sum_live balanced);
+    Aig.check balanced
+  done
+
+let test_flow_attribution_sums () =
+  (* End-to-end: run the full SBM flow on an EPFL benchmark, map it,
+     and check the attribution shares close. *)
+  let bench =
+    match Sbm_epfl.Epfl.of_name "ctrl" with
+    | Some b -> b
+    | None -> Alcotest.fail "ctrl benchmark missing"
+  in
+  let aig = Sbm_epfl.Epfl.generate bench in
+  let optimized = Sbm_core.Flow.run (Sbm_core.Flow.Sbm Sbm_core.Flow.Low) aig in
+  Aig.check optimized;
+  let mapping = Sbm_lutmap.Lut_map.map ~k:6 optimized in
+  let att = Attribution.compute optimized mapping in
+  Alcotest.(check int) "total_live = size" (Aig.size optimized) att.total_live;
+  Alcotest.(check int) "rows sum to total_live" att.total_live
+    (List.fold_left (fun acc (r : Attribution.row) -> acc + r.live) 0 att.rows);
+  Alcotest.(check int) "total_luts = lut_count" mapping.lut_count att.total_luts;
+  Alcotest.(check int) "rows sum to total_luts" att.total_luts
+    (List.fold_left (fun acc (r : Attribution.row) -> acc + r.luts) 0 att.rows);
+  let pct_sum rows =
+    List.fold_left (fun acc (r : Attribution.row) -> acc +. r.live_pct) 0.0 rows
+  in
+  Alcotest.(check bool) "pass shares sum to 100%" true
+    (Float.abs (pct_sum att.rows -. 100.0) < 0.01);
+  Alcotest.(check bool) "engine shares sum to 100%" true
+    (Float.abs (pct_sum att.engines -. 100.0) < 0.01);
+  (* A real flow must not leave everything attributed to the seed. *)
+  let non_seed =
+    List.exists
+      (fun (r : Attribution.row) -> r.kind <> Origin.Seed && r.live > 0)
+      att.rows
+  in
+  Alcotest.(check bool) "some optimized nodes attributed" true non_seed;
+  (* JSON round-trip through the report parser. *)
+  let json = Attribution.to_json att in
+  match Sbm_report.Json.parse json with
+  | exception Sbm_report.Json.Bad msg -> Alcotest.fail ("bad JSON: " ^ msg)
+  | j ->
+    Alcotest.(check (option int))
+      "total_live in JSON" (Some att.total_live)
+      Sbm_report.Json.(to_int (member "total_live" j));
+    Alcotest.(check int) "passes array length" (List.length att.rows)
+      (List.length Sbm_report.Json.(to_list (member "passes" j)))
+
+let suite =
+  [
+    Alcotest.test_case "default origin is seed" `Quick test_default_is_seed;
+    Alcotest.test_case "set_origin stamps and counts" `Quick
+      test_set_origin_stamps_and_counts;
+    Alcotest.test_case "copy preserves origins" `Quick
+      test_copy_preserves_origins;
+    Alcotest.test_case "compact preserves origins" `Quick
+      test_compact_preserves_origins;
+    Alcotest.test_case "balance adopts origins" `Quick
+      test_balance_adopts_origins;
+    Alcotest.test_case "flow attribution sums to 100%" `Slow
+      test_flow_attribution_sums;
+  ]

@@ -182,6 +182,137 @@ let test_diff_counter_deltas () =
          r.Report.counter_deltas)
   | l -> Alcotest.failf "expected 1 row, got %d" (List.length l)
 
+(* --- machine-readable diff (sbm diff --json) --- *)
+
+let test_diff_to_json () =
+  let d =
+    Report.diff
+      (Snapshot.make
+         [
+           entry ~counters:[ ("sat.conflicts", 10) ] ~wall_ms:100.0 "a" 100 10
+             40 5;
+           entry "gone" 50 5 20 2;
+         ])
+      (Snapshot.make
+         [
+           entry ~counters:[ ("sat.conflicts", 14) ] ~wall_ms:100.0 "a" 110 10
+             40 5;
+           entry "new" 60 6 22 2;
+         ])
+  in
+  let json = Json.parse (Report.to_json d) in
+  Alcotest.(check (option string))
+    "overall verdict" (Some "regressed")
+    (Json.to_str (Json.member "verdict" json));
+  (match Json.to_list (Json.member "rows" json) with
+  | [ row ] ->
+    Alcotest.(check (option string))
+      "bench" (Some "a")
+      (Json.to_str (Json.member "bench" row));
+    Alcotest.(check (option string))
+      "row verdict" (Some "regressed")
+      (Json.to_str (Json.member "verdict" row));
+    let deltas = Json.to_list (Json.member "deltas" row) in
+    Alcotest.(check int) "five metric deltas" 5 (List.length deltas);
+    let size_delta =
+      List.find
+        (fun dl -> Json.to_str (Json.member "metric" dl) = Some "size")
+        deltas
+    in
+    Alcotest.(check (option (float 1e-9)))
+      "old size" (Some 100.0)
+      (Json.to_float (Json.member "old" size_delta));
+    Alcotest.(check (option string))
+      "size verdict" (Some "regressed")
+      (Json.to_str (Json.member "verdict" size_delta));
+    (match Json.to_list (Json.member "counters" row) with
+    | [ c ] ->
+      Alcotest.(check (option string))
+        "counter name" (Some "sat.conflicts")
+        (Json.to_str (Json.member "counter" c));
+      Alcotest.(check (option int))
+        "counter new" (Some 14)
+        (Json.to_int (Json.member "new" c))
+    | l -> Alcotest.failf "expected 1 counter delta, got %d" (List.length l))
+  | l -> Alcotest.failf "expected 1 row, got %d" (List.length l));
+  let strs field =
+    Json.to_list (Json.member field json)
+    |> List.filter_map (fun j -> Json.to_str (Some j))
+  in
+  Alcotest.(check (list string)) "only_old" [ "gone" ] (strs "only_old");
+  Alcotest.(check (list string)) "only_new" [ "new" ] (strs "only_new")
+
+(* --- time-attribution profile --- *)
+
+module Profile = Sbm_report.Profile
+
+let test_profile_of_json () =
+  (* A hand-written v2 trace: flow (10 ms) with children a (6 ms) and
+     b (3 ms) — self times 1 / 6 / 3. *)
+  let trace =
+    "{\"version\":2,\"totals\":{},\"spans\":[{\"name\":\"flow\",\"wall_ms\":10.0,\
+     \"children\":[{\"name\":\"a\",\"wall_ms\":6.0,\"children\":[]},{\"name\":\
+     \"b\",\"wall_ms\":3.0,\"children\":[]}]}]}"
+  in
+  match Profile.of_json trace with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok spans ->
+    (match spans with
+    | [ flow ] ->
+      Alcotest.(check string) "root name" "flow" flow.Profile.name;
+      Alcotest.(check (float 1e-9)) "root self" 1.0 (Profile.self_ms flow);
+      Alcotest.(check int) "two children" 2 (List.length flow.Profile.children)
+    | l -> Alcotest.failf "expected 1 root span, got %d" (List.length l));
+    let aggs = Profile.aggregate spans in
+    Alcotest.(check (list (pair string (pair (float 1e-9) (float 1e-9)))))
+      "aggregation sorted by self time"
+      [ ("a", (6.0, 6.0)); ("b", (3.0, 3.0)); ("flow", (10.0, 1.0)) ]
+      (List.map
+         (fun (a : Profile.agg) ->
+           (a.Profile.agg_name, (a.Profile.total_ms, a.Profile.self_ms)))
+         aggs);
+    (* Self times sum to the run's wall time. *)
+    Alcotest.(check (float 1e-9)) "self sums to wall" 10.0
+      (List.fold_left (fun acc (a : Profile.agg) -> acc +. a.Profile.self_ms)
+         0.0 aggs);
+    (* Collapsed stacks: weights in integer self-microseconds. *)
+    Alcotest.(check (list string))
+      "collapsed stacks"
+      [ "flow 1000"; "flow;a 6000"; "flow;b 3000" ]
+      (Profile.to_collapsed spans)
+
+let test_profile_real_trace () =
+  (* Round-trip a real telemetry trace through the profiler. *)
+  let rng = Rng.create 303 in
+  let aig = Helpers.random_xor_aig ~inputs:6 ~gates:50 ~outputs:3 rng in
+  let trace = Obs.create () in
+  let root = Obs.root ~size:(Aig.size aig) trace "flow" in
+  let rw = Obs.span root "rewrite" in
+  ignore (Sbm_aig.Rewrite.run aig);
+  Obs.close ~size:(Aig.size aig) rw;
+  Obs.close ~size:(Aig.size aig) root;
+  let path = Filename.temp_file "sbm_trace" ".json" in
+  Obs.write trace path;
+  let loaded = Profile.load path in
+  Sys.remove path;
+  match loaded with
+  | Error msg -> Alcotest.failf "load failed: %s" msg
+  | Ok spans ->
+    let aggs = Profile.aggregate spans in
+    Alcotest.(check bool) "flow span present" true
+      (List.exists (fun (a : Profile.agg) -> a.Profile.agg_name = "flow") aggs);
+    Alcotest.(check bool) "rewrite span present" true
+      (List.exists (fun (a : Profile.agg) -> a.Profile.agg_name = "rewrite") aggs);
+    List.iter
+      (fun (a : Profile.agg) ->
+        Alcotest.(check bool)
+          (a.Profile.agg_name ^ " self <= total")
+          true
+          (a.Profile.self_ms <= a.Profile.total_ms +. 1e-9))
+      aggs;
+    (* The hotspot table renders without raising. *)
+    ignore (Fmt.str "%a" (Profile.pp_hotspots ~top:5) spans)
+
 (* --- gradient explain stream --- *)
 
 let test_gradient_explain_stream () =
@@ -275,6 +406,9 @@ let suite =
     Alcotest.test_case "diff classification" `Quick test_diff_classification;
     Alcotest.test_case "diff time and membership" `Quick test_diff_time_and_membership;
     Alcotest.test_case "diff counter deltas" `Quick test_diff_counter_deltas;
+    Alcotest.test_case "diff json output" `Quick test_diff_to_json;
+    Alcotest.test_case "profile of hand-written trace" `Quick test_profile_of_json;
+    Alcotest.test_case "profile of real trace" `Quick test_profile_real_trace;
     Alcotest.test_case "gradient explain stream" `Quick test_gradient_explain_stream;
     Alcotest.test_case "gradient explain parallel" `Quick test_gradient_explain_parallel;
   ]
