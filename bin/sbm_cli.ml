@@ -10,7 +10,8 @@
      bench     — run a benchmark subset, write a QoR snapshot
      diff      — compare two QoR snapshots, gate on regressions
      attribute — run a flow and report per-engine node/LUT provenance
-     profile   — self/total-time hotspots and flamegraph stacks from a trace *)
+     profile   — self/total-time hotspots and flamegraph stacks from a trace
+     inspect   — render a post-mortem crash dump *)
 
 open Cmdliner
 
@@ -31,6 +32,111 @@ let output_arg =
 let logs_arg =
   let env = Cmd.Env.info "SBM_VERBOSITY" in
   Logs_cli.level ~env ()
+
+(* --- flight recorder / watchdog / crash dumps --- *)
+
+type obs_opts = {
+  recorder : bool;
+  watchdog : bool;
+  watchdog_abort : bool;
+  progress : bool;
+  deadline : float option;
+}
+
+let obs_opts_term =
+  let recorder_arg =
+    let env =
+      Cmd.Env.info "SBM_FLIGHT_RECORDER"
+        ~doc:"Enable the flight recorder (same as $(b,--recorder))."
+    in
+    let doc =
+      "Record in-flight events (pass boundaries, partition bail-outs, \
+       gradient rounds, SAT restart storms) in a bounded ring buffer, dumped \
+       to $(b,sbm-crash-<pid>.json) on an uncaught exception or fatal signal."
+    in
+    Arg.(value & flag & info [ "recorder" ] ~env ~doc)
+  in
+  let watchdog_arg =
+    let doc =
+      "Arm the anomaly watchdog with default thresholds: pass deadline 120s \
+       (see $(b,--deadline)), 8 consecutive BDD bail-out partitions, 8 \
+       zero-gain gradient rounds, 4096MB heap. Violations are recorded as \
+       verdicts; add $(b,--watchdog-abort) to act on them."
+    in
+    Arg.(value & flag & info [ "watchdog" ] ~doc)
+  in
+  let watchdog_abort_arg =
+    let doc =
+      "Make watchdog violations gracefully abort the offending pass: engines \
+       wind down at the next partition/round boundary with their remaining \
+       budget marked exhausted. Implies $(b,--watchdog)."
+    in
+    Arg.(value & flag & info [ "watchdog-abort" ] ~doc)
+  in
+  let progress_arg =
+    let doc =
+      "Print a one-line heartbeat to stderr every ~2s: elapsed time, current \
+       pass, heap size, events and verdicts so far."
+    in
+    Arg.(value & flag & info [ "progress" ] ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Watchdog pass deadline in seconds (default 120). Implies \
+       $(b,--watchdog)."
+    in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECS" ~doc)
+  in
+  let mk recorder watchdog watchdog_abort progress deadline =
+    { recorder; watchdog; watchdog_abort; progress; deadline }
+  in
+  Term.(
+    const mk $ recorder_arg $ watchdog_arg $ watchdog_abort_arg $ progress_arg
+    $ deadline_arg)
+
+let obs_active o =
+  o.recorder || o.watchdog || o.watchdog_abort || o.progress
+  || o.deadline <> None
+
+(* Turn the flags into live machinery: recorder on, watchdog armed,
+   crash-dump signal handlers installed. [trace] is the run's collector
+   trace, so dumps carry its counter totals. *)
+let setup_obs o trace =
+  if obs_active o then begin
+    Sbm_obs.Flight_recorder.enable ();
+    let thresholds = o.watchdog || o.watchdog_abort || o.deadline <> None in
+    if thresholds || o.progress then
+      Sbm_obs.Watchdog.arm
+        {
+          Sbm_obs.Watchdog.pass_deadline_ms =
+            (if thresholds then
+               Some (1000.0 *. Option.value ~default:120.0 o.deadline)
+             else None);
+          max_bail_streak = (if thresholds then Some 8 else None);
+          stall_rounds = (if thresholds then Some 8 else None);
+          max_heap_mb = (if thresholds then Some 4096.0 else None);
+          heartbeat_ms = (if o.progress then Some 2000.0 else None);
+          action =
+            (if o.watchdog_abort then Sbm_obs.Watchdog.Abort
+             else Sbm_obs.Watchdog.Note);
+        };
+    let dir =
+      Option.value ~default:"." (Sys.getenv_opt "SBM_CRASH_DUMP_DIR")
+    in
+    Sbm_obs.Postmortem.install ~dir ?trace ()
+  end
+
+(* cmdliner's evaluator catches exceptions before any at_exit-style
+   hook could see the live recorder state, so the flow call itself is
+   the dump point for crashes (signals are handled by [install]). *)
+let guarded o f =
+  if not (obs_active o) then f ()
+  else
+    try f ()
+    with e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Sbm_obs.Postmortem.report_dump ~reason:(Printexc.to_string e) ();
+      Printexc.raise_with_backtrace e bt
 
 (* --- stats --- *)
 
@@ -120,12 +226,15 @@ let opt_cmd =
     in
     Arg.(value & opt (some string) None & info [ "explain" ] ~docv:"FILE" ~doc)
   in
-  let run level path flow verify trace report explain output =
+  let run level path flow verify trace report explain obs_opts output =
     setup_logs level;
     let aig = read_aig path in
     let before = Sbm_aig.Aig.size aig in
-    let collecting = trace || report <> None in
+    (* Recorder/watchdog runs always collect: a crash dump without the
+       span stack and counters would be useless. *)
+    let collecting = trace || report <> None || obs_active obs_opts in
     let collector = if collecting then Some (Sbm_obs.create ()) else None in
+    setup_obs obs_opts collector;
     let obs =
       match collector with
       | None -> Sbm_obs.null
@@ -144,7 +253,10 @@ let opt_cmd =
         explain_oc
     in
     let t0 = Unix.gettimeofday () in
-    let optimized = Sbm_core.Flow.run ~obs ?explain:explain_cb flow aig in
+    let optimized =
+      guarded obs_opts (fun () ->
+          Sbm_core.Flow.run ~obs ?explain:explain_cb flow aig)
+    in
     let dt = Unix.gettimeofday () -. t0 in
     Option.iter close_out explain_oc;
     Option.iter
@@ -182,7 +294,7 @@ let opt_cmd =
   let term =
     Term.(
       const run $ logs_arg $ aig_arg $ flow_arg $ verify_arg $ trace_arg
-      $ report_arg $ explain_arg $ output_arg)
+      $ report_arg $ explain_arg $ obs_opts_term $ output_arg)
   in
   Cmd.v (Cmd.info "opt" ~doc:"Optimize a network") term
 
@@ -293,8 +405,9 @@ let bench_cmd =
     let doc = "Print the per-span wall-time histogram of every run." in
     Arg.(value & flag & info [ "histograms" ] ~doc)
   in
-  let run level names flow seed scale label out hist =
+  let run level names flow seed scale label out hist obs_opts =
     setup_logs level;
+    setup_obs obs_opts None;
     let module Epfl = Sbm_epfl.Epfl in
     let module Aig = Sbm_aig.Aig in
     let resolve n =
@@ -316,11 +429,15 @@ let bench_cmd =
         let seed_opt = if seed = 0 then None else Some seed in
         let aig = Epfl.generate ~scale ?seed:seed_opt b in
         let trace = Sbm_obs.create () in
+        (* Point a pending crash dump at the benchmark being run. *)
+        if obs_active obs_opts then Sbm_obs.Postmortem.configure ~trace ();
         let root =
           Sbm_obs.root ~size:(Aig.size aig) ~depth:(Aig.depth aig) trace bench
         in
         let t0 = Unix.gettimeofday () in
-        let optimized = Sbm_core.Flow.run ~obs:root flow aig in
+        let optimized =
+          guarded obs_opts (fun () -> Sbm_core.Flow.run ~obs:root flow aig)
+        in
         let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
         Sbm_obs.close ~size:(Aig.size optimized) ~depth:(Aig.depth optimized)
           root;
@@ -363,7 +480,7 @@ let bench_cmd =
     Term.(
       ret
         (const run $ logs_arg $ benches_arg $ flow_arg $ seed_arg $ scale_arg
-       $ label_arg $ out_arg $ hist_arg))
+       $ label_arg $ out_arg $ hist_arg $ obs_opts_term))
   in
   Cmd.v
     (Cmd.info "bench"
@@ -528,8 +645,11 @@ let attribute_cmd =
 
 let profile_cmd =
   let trace_arg =
-    let doc = "Telemetry trace (written by $(b,sbm opt --report FILE.json))." in
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE.json" ~doc)
+    let doc =
+      "Telemetry trace (written by $(b,sbm opt --report FILE.json)), or \
+       $(b,-) for stdin."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE.json" ~doc)
   in
   let top_arg =
     let doc = "Number of hotspot rows to print." in
@@ -543,27 +663,68 @@ let profile_cmd =
     in
     Arg.(value & opt (some string) None & info [ "collapsed" ] ~docv:"FILE" ~doc)
   in
+  (* Exit 2 on unreadable input, matching [sbm inspect]: distinguishable
+     from cmdliner's 124 (usage) and the flow's QoR gates. *)
   let run path top collapsed =
     match Sbm_report.Profile.load path with
-    | Error msg -> `Error (false, msg)
-    | Ok spans ->
+    | Error msg ->
+      Fmt.epr "sbm: %s@." msg;
+      Stdlib.exit 2
+    | Ok spans -> (
       Fmt.pr "%a" (Sbm_report.Profile.pp_hotspots ~top) spans;
-      (match collapsed with
-      | None -> `Ok ()
+      match collapsed with
+      | None -> ()
       | Some file -> (
         match Sbm_report.Profile.write_collapsed spans file with
-        | () ->
-          Fmt.pr "collapsed stacks written to %s@." file;
-          `Ok ()
+        | () -> Fmt.pr "collapsed stacks written to %s@." file
         | exception Sys_error msg ->
-          `Error (false, "cannot write collapsed stacks: " ^ msg)))
+          Fmt.epr "sbm: cannot write collapsed stacks: %s@." msg;
+          Stdlib.exit 2))
   in
-  let term = Term.(ret (const run $ trace_arg $ top_arg $ collapsed_arg)) in
+  let term = Term.(const run $ trace_arg $ top_arg $ collapsed_arg) in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
          "Attribute wall time: self/total-time hotspots and flamegraph \
           collapsed stacks from a telemetry trace")
+    term
+
+(* --- inspect --- *)
+
+let inspect_cmd =
+  let dump_arg =
+    let doc =
+      "Post-mortem dump ($(b,sbm-crash-<pid>.json), written on an uncaught \
+       exception or fatal signal during a $(b,--recorder) run), or $(b,-) \
+       for stdin."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DUMP.json" ~doc)
+  in
+  let last_arg =
+    let doc = "Timeline events to show (most recent last)." in
+    Arg.(value & opt int 20 & info [ "last" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Re-emit the dump as canonical JSON instead of the human report."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run path last json =
+    match Sbm_report.Inspect.load path with
+    | Error msg ->
+      Fmt.epr "sbm: %s@." msg;
+      Stdlib.exit 2
+    | Ok dump ->
+      if json then print_endline (Sbm_report.Inspect.to_json dump)
+      else Fmt.pr "%a" (Sbm_report.Inspect.pp ~last) dump
+  in
+  let term = Term.(const run $ dump_arg $ last_arg $ json_arg) in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "Render a post-mortem crash dump: what the run was doing, watchdog \
+          verdicts, and the tail of the event timeline")
     term
 
 let () =
@@ -573,7 +734,7 @@ let () =
     Cmd.group info
       [
         stats_cmd; generate_cmd; opt_cmd; lutmap_cmd; asic_cmd; cec_cmd;
-        bench_cmd; diff_cmd; attribute_cmd; profile_cmd;
+        bench_cmd; diff_cmd; attribute_cmd; profile_cmd; inspect_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -1,6 +1,8 @@
 module Aig = Sbm_aig.Aig
 module Bdd = Sbm_bdd.Bdd
 module Partition = Sbm_partition.Partition
+module Obs = Sbm_obs
+module FR = Sbm_obs.Flight_recorder
 
 type t = {
   aig : Aig.t;
@@ -17,7 +19,52 @@ type t = {
 
 let man t = t.man
 let limit_bails t = t.bails
-let bump_limit_bail t = t.bails <- t.bails + 1
+
+let bump_limit_bail t =
+  t.bails <- t.bails + 1;
+  if FR.enabled () then
+    FR.record ~severity:FR.Warn ~engine:"bdd"
+      ~metrics:
+        [ ("bails", t.bails); ("bdd_nodes", Bdd.num_nodes t.man);
+          ("members", Array.length t.order) ]
+      "node-budget bail-out"
+
+(* Integer percentage, 100 when there was no traffic at all. *)
+let hit_pct hits misses =
+  let total = hits + misses in
+  if total = 0 then 100 else 100 * hits / total
+
+(* Per-partition counter flush: raw unique/cache traffic, the derived
+   hit ratios, and the bail-out count. The ratio counters are
+   per-flush values; their trace totals are sums over partitions
+   (divide by the partition count for an average). A cache hit-rate
+   collapse under real traffic — the canonical sign of a partition
+   whose BDDs blew past locality — also lands in the flight
+   recorder. *)
+let flush_stats ?(engine = "bdd") t obs =
+  let bs = Bdd.stats t.man in
+  let upct = hit_pct bs.Bdd.unique_hits bs.Bdd.unique_misses in
+  let cpct = hit_pct bs.Bdd.cache_hits bs.Bdd.cache_misses in
+  if Obs.enabled obs then begin
+    Obs.add obs "bdd.nodes" bs.Bdd.nodes;
+    Obs.add obs "bdd.unique_hits" bs.Bdd.unique_hits;
+    Obs.add obs "bdd.unique_misses" bs.Bdd.unique_misses;
+    Obs.add obs "bdd.cache_hits" bs.Bdd.cache_hits;
+    Obs.add obs "bdd.cache_misses" bs.Bdd.cache_misses;
+    Obs.add obs "bdd.unique_hit_pct" upct;
+    Obs.add obs "bdd.cache_hit_pct" cpct;
+    Obs.add obs "bdd.limit_bails" t.bails
+  end;
+  if
+    FR.enabled ()
+    && bs.Bdd.cache_hits + bs.Bdd.cache_misses >= 10_000
+    && cpct < 20
+  then
+    FR.record ~severity:FR.Warn ~engine
+      ~metrics:
+        [ ("cache_hit_pct", cpct); ("unique_hit_pct", upct);
+          ("bdd_nodes", bs.Bdd.nodes) ]
+      "computed-cache hit-rate collapse"
 let aig t = t.aig
 let members t = t.order
 let leaves t = t.leaves

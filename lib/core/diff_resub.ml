@@ -1,6 +1,7 @@
 module Aig = Sbm_aig.Aig
 module Bdd = Sbm_bdd.Bdd
 module Partition = Sbm_partition.Partition
+module FR = Sbm_obs.Flight_recorder
 
 type config = {
   diff : Boolean_difference.config;
@@ -72,7 +73,8 @@ let good_candidates ctx ~f ~g =
    before any BDD work. *)
 let signature_threshold = 52
 
-let run_partition aig config counters obs signatures part total =
+let run_partition aig config counters obs signatures part index total =
+  let rewrites0 = counters.c_rewrites in
   let ctx = Bdd_bridge.build ~node_limit:config.bdd_node_limit aig part in
   let members = Bdd_bridge.members ctx in
   (* Depth objective: levels are refreshed after every accepted
@@ -145,15 +147,18 @@ let run_partition aig config counters obs signatures part total =
           members
       end)
     members;
-  if Sbm_obs.enabled obs then begin
-    let bs = Bdd.stats (Bdd_bridge.man ctx) in
-    Sbm_obs.add obs "bdd.nodes" bs.Bdd.nodes;
-    Sbm_obs.add obs "bdd.unique_hits" bs.Bdd.unique_hits;
-    Sbm_obs.add obs "bdd.unique_misses" bs.Bdd.unique_misses;
-    Sbm_obs.add obs "bdd.cache_hits" bs.Bdd.cache_hits;
-    Sbm_obs.add obs "bdd.cache_misses" bs.Bdd.cache_misses;
-    Sbm_obs.add obs "bdd.limit_bails" (Bdd_bridge.limit_bails ctx)
-  end
+  Bdd_bridge.flush_stats ~engine:"diff" ctx obs;
+  let bails = Bdd_bridge.limit_bails ctx in
+  Sbm_obs.Watchdog.note_partition ~engine:"diff" ~bails;
+  if FR.enabled () then
+    FR.record
+      ~severity:(if bails > 0 then FR.Warn else FR.Debug)
+      ~engine:"diff"
+      ~id:(Printf.sprintf "partition-%d" index)
+      ~metrics:
+        [ ("members", Array.length members); ("bails", bails);
+          ("rewrites", counters.c_rewrites - rewrites0) ]
+      "partition done"
 
 let optimize_stats ?(obs = Sbm_obs.null) ?(config = default_config) aig =
   (* Difference implementations built from here on are this engine's
@@ -175,7 +180,15 @@ let optimize_stats ?(obs = Sbm_obs.null) ?(config = default_config) aig =
     end
     else None
   in
-  List.iter (fun part -> run_partition aig config counters obs signatures part total) parts;
+  let skipped = ref 0 in
+  List.iteri
+    (fun i part ->
+      Sbm_obs.Watchdog.poll ();
+      if Sbm_obs.Watchdog.abort_requested () then incr skipped
+      else run_partition aig config counters obs signatures part i total)
+    parts;
+  if !skipped > 0 && Sbm_obs.enabled obs then
+    Sbm_obs.add obs "watchdog.partitions_skipped" !skipped;
   if Sbm_obs.enabled obs then begin
     Sbm_obs.add obs "diff.partitions" (List.length parts);
     Sbm_obs.add obs "diff.pairs_tried" counters.c_pairs;

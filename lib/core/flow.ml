@@ -48,17 +48,69 @@ let origin_of_pass name =
   in
   O.make ~pass:name kind
 
+(* Failure injection for crash-dump testing: die inside the Nth
+   scripted pass, after its span has opened, so the post-mortem shows
+   the pass on the open span stack. [inject_failure_after] is the test
+   hook (counts down, one-shot); [SBM_FAIL_AFTER=N] is the env knob
+   for driving a real process to a crash (counts process-wide). *)
+let inject_failure_after : int option ref = ref None
+
+let env_fail_after =
+  lazy (Option.bind (Sys.getenv_opt "SBM_FAIL_AFTER") int_of_string_opt)
+
+let env_passes = ref 0
+
+let check_injected_failure name =
+  (match !inject_failure_after with
+  | Some n when n <= 1 ->
+    inject_failure_after := None;
+    failwith (Printf.sprintf "injected failure in pass '%s' (test hook)" name)
+  | Some n -> inject_failure_after := Some (n - 1)
+  | None -> ());
+  match Lazy.force env_fail_after with
+  | Some n ->
+    incr env_passes;
+    if !env_passes = n then
+      failwith
+        (Printf.sprintf "injected failure in pass '%s' (SBM_FAIL_AFTER=%d)"
+           name n)
+  | None -> ()
+
+module FR = Obs.Flight_recorder
+
 (* Wrap one scripted pass in a span recording wall time and the
    size/depth delta. Measurement (Aig.depth is O(n)) only happens when
    the span is live; with observability off this is a direct call.
-   Every node the pass builds is stamped with the pass's origin. *)
+   Every node the pass builds is stamped with the pass's origin. The
+   watchdog tracks the pass for its deadline rule, and the flight
+   recorder gets a boundary event on each side. A pass that raises
+   stays on the watchdog/recorder stacks — exactly what the
+   post-mortem dump should show. *)
 let pass obs name f aig =
   Aig.set_origin aig (origin_of_pass name);
-  if not (Obs.enabled obs) then f Obs.null aig
+  Obs.Watchdog.pass_started name;
+  if not (Obs.enabled obs) then begin
+    check_injected_failure name;
+    let aig = f Obs.null aig in
+    Obs.Watchdog.pass_ended name;
+    aig
+  end
   else begin
-    let sp = Obs.span ~size:(Aig.size aig) ~depth:(Aig.depth aig) obs name in
+    let size0 = Aig.size aig in
+    let sp = Obs.span ~size:size0 ~depth:(Aig.depth aig) obs name in
+    if FR.enabled () then
+      FR.record ~severity:FR.Info ~engine:"flow" ~id:name
+        ~metrics:[ ("size", size0) ]
+        "pass start";
+    check_injected_failure name;
     let aig = f sp aig in
-    Obs.close ~size:(Aig.size aig) ~depth:(Aig.depth aig) sp;
+    let size1 = Aig.size aig in
+    Obs.close ~size:size1 ~depth:(Aig.depth aig) sp;
+    if FR.enabled () then
+      FR.record ~severity:FR.Info ~engine:"flow" ~id:name
+        ~metrics:[ ("size", size1); ("gain", size0 - size1) ]
+        "pass end";
+    Obs.Watchdog.pass_ended name;
     aig
   end
 

@@ -37,6 +37,14 @@ val to_string : script -> string
     "gradient", "diff", "mspf"). *)
 val of_string : string -> script option
 
+(** Failure injection for crash-dump testing: [Some n] makes the [n]th
+    scripted pass from now raise [Failure], after its telemetry span
+    has opened — so a post-mortem dump shows the pass on the open span
+    stack. One-shot (reset to [None] when it fires). The
+    [SBM_FAIL_AFTER=N] environment variable is the process-wide
+    equivalent for driving a real [sbm] run to a crash. *)
+val inject_failure_after : int option ref
+
 (** [run ?obs ?explain script aig] dispatches on [script]. The input
     is not modified. [explain], when given, receives one
     {!Gradient.event} per move the gradient engine attempts (scripts

@@ -1,6 +1,7 @@
 module Aig = Sbm_aig.Aig
 module Network = Sbm_sop.Network
 module Sop = Sbm_sop.Sop
+module FR = Sbm_obs.Flight_recorder
 
 type config = {
   thresholds : int list;
@@ -139,18 +140,31 @@ let run ?(obs = Sbm_obs.null) ?(config = default_config) aig =
   let parts = partitions_of net config.partition_size in
   let trials = ref 0 in
   let improved = ref 0 in
-  List.iter
-    (fun part ->
-      let t, i = optimize_partition net config part in
-      trials := !trials + t;
-      if i then incr improved)
+  let skipped = ref 0 in
+  List.iteri
+    (fun idx part ->
+      Sbm_obs.Watchdog.poll ();
+      if Sbm_obs.Watchdog.abort_requested () then incr skipped
+      else begin
+        let t, i = optimize_partition net config part in
+        trials := !trials + t;
+        if i then incr improved;
+        if FR.enabled () then
+          FR.record ~severity:FR.Debug ~engine:"kernel"
+            ~id:(Printf.sprintf "partition-%d" idx)
+            ~metrics:
+              [ ("members", List.length part); ("trials", t);
+                ("improved", if i then 1 else 0) ]
+            "partition done"
+      end)
     parts;
   let lits_after = Network.num_lits net in
   if Sbm_obs.enabled obs then begin
     Sbm_obs.add obs "kernel.partitions" (List.length parts);
     Sbm_obs.add obs "kernel.trials" !trials;
     Sbm_obs.add obs "kernel.improved_partitions" !improved;
-    Sbm_obs.add obs "kernel.lits_saved" (lits_before - lits_after)
+    Sbm_obs.add obs "kernel.lits_saved" (lits_before - lits_after);
+    if !skipped > 0 then Sbm_obs.add obs "watchdog.partitions_skipped" !skipped
   end;
   ( Network.to_aig ~provenance:(aig, fallback) net,
     {

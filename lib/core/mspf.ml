@@ -170,7 +170,8 @@ let members_in_leaf_cones ctx =
   done;
   tainted
 
-let run_partition aig config counters obs part total =
+let run_partition aig config counters obs part index total =
+  let subst0 = counters.c_subst in
   let ctx = Bdd_bridge.build ~node_limit:config.bdd_node_limit aig part in
   let tainted = ref (members_in_leaf_cones ctx) in
   let members = Bdd_bridge.members ctx in
@@ -224,15 +225,19 @@ let run_partition aig config counters obs part total =
           end
       end)
     by_saving;
-  if Obs.enabled obs then begin
-    let bs = Bdd.stats (Bdd_bridge.man ctx) in
-    Obs.add obs "bdd.nodes" bs.Bdd.nodes;
-    Obs.add obs "bdd.unique_hits" bs.Bdd.unique_hits;
-    Obs.add obs "bdd.unique_misses" bs.Bdd.unique_misses;
-    Obs.add obs "bdd.cache_hits" bs.Bdd.cache_hits;
-    Obs.add obs "bdd.cache_misses" bs.Bdd.cache_misses;
-    Obs.add obs "bdd.limit_bails" (Bdd_bridge.limit_bails ctx)
-  end
+  Bdd_bridge.flush_stats ~engine:"mspf" ctx obs;
+  let bails = Bdd_bridge.limit_bails ctx in
+  Obs.Watchdog.note_partition ~engine:"mspf" ~bails;
+  let module FR = Obs.Flight_recorder in
+  if FR.enabled () then
+    FR.record
+      ~severity:(if bails > 0 then FR.Warn else FR.Debug)
+      ~engine:"mspf"
+      ~id:(Printf.sprintf "partition-%d" index)
+      ~metrics:
+        [ ("members", Array.length members); ("bails", bails);
+          ("substitutions", counters.c_subst - subst0) ]
+      "partition done"
 
 let optimize_stats ?(obs = Obs.null) ?(config = default_config) aig =
   (* MSPF only substitutes existing literals, but candidate probing
@@ -243,7 +248,15 @@ let optimize_stats ?(obs = Obs.null) ?(config = default_config) aig =
   let total = ref 0 in
   let counters = { c_mspf = 0; c_cands = 0; c_subst = 0; c_const = 0 } in
   let parts = Partition.compute aig config.limits in
-  List.iter (fun part -> run_partition aig config counters obs part total) parts;
+  let skipped = ref 0 in
+  List.iteri
+    (fun i part ->
+      Obs.Watchdog.poll ();
+      if Obs.Watchdog.abort_requested () then incr skipped
+      else run_partition aig config counters obs part i total)
+    parts;
+  if !skipped > 0 && Obs.enabled obs then
+    Obs.add obs "watchdog.partitions_skipped" !skipped;
   if Obs.enabled obs then begin
     Obs.add obs "mspf.partitions" (List.length parts);
     Obs.add obs "mspf.computed" counters.c_mspf;

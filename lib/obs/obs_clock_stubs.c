@@ -1,13 +1,38 @@
-/* Monotonic clock for Sbm_obs spans.
+/* Monotonic clock for Sbm_obs spans and the flight recorder.
 
-   CLOCK_MONOTONIC is immune to wall-clock adjustments, so span
-   durations stay meaningful on long benchmark runs. The native-code
-   variant is unboxed and noalloc: reading the clock costs one vDSO
-   call and no OCaml allocation. */
+   A monotonic source is immune to wall-clock adjustments, so span
+   durations and event timestamps stay meaningful on long benchmark
+   runs. The native-code variant is unboxed and noalloc: reading the
+   clock costs one vDSO call and no OCaml allocation.
+
+   Portability: CLOCK_MONOTONIC is POSIX but not universal, so the
+   Linux/BSD path is guarded. macOS gets mach_absolute_time (scaled
+   through the timebase so the result is still nanoseconds), and any
+   other platform falls back to gettimeofday — microsecond resolution
+   and not strictly monotonic, but good enough to keep the build and
+   the telemetry working off-Linux. */
 
 #include <caml/mlvalues.h>
 #include <caml/alloc.h>
+
+#if defined(__APPLE__)
+
+#include <mach/mach_time.h>
+
+CAMLprim int64_t sbm_obs_monotonic_ns(value unit)
+{
+  static mach_timebase_info_data_t tb; /* zero-initialized: numer == 0 */
+  (void)unit;
+  if (tb.numer == 0)
+    mach_timebase_info(&tb);
+  return (int64_t)(mach_absolute_time() * tb.numer / tb.denom);
+}
+
+#else /* !__APPLE__ */
+
 #include <time.h>
+
+#if defined(CLOCK_MONOTONIC)
 
 CAMLprim int64_t sbm_obs_monotonic_ns(value unit)
 {
@@ -16,6 +41,21 @@ CAMLprim int64_t sbm_obs_monotonic_ns(value unit)
   clock_gettime(CLOCK_MONOTONIC, &ts);
   return (int64_t)ts.tv_sec * 1000000000LL + (int64_t)ts.tv_nsec;
 }
+
+#else /* no CLOCK_MONOTONIC: wall-clock fallback */
+
+#include <sys/time.h>
+
+CAMLprim int64_t sbm_obs_monotonic_ns(value unit)
+{
+  struct timeval tv;
+  (void)unit;
+  gettimeofday(&tv, NULL);
+  return (int64_t)tv.tv_sec * 1000000000LL + (int64_t)tv.tv_usec * 1000LL;
+}
+
+#endif /* CLOCK_MONOTONIC */
+#endif /* __APPLE__ */
 
 CAMLprim value sbm_obs_monotonic_ns_byte(value unit)
 {

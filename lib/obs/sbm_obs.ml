@@ -1,3 +1,6 @@
+module Flight_recorder = Flight_recorder
+module Watchdog = Watchdog
+
 external monotonic_ns : unit -> (int64[@unboxed])
   = "sbm_obs_monotonic_ns_byte" "sbm_obs_monotonic_ns"
 [@@noalloc]
@@ -40,9 +43,14 @@ let fresh ?(size = -1) ?(depth = -1) name =
     r_children = [];
   }
 
+(* Live spans double as the flight recorder's notion of "where the
+   run is": open/close notify its span stack (one branch when the
+   recorder is off), so a crash dump can report the open spans without
+   freezing the trace. *)
 let root ?size ?depth trace name =
   let r = fresh ?size ?depth name in
   trace.roots <- r :: trace.roots;
+  if Flight_recorder.enabled () then Flight_recorder.span_opened name;
   Span r
 
 let span ?size ?depth parent name =
@@ -51,6 +59,7 @@ let span ?size ?depth parent name =
   | Span p ->
     let r = fresh ?size ?depth name in
     p.r_children <- r :: p.r_children;
+    if Flight_recorder.enabled () then Flight_recorder.span_opened name;
     Span r
 
 let close ?size ?depth = function
@@ -58,7 +67,8 @@ let close ?size ?depth = function
   | Span r ->
     if r.r_t1 = 0L then begin
       r.r_t1 <- monotonic_ns ();
-      r.r_gc1 <- Some (Gc.quick_stat ())
+      r.r_gc1 <- Some (Gc.quick_stat ());
+      if Flight_recorder.enabled () then Flight_recorder.span_closed r.r_name
     end;
     (match size with Some s -> r.r_size1 <- s | None -> ());
     (match depth with Some d -> r.r_depth1 <- d | None -> ())
@@ -447,4 +457,110 @@ module Snapshot = struct
       (fun () ->
         output_string oc (to_json t);
         output_char oc '\n')
+end
+
+(* --- crash-dump post-mortems --- *)
+
+module Postmortem = struct
+  let current_version = 1
+
+  type setup = { mutable trace : trace option; mutable dir : string }
+
+  let setup = { trace = None; dir = "." }
+
+  let configure ?dir ?trace () =
+    (match dir with Some d -> setup.dir <- d | None -> ());
+    match trace with Some t -> setup.trace <- Some t | None -> ()
+
+  let ms ns = Int64.to_float ns /. 1e6
+
+  let to_json ~reason () =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b
+      (Printf.sprintf "{\"version\":%d,\"reason\":\"%s\",\"pid\":%d"
+         current_version (json_escape reason) (Unix.getpid ()));
+    Buffer.add_string b
+      (Printf.sprintf ",\"elapsed_ms\":%.3f" (ms (Flight_recorder.elapsed_ns ())));
+    (* Open spans, outermost first: the path from the flow root down
+       to wherever the run died. *)
+    Buffer.add_string b ",\"span_stack\":[";
+    List.iteri
+      (fun i (name, t0) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf "{\"name\":\"%s\",\"opened_ms\":%.3f}"
+             (json_escape name) (ms t0)))
+      (List.rev (Flight_recorder.span_stack ()));
+    Buffer.add_string b "],\"watchdog\":[";
+    List.iteri
+      (fun i (v : Watchdog.verdict) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"rule\":\"%s\",\"detail\":\"%s\",\"action\":\"%s\",\"t_ms\":%.3f}"
+             (json_escape v.Watchdog.rule)
+             (json_escape v.Watchdog.detail)
+             (match v.Watchdog.action with
+             | Watchdog.Note -> "note"
+             | Watchdog.Abort -> "abort")
+             (ms v.Watchdog.t_ns)))
+      (Watchdog.verdicts ());
+    Buffer.add_string b "],\"counters\":";
+    buf_counters b (match setup.trace with Some t -> totals t | None -> []);
+    Buffer.add_string b
+      (Printf.sprintf ",\"recorded\":%d,\"dropped\":%d,\"events\":["
+         (Flight_recorder.recorded ()) (Flight_recorder.dropped ()));
+    List.iteri
+      (fun i (e : Flight_recorder.event) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"seq\":%d,\"t_ms\":%.3f,\"severity\":\"%s\",\"engine\":\"%s\",\"id\":\"%s\",\"message\":\"%s\",\"metrics\":"
+             e.Flight_recorder.seq
+             (ms e.Flight_recorder.t_ns)
+             (Flight_recorder.severity_to_string e.Flight_recorder.severity)
+             (json_escape e.Flight_recorder.engine)
+             (json_escape e.Flight_recorder.id)
+             (json_escape e.Flight_recorder.message));
+        buf_counters b e.Flight_recorder.metrics;
+        Buffer.add_char b '}')
+      (Flight_recorder.events ());
+    Buffer.add_string b "]}";
+    Buffer.contents b
+
+  let path () =
+    Filename.concat setup.dir
+      (Printf.sprintf "sbm-crash-%d.json" (Unix.getpid ()))
+
+  let dump ~reason () =
+    let file = path () in
+    match open_out file with
+    | exception Sys_error msg -> Error msg
+    | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (to_json ~reason ());
+          output_char oc '\n');
+      Ok file
+
+  let report_dump ~reason () =
+    match dump ~reason () with
+    | Ok file -> Printf.eprintf "sbm: post-mortem dump written to %s\n%!" file
+    | Error msg -> Printf.eprintf "sbm: post-mortem dump failed: %s\n%!" msg
+
+  (* 128 + signal number, the shell convention. *)
+  let install ?dir ?trace () =
+    configure ?dir ?trace ();
+    let on signal name code =
+      try
+        Sys.set_signal signal
+          (Sys.Signal_handle
+             (fun _ ->
+               report_dump ~reason:("signal " ^ name) ();
+               Stdlib.exit code))
+      with Invalid_argument _ | Sys_error _ -> ()
+    in
+    on Sys.sigint "SIGINT" 130;
+    on Sys.sigterm "SIGTERM" 143
 end

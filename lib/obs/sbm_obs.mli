@@ -19,6 +19,15 @@
     {!write} picks the format from the file extension. The JSON schema
     is documented in DESIGN.md (section "Telemetry"). *)
 
+module Flight_recorder = Flight_recorder
+(** In-flight bounded ring buffer of structured events; see
+    {!Flight_recorder}. Live spans notify its span stack, so the open
+    span path is known at any instant. *)
+
+module Watchdog = Watchdog
+(** Threshold evaluation, heartbeats and graceful aborts; see
+    {!Watchdog}. *)
+
 type trace
 (** A collector of closed spans. *)
 
@@ -200,4 +209,47 @@ module Snapshot : sig
 
   (** [write t path] writes {!to_json} plus a trailing newline. *)
   val write : t -> string -> unit
+end
+
+(** {1 Crash-dump post-mortems}
+
+    When a run dies — uncaught exception, SIGINT, SIGTERM — the
+    post-mortem module freezes the black box into a versioned JSON
+    document: the flight recorder's ring buffer (plus how much of it
+    was lost to wraparound), the open span stack at the instant of
+    death, every watchdog verdict, and the live counter totals of the
+    attached trace. [sbm inspect] renders the dump; the schema is
+    documented in DESIGN.md (section "In-flight observability"). *)
+
+module Postmortem : sig
+  (** Schema version written by {!to_json} (currently 1). Readers
+      accept any version [<= current_version]. *)
+  val current_version : int
+
+  (** [configure ?dir ?trace ()] sets the dump directory (default
+      ["."]) and attaches the trace whose counter totals the dump
+      reports. Unset arguments keep their previous value. *)
+  val configure : ?dir:string -> ?trace:trace -> unit -> unit
+
+  (** The single-line JSON post-mortem document:
+      [{"version":1,"reason":...,"pid":...,"elapsed_ms":...,
+      "span_stack":[{"name":...,"opened_ms":...}],
+      "watchdog":[{"rule":...,"detail":...,"action":...,"t_ms":...}],
+      "counters":{...},"recorded":N,"dropped":N,"events":[...]}]. *)
+  val to_json : reason:string -> unit -> string
+
+  (** [path ()] is where {!dump} writes:
+      [<dir>/sbm-crash-<pid>.json]. *)
+  val path : unit -> string
+
+  (** [dump ~reason ()] writes {!to_json} to {!path}. *)
+  val dump : reason:string -> unit -> (string, string) result
+
+  (** {!dump} plus a one-line stderr notice (both outcomes). *)
+  val report_dump : reason:string -> unit -> unit
+
+  (** [install ?dir ?trace ()] is {!configure} plus SIGINT/SIGTERM
+      handlers that dump and exit with the shell convention
+      (128 + signal number). *)
+  val install : ?dir:string -> ?trace:trace -> unit -> unit
 end

@@ -1,0 +1,199 @@
+module FR = Flight_recorder
+
+type action = Note | Abort
+
+type config = {
+  pass_deadline_ms : float option;
+  max_bail_streak : int option;
+  stall_rounds : int option;
+  max_heap_mb : float option;
+  heartbeat_ms : float option;
+  action : action;
+}
+
+let default_config =
+  {
+    pass_deadline_ms = None;
+    max_bail_streak = None;
+    stall_rounds = None;
+    max_heap_mb = None;
+    heartbeat_ms = None;
+    action = Note;
+  }
+
+type verdict = { rule : string; detail : string; action : action; t_ns : int64 }
+
+(* One stack entry per open scripted pass. [deadline_fired] keeps the
+   deadline rule from refiring on every poll of a stuck pass. *)
+type pass_frame = {
+  p_name : string;
+  p_t0 : int64; (* FR.elapsed_ns at open *)
+  mutable deadline_fired : bool;
+}
+
+type state = {
+  mutable config : config option; (* None = disarmed *)
+  mutable passes : pass_frame list; (* innermost first *)
+  mutable bail_streak : int;
+  mutable stall_streak : int;
+  mutable heap_fired : bool;
+  mutable last_beat_ns : int64;
+  mutable verdicts : verdict list; (* reversed *)
+  mutable abort : bool;
+}
+
+let st =
+  {
+    config = None;
+    passes = [];
+    bail_streak = 0;
+    stall_streak = 0;
+    heap_fired = false;
+    last_beat_ns = 0L;
+    verdicts = [];
+    abort = false;
+  }
+
+let enabled () = st.config <> None
+
+let arm config =
+  if not (FR.enabled ()) then FR.enable ();
+  st.config <- Some config;
+  st.passes <- [];
+  st.bail_streak <- 0;
+  st.stall_streak <- 0;
+  st.heap_fired <- false;
+  st.last_beat_ns <- 0L;
+  st.verdicts <- [];
+  st.abort <- false
+
+let disarm () =
+  st.config <- None;
+  st.passes <- [];
+  st.abort <- false
+
+let verdicts () = List.rev st.verdicts
+let abort_requested () = st.abort
+let clear_abort () = st.abort <- false
+
+let fire (config : config) rule detail =
+  let v = { rule; detail; action = config.action; t_ns = FR.elapsed_ns () } in
+  st.verdicts <- v :: st.verdicts;
+  FR.record ~severity:Warn ~engine:"watchdog" ~id:rule detail;
+  if config.action = Abort then st.abort <- true
+
+let pass_started name =
+  match st.config with
+  | None -> ()
+  | Some _ ->
+    st.passes <-
+      { p_name = name; p_t0 = FR.elapsed_ns (); deadline_fired = false }
+      :: st.passes
+
+let pass_ended name =
+  match st.config with
+  | None -> ()
+  | Some _ ->
+    (* Pop the innermost matching frame (frames opened under it are
+       discarded — defensive against a pass dying without closing its
+       children). A pending abort applied to the pass winding down. *)
+    let rec drop = function
+      | f :: rest when f.p_name = name -> Some rest
+      | _ :: rest -> drop rest
+      | [] -> None
+    in
+    (match drop st.passes with
+    | Some rest -> st.passes <- rest
+    | None -> ());
+    st.abort <- false
+
+let ms_of_ns ns = Int64.to_float ns /. 1e6
+
+let note_partition ~engine ~bails =
+  match st.config with
+  | None -> ()
+  | Some config ->
+    if bails > 0 then begin
+      st.bail_streak <- st.bail_streak + 1;
+      match config.max_bail_streak with
+      | Some limit when st.bail_streak >= limit ->
+        fire config "bail-streak"
+          (Printf.sprintf
+             "%d consecutive partitions bailed on the BDD budget (engine %s)"
+             st.bail_streak engine);
+        st.bail_streak <- 0
+      | _ -> ()
+    end
+    else st.bail_streak <- 0
+
+let note_round ~gain =
+  match st.config with
+  | None -> ()
+  | Some config ->
+    if gain > 0 then st.stall_streak <- 0
+    else begin
+      st.stall_streak <- st.stall_streak + 1;
+      match config.stall_rounds with
+      | Some limit when st.stall_streak >= limit ->
+        fire config "gradient-stall"
+          (Printf.sprintf "%d consecutive zero-gain gradient rounds"
+             st.stall_streak);
+        st.stall_streak <- 0
+      | _ -> ()
+    end
+
+let heap_mb () =
+  let s = Gc.quick_stat () in
+  float_of_int s.Gc.heap_words *. float_of_int (Sys.word_size / 8) /. 1e6
+
+let heartbeat config now =
+  match config.heartbeat_ms with
+  | None -> ()
+  | Some interval ->
+    if ms_of_ns (Int64.sub now st.last_beat_ns) >= interval then begin
+      st.last_beat_ns <- now;
+      let where =
+        match st.passes with
+        | [] -> "-"
+        | fs -> String.concat ">" (List.rev_map (fun f -> f.p_name) fs)
+      in
+      Printf.eprintf "[sbm %7.1fs] pass=%s heap=%.0fMB events=%d verdicts=%d\n%!"
+        (ms_of_ns now /. 1000.0) where (heap_mb ()) (FR.recorded ())
+        (List.length st.verdicts)
+    end
+
+let poll () =
+  match st.config with
+  | None -> ()
+  | Some config ->
+    let now = FR.elapsed_ns () in
+    (match config.pass_deadline_ms with
+    | None -> ()
+    | Some deadline ->
+      (* Any open pass past its deadline fires, deepest first; a pass
+         that is slow because a child is slow still gets its own
+         verdict once the child's fired. *)
+      List.iter
+        (fun f ->
+          if not f.deadline_fired then begin
+            let open_ms = ms_of_ns (Int64.sub now f.p_t0) in
+            if open_ms > deadline then begin
+              f.deadline_fired <- true;
+              fire config "pass-deadline"
+                (Printf.sprintf "pass '%s' open for %.0fms (deadline %.0fms)"
+                   f.p_name open_ms deadline)
+            end
+          end)
+        st.passes);
+    (match config.max_heap_mb with
+    | None -> ()
+    | Some limit ->
+      if not st.heap_fired then begin
+        let mb = heap_mb () in
+        if mb > limit then begin
+          st.heap_fired <- true;
+          fire config "heap-growth"
+            (Printf.sprintf "major heap %.0fMB exceeds %.0fMB" mb limit)
+        end
+      end);
+    heartbeat config now

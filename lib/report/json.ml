@@ -141,6 +141,29 @@ let parse (s : string) : t =
   if !pos <> n then raise (Bad "trailing garbage");
   v
 
+(* Read a whole channel with a chunked loop rather than
+   [in_channel_length]: the length probe fails on pipes, and "-"
+   (stdin) is exactly the piped case. *)
+let read_all ic =
+  let buf = Buffer.create 65536 in
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    let n = input ic chunk 0 (Bytes.length chunk) in
+    if n > 0 then begin
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+let read_source source =
+  if source = "-" then Ok (read_all stdin)
+  else
+    match open_in_bin source with
+    | exception Sys_error msg -> Error msg
+    | ic -> Ok (Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_all ic))
+
 let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
 
 let to_float = function Some (Num f) -> Some f | _ -> None

@@ -19,6 +19,11 @@ exception Bad of string
     input or trailing garbage. *)
 val parse : string -> t
 
+(** [read_source src] reads the whole of [src] — a file path, or ["-"]
+    for stdin. Works on pipes (no length probe). [Error] carries the
+    system message on open failure. *)
+val read_source : string -> (string, string) result
+
 (** {1 Accessors} — total functions returning options/defaults so
     callers can probe optional fields without matching. *)
 

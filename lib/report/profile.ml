@@ -19,17 +19,16 @@ let of_json s =
     | Some _ -> Error "not a trace: \"spans\" is not an array")
 
 let load path =
-  match open_in_bin path with
-  | exception Sys_error msg -> Error msg
-  | ic ->
-    let s =
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
-    (match of_json (String.trim s) with
-    | Ok _ as ok -> ok
-    | Error msg -> Error (path ^ ": " ^ msg))
+  match Json.read_source path with
+  | Error msg -> Error msg
+  | Ok s -> (
+    let label = if path = "-" then "stdin" else path in
+    match String.trim s with
+    | "" -> Error (label ^ ": empty input")
+    | s -> (
+      match of_json s with
+      | Ok _ as ok -> ok
+      | Error msg -> Error (label ^ ": " ^ msg)))
 
 (* --- aggregation --- *)
 

@@ -13,7 +13,8 @@ type span = { name : string; wall_ms : float; children : span list }
     "spans":[...]}] format of {!Sbm_obs.write}) into its span forest. *)
 val of_json : string -> (span list, string) result
 
-(** [load path] reads and parses a trace file. *)
+(** [load path] reads and parses a trace file; [path = "-"] reads
+    stdin. Empty or truncated input is an [Error] naming the source. *)
 val load : string -> (span list, string) result
 
 (** [self_ms s] is [s]'s wall time minus its children's, clamped at 0. *)

@@ -410,6 +410,17 @@ let solve ?(assumptions = []) ?(conflict_limit = max_int) t =
         conflicts_here := 0;
         restart_limit := !restart_limit * 3 / 2;
         t.restarts <- t.restarts + 1;
+        (* Restart storm: a solver restarting this much on one
+           instance is the in-flight signal of a hard miter. Every
+           64th restart lands in the flight recorder (cheap: one
+           branch per restart, and restarts are rare events). *)
+        (let module FR = Sbm_obs.Flight_recorder in
+         if FR.enabled () && t.restarts land 63 = 0 then
+           FR.record ~severity:FR.Warn ~engine:"sat"
+             ~metrics:
+               [ ("restarts", t.restarts); ("conflicts", t.conflicts);
+                 ("vars", t.nvars); ("clauses", t.nclauses) ]
+             "restart storm");
         backtrack t (List.length assumption_lits)
       end
       else begin

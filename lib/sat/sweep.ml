@@ -79,6 +79,14 @@ let run ?(obs = Sbm_obs.null) ?(sim_rounds = 4) ?(conflict_limit = 1000) aig =
             end)
           rest)
     classes;
+  (let module FR = Sbm_obs.Flight_recorder in
+   if FR.enabled () then
+     FR.record ~severity:FR.Info ~engine:"sat" ~id:"sweep"
+       ~metrics:
+         [ ("classes", Hashtbl.length classes); ("sat_calls", !sat_calls);
+           ("merged", !merged); ("restarts", Solver.num_restarts solver) ]
+       "sweep done");
+  Sbm_obs.Watchdog.poll ();
   if Sbm_obs.enabled obs then begin
     Sbm_obs.add obs "sweep.classes" (Hashtbl.length classes);
     Sbm_obs.add obs "sweep.sat_calls" !sat_calls;

@@ -20,6 +20,7 @@ let () =
       ("mspf-tt", Test_mspf_tt.suite);
       ("word", Test_word.suite);
       ("obs", Test_obs.suite);
+      ("flight", Test_flight.suite);
       ("provenance", Test_provenance.suite);
       ("report", Test_report.suite);
     ]
