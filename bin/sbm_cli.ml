@@ -33,6 +33,23 @@ let logs_arg =
   let env = Cmd.Env.info "SBM_VERBOSITY" in
   Logs_cli.level ~env ()
 
+let jobs_arg =
+  let env =
+    Cmd.Env.info "SBM_JOBS" ~doc:"Default worker count (same as $(b,--jobs))."
+  in
+  let doc =
+    "Worker domains for partition-parallel analysis. 1 (the default) runs \
+     the exact sequential path; any value produces bit-identical QoR, \
+     counters and attribution."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~env ~docv:"N" ~doc)
+
+let setup_jobs jobs =
+  match jobs with
+  | Some n when n >= 1 -> Sbm_par.Jobs.set n
+  | Some _ -> Sbm_par.Jobs.set 1
+  | None -> ()
+
 (* --- flight recorder / watchdog / crash dumps --- *)
 
 type obs_opts = {
@@ -226,8 +243,9 @@ let opt_cmd =
     in
     Arg.(value & opt (some string) None & info [ "explain" ] ~docv:"FILE" ~doc)
   in
-  let run level path flow verify trace report explain obs_opts output =
+  let run level jobs path flow verify trace report explain obs_opts output =
     setup_logs level;
+    setup_jobs jobs;
     let aig = read_aig path in
     let before = Sbm_aig.Aig.size aig in
     (* Recorder/watchdog runs always collect: a crash dump without the
@@ -293,8 +311,8 @@ let opt_cmd =
   in
   let term =
     Term.(
-      const run $ logs_arg $ aig_arg $ flow_arg $ verify_arg $ trace_arg
-      $ report_arg $ explain_arg $ obs_opts_term $ output_arg)
+      const run $ logs_arg $ jobs_arg $ aig_arg $ flow_arg $ verify_arg
+      $ trace_arg $ report_arg $ explain_arg $ obs_opts_term $ output_arg)
   in
   Cmd.v (Cmd.info "opt" ~doc:"Optimize a network") term
 
@@ -405,9 +423,20 @@ let bench_cmd =
     let doc = "Print the per-span wall-time histogram of every run." in
     Arg.(value & flag & info [ "histograms" ] ~doc)
   in
-  let run level names flow seed scale label out hist obs_opts =
+  let repeat_arg =
+    let doc =
+      "Run each benchmark $(docv) times: the snapshot records the median \
+       wall time (robust against machine noise) and, when $(docv) > 1, the \
+       minimum as the $(b,bench.wall_ms_min) counter. QoR is checked \
+       identical across repeats."
+    in
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N" ~doc)
+  in
+  let run level jobs names flow seed scale label out hist repeat obs_opts =
     setup_logs level;
+    setup_jobs jobs;
     setup_obs obs_opts None;
+    let repeat = max 1 repeat in
     let module Epfl = Sbm_epfl.Epfl in
     let module Aig = Sbm_aig.Aig in
     let resolve n =
@@ -427,40 +456,61 @@ let bench_cmd =
       let entry b =
         let bench = Epfl.name b in
         let seed_opt = if seed = 0 then None else Some seed in
-        let aig = Epfl.generate ~scale ?seed:seed_opt b in
-        let trace = Sbm_obs.create () in
-        (* Point a pending crash dump at the benchmark being run. *)
-        if obs_active obs_opts then Sbm_obs.Postmortem.configure ~trace ();
-        let root =
-          Sbm_obs.root ~size:(Aig.size aig) ~depth:(Aig.depth aig) trace bench
+        let run_once () =
+          let aig = Epfl.generate ~scale ?seed:seed_opt b in
+          let trace = Sbm_obs.create () in
+          (* Point a pending crash dump at the benchmark being run. *)
+          if obs_active obs_opts then Sbm_obs.Postmortem.configure ~trace ();
+          let root =
+            Sbm_obs.root ~size:(Aig.size aig) ~depth:(Aig.depth aig) trace
+              bench
+          in
+          let t0 = Unix.gettimeofday () in
+          let optimized =
+            guarded obs_opts (fun () -> Sbm_core.Flow.run ~obs:root flow aig)
+          in
+          let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+          Sbm_obs.close ~size:(Aig.size optimized)
+            ~depth:(Aig.depth optimized) root;
+          let mapping = Sbm_lutmap.Lut_map.map ~k:6 optimized in
+          let qor =
+            {
+              Sbm_obs.Snapshot.size = Aig.size optimized;
+              depth = Aig.depth optimized;
+              luts = mapping.Sbm_lutmap.Lut_map.lut_count;
+              levels = mapping.Sbm_lutmap.Lut_map.depth;
+            }
+          in
+          (Aig.size aig, qor, wall_ms, trace)
         in
-        let t0 = Unix.gettimeofday () in
-        let optimized =
-          guarded obs_opts (fun () -> Sbm_core.Flow.run ~obs:root flow aig)
+        let runs = List.init repeat (fun _ -> run_once ()) in
+        let size_in, qor, _, trace = List.hd runs in
+        List.iter
+          (fun (_, q, _, _) ->
+            if q <> qor then
+              failwith (bench ^ ": QoR differs across repeated runs"))
+          runs;
+        let walls =
+          List.sort Float.compare (List.map (fun (_, _, w, _) -> w) runs)
         in
-        let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
-        Sbm_obs.close ~size:(Aig.size optimized) ~depth:(Aig.depth optimized)
-          root;
-        let mapping = Sbm_lutmap.Lut_map.map ~k:6 optimized in
-        let qor =
-          {
-            Sbm_obs.Snapshot.size = Aig.size optimized;
-            depth = Aig.depth optimized;
-            luts = mapping.Sbm_lutmap.Lut_map.lut_count;
-            levels = mapping.Sbm_lutmap.Lut_map.depth;
-          }
-        in
-        Fmt.pr "%-11s size %6d -> %6d, depth %4d, LUT-6 %6d / %3d, %7.1fms@."
-          bench (Aig.size aig) qor.Sbm_obs.Snapshot.size
-          qor.Sbm_obs.Snapshot.depth qor.Sbm_obs.Snapshot.luts
-          qor.Sbm_obs.Snapshot.levels wall_ms;
+        (* Lower median: robust against container noise, deterministic
+           for even repeat counts. *)
+        let wall_ms = List.nth walls ((List.length walls - 1) / 2) in
+        Fmt.pr "%-11s size %6d -> %6d, depth %4d, LUT-6 %6d / %3d, %7.1fms%s@."
+          bench size_in qor.Sbm_obs.Snapshot.size qor.Sbm_obs.Snapshot.depth
+          qor.Sbm_obs.Snapshot.luts qor.Sbm_obs.Snapshot.levels wall_ms
+          (if repeat > 1 then
+             Fmt.str " (median of %d, min %.1fms)" repeat (List.hd walls)
+           else "");
         if hist then Fmt.pr "%a" Sbm_obs.pp_histograms trace;
-        {
-          Sbm_obs.Snapshot.bench;
-          qor;
-          wall_ms;
-          counters = Sbm_obs.totals trace;
-        }
+        let counters = Sbm_obs.totals trace in
+        let counters =
+          if repeat > 1 then
+            counters
+            @ [ ("bench.wall_ms_min", int_of_float (Float.round (List.hd walls))) ]
+          else counters
+        in
+        { Sbm_obs.Snapshot.bench; qor; wall_ms; counters }
       in
       let label =
         if label <> "" then label
@@ -479,8 +529,9 @@ let bench_cmd =
   let term =
     Term.(
       ret
-        (const run $ logs_arg $ benches_arg $ flow_arg $ seed_arg $ scale_arg
-       $ label_arg $ out_arg $ hist_arg $ obs_opts_term))
+        (const run $ logs_arg $ jobs_arg $ benches_arg $ flow_arg $ seed_arg
+       $ scale_arg $ label_arg $ out_arg $ hist_arg $ repeat_arg
+       $ obs_opts_term))
   in
   Cmd.v
     (Cmd.info "bench"

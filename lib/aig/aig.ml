@@ -1,6 +1,11 @@
 module Vec = Sbm_util.Vec
+module Itab = Sbm_util.Itab
 
 type lit = int
+
+(* Literals are bounded well below 2^31 in practice; pack a sorted
+   fanin pair into one non-negative int key for the strash table. *)
+let strash_key a b = (a lsl 31) lor b
 
 let lit_of node compl = (node lsl 1) lor (if compl then 1 else 0)
 let node_of l = l lsr 1
@@ -74,7 +79,10 @@ type t = {
   mutable num_live_ands : int;
   inputs : Vec.t; (* node ids *)
   outs : Vec.t; (* literals *)
-  strash : (int * int, int) Hashtbl.t;
+  (* Structural hash: packed fanin pair (a lsl 31) lor b, a < b, to
+     node id. Open addressing (Sbm_util.Itab) keeps the [band] probe
+     allocation-free. *)
+  strash : Sbm_util.Itab.t;
   (* Provenance side tables. [origins.(v)] is the interned id (into
      [origin_defs]) of the origin current when node [v] was allocated;
      id 0 is always [Origin.seed]. [origin_created.(i)] counts the AND
@@ -108,7 +116,7 @@ let create ?(expected = 64) () =
       num_live_ands = 0;
       inputs = Vec.create ();
       outs = Vec.create ();
-      strash = Hashtbl.create 1024;
+      strash = Itab.create ~capacity:1024 ();
       origins = Array.make cap 0;
       origin_defs = Array.make 8 Origin.seed;
       origin_created = Array.make 8 0;
@@ -227,17 +235,6 @@ let add_input aig =
   Vec.push aig.inputs node;
   lit_of node false
 
-let fanout_nodes aig node =
-  let seen = Hashtbl.create 8 in
-  Vec.fold
-    (fun acc fo ->
-      if aig.dead.(fo) || Hashtbl.mem seen fo then acc
-      else begin
-        Hashtbl.add seen fo ();
-        fo :: acc
-      end)
-    [] aig.fanouts.(node)
-
 let band aig a b =
   let bad l = node_of l >= aig.n || aig.dead.(node_of l) in
   if bad a || bad b then invalid_arg "Aig.band: dead or invalid literal";
@@ -248,9 +245,10 @@ let band aig a b =
   else if b = const1 then a
   else begin
     let a, b = if a < b then (a, b) else (b, a) in
-    match Hashtbl.find_opt aig.strash (a, b) with
-    | Some node -> lit_of node false
-    | None ->
+    let key = strash_key a b in
+    let hit = Itab.find aig.strash key ~default:(-1) in
+    if hit >= 0 then lit_of hit false
+    else begin
       let node = alloc aig in
       aig.fanin0.(node) <- a;
       aig.fanin1.(node) <- b;
@@ -258,12 +256,13 @@ let band aig a b =
       aig.nrefs.(node_of b) <- aig.nrefs.(node_of b) + 1;
       Vec.push aig.fanouts.(node_of a) node;
       Vec.push aig.fanouts.(node_of b) node;
-      Hashtbl.add aig.strash (a, b) node;
+      Itab.replace aig.strash key node;
       aig.num_live_ands <- aig.num_live_ands + 1;
       if aig.origin_counting then
         aig.origin_created.(aig.cur_origin) <-
           aig.origin_created.(aig.cur_origin) + 1;
       lit_of node false
+    end
   end
 
 let bor aig a b = lnot (band aig (lnot a) (lnot b))
@@ -304,9 +303,8 @@ let kill_cone aig root =
     if is_and aig v && aig.nrefs.(v) = 0 then begin
       let f0 = aig.fanin0.(v) and f1 = aig.fanin1.(v) in
       let a, b = if f0 < f1 then (f0, f1) else (f1, f0) in
-      (match Hashtbl.find_opt aig.strash (a, b) with
-      | Some m when m = v -> Hashtbl.remove aig.strash (a, b)
-      | Some _ | None -> ());
+      let key = strash_key a b in
+      if Itab.find aig.strash key ~default:(-1) = v then Itab.remove aig.strash key;
       aig.dead.(v) <- true;
       aig.num_live_ands <- aig.num_live_ands - 1;
       Vec.clear aig.fanouts.(v);
@@ -357,6 +355,21 @@ let set_output aig i l =
 let new_trav aig =
   aig.trav_id <- aig.trav_id + 1;
   aig.trav_id
+
+(* Live fanouts, deduplicated with a traversal stamp (the fanout
+   vector may hold duplicates after rewiring); allocation-free probe
+   per entry. *)
+let fanout_nodes aig node =
+  let id = new_trav aig in
+  let trav = aig.trav in
+  Vec.fold
+    (fun acc fo ->
+      if aig.dead.(fo) || trav.(fo) = id then acc
+      else begin
+        trav.(fo) <- id;
+        fo :: acc
+      end)
+    [] aig.fanouts.(node)
 
 let in_tfi aig ~node ~root =
   let id = new_trav aig in
@@ -434,9 +447,9 @@ let replace aig root lit =
           then begin
             let f0 = aig.fanin0.(fo) and f1 = aig.fanin1.(fo) in
             let a0, b0 = if f0 < f1 then (f0, f1) else (f1, f0) in
-            (match Hashtbl.find_opt aig.strash (a0, b0) with
-            | Some m when m = fo -> Hashtbl.remove aig.strash (a0, b0)
-            | Some _ | None -> ());
+            let key0 = strash_key a0 b0 in
+            if Itab.find aig.strash key0 ~default:(-1) = fo then
+              Itab.remove aig.strash key0;
             let subst f =
               if node_of f = o then begin
                 let nf = nl lxor (f land 1) in
@@ -459,13 +472,15 @@ let replace aig root lit =
               else if a = lnot b then Some const0
               else if a = const0 then Some const0
               else if a = const1 then Some b
-              else
-                match Hashtbl.find_opt aig.strash (a, b) with
-                | Some m when m <> fo -> Some (lit_of m false)
-                | Some _ -> None
-                | None ->
-                  Hashtbl.add aig.strash (a, b) fo;
+              else begin
+                let m = Itab.find aig.strash (strash_key a b) ~default:(-1) in
+                if m = -1 then begin
+                  Itab.replace aig.strash (strash_key a b) fo;
                   None
+                end
+                else if m <> fo then Some (lit_of m false)
+                else None
+              end
             in
             match equiv with
             | Some e ->
@@ -684,7 +699,7 @@ let copy aig =
     out_uses = Array.map Vec.copy aig.out_uses;
     inputs = Vec.copy aig.inputs;
     outs = Vec.copy aig.outs;
-    strash = Hashtbl.copy aig.strash;
+    strash = Itab.copy aig.strash;
     origins = Array.copy aig.origins;
     origin_defs = Array.copy aig.origin_defs;
     origin_created = Array.copy aig.origin_created;
@@ -770,14 +785,15 @@ let check aig =
   (* Strash consistency: every live AND is hashed under its key. *)
   for v = 0 to aig.n - 1 do
     if is_and aig v then begin
-      match Hashtbl.find_opt aig.strash (aig.fanin0.(v), aig.fanin1.(v)) with
-      | Some m when m = v -> ()
-      | Some m -> fail "node %d: strash maps its key to %d" v m
-      | None -> fail "node %d: missing from strash" v
+      match Itab.find aig.strash (strash_key aig.fanin0.(v) aig.fanin1.(v)) ~default:(-1) with
+      | m when m = v -> ()
+      | -1 -> fail "node %d: missing from strash" v
+      | m -> fail "node %d: strash maps its key to %d" v m
     end
   done;
-  Hashtbl.iter
-    (fun (a, b) v ->
+  Itab.iter
+    (fun key v ->
+      let a = key lsr 31 and b = key land 0x7FFFFFFF in
       if aig.dead.(v) then fail "strash contains dead node %d" v;
       if aig.fanin0.(v) <> a || aig.fanin1.(v) <> b then
         fail "strash key mismatch for node %d" v)

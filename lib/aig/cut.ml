@@ -53,8 +53,20 @@ let merge_leaves k a b =
   go 0 0 0
 
 let cut_compare c1 c2 =
-  let n = compare (Array.length c1.leaves) (Array.length c2.leaves) in
-  if n <> 0 then n else compare c1.leaves c2.leaves
+  let l1 = c1.leaves and l2 = c2.leaves in
+  let n1 = Array.length l1 and n2 = Array.length l2 in
+  if n1 <> n2 then Stdlib.compare n1 n2
+  else begin
+    (* Lexicographic on the sorted leaf ids, hand-rolled: this runs
+       under List.sort_uniq for every enumerated cut. *)
+    let rec go i =
+      if i = n1 then 0
+      else
+        let a = Array.unsafe_get l1 i and b = Array.unsafe_get l2 i in
+        if a <> b then Stdlib.compare (a : int) b else go (i + 1)
+    in
+    go 0
+  end
 
 (* c1 dominates c2 if leaves(c1) is a subset of leaves(c2). *)
 let dominates c1 c2 =
@@ -174,6 +186,4 @@ let local aig root ~k ~max_cuts ~depth =
   cuts_of root depth
 
 let cut_tt_full c =
-  let module Tt = Sbm_truthtable.Tt in
-  let m = Array.length c.leaves in
-  Tt.of_bits m (fun i -> Int64.logand (Int64.shift_right_logical c.tt i) 1L = 1L)
+  Sbm_truthtable.Tt.of_word (Array.length c.leaves) c.tt

@@ -105,11 +105,12 @@ let resub_node aig ~zero_gain ~max_leaves ~max_divisors root =
       end
     in
     (* 0-resub: an existing node matches directly. *)
+    let not_root_tt = Tt.bnot root_tt in
     let zero_match =
       List.find_map
         (fun (v, tt) ->
           if Tt.equal tt root_tt then Some (Aig.lit_of v false)
-          else if Tt.equal tt (Tt.bnot root_tt) then Some (Aig.lit_of v true)
+          else if Tt.equal tt not_root_tt then Some (Aig.lit_of v true)
           else None)
         divisors
     in
@@ -126,17 +127,13 @@ let resub_node aig ~zero_gain ~max_leaves ~max_divisors root =
            for j = i + 1 to num - 1 do
              let vj, tj = arr.(j) in
              let try_phase p1 p2 =
-               let a = if p1 then Tt.bnot ti else ti in
-               let b = if p2 then Tt.bnot tj else tj in
                let li = Aig.lit_of vi p1 and lj = Aig.lit_of vj p2 in
-               let t_and = Tt.band a b in
-               if Tt.equal t_and root_tt then found := Some (`And, li, lj, false)
-               else if Tt.equal t_and (Tt.bnot root_tt) then
-                 found := Some (`And, li, lj, true)
-               else begin
-                 let t_xor = Tt.bxor a b in
-                 if Tt.equal t_xor root_tt then found := Some (`Xor, li, lj, false)
-               end;
+               (match Tt.and_match ~na:p1 ti ~nb:p2 tj root_tt with
+               | 0 -> found := Some (`And, li, lj, false)
+               | 1 -> found := Some (`And, li, lj, true)
+               | _ ->
+                 if Tt.xor_equal ~na:p1 ti ~nb:p2 tj root_tt then
+                   found := Some (`Xor, li, lj, false));
                if !found <> None then raise Exit
              in
              try_phase false false;

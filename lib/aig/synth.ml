@@ -23,7 +23,7 @@ let xor_cost = 3
    (largest cofactor-agreement, a cheap binateness proxy) recurse, so
    a width-n function costs O(2^n) sub-searches instead of O(n!). *)
 let rec search memo tt =
-  match Hashtbl.find_opt memo tt with
+  match Tt.Tbl.find_opt memo tt with
   | Some r -> r
   | None ->
     let r =
@@ -44,7 +44,7 @@ let rec search memo tt =
             (fun v ->
               let f0 = Tt.cofactor0 tt v in
               let f1 = Tt.cofactor1 tt v in
-              if Tt.equal f0 (Tt.bnot f1) then begin
+              if Tt.equal_not f0 f1 then begin
                 let c0, _ = search memo f0 in
                 consider (c0 + xor_cost) (Xor v)
               end
@@ -67,7 +67,7 @@ let rec search memo tt =
               else begin
                 (* Score: prefer splits whose cofactors agree a lot
                    (they share structure and simplify). *)
-                let agreement = Tt.count_ones (Tt.bxnor f0 f1) in
+                let agreement = Tt.agreement f0 f1 in
                 generic := (agreement, v, f0, f1) :: !generic
               end)
             vars;
@@ -86,7 +86,7 @@ let rec search memo tt =
           !best
       end
     in
-    Hashtbl.add memo tt r;
+    Tt.Tbl.add memo tt r;
     r
 
 let rec build memo aig leaves tt =
@@ -117,11 +117,11 @@ let rec build memo aig leaves tt =
 
 let of_tt aig tt leaves =
   if Array.length leaves < Tt.num_vars tt then invalid_arg "Synth.of_tt: missing leaves";
-  let memo = Hashtbl.create 64 in
+  let memo = Tt.Tbl.create 64 in
   build memo aig leaves tt
 
 let cost_of_tt tt =
-  let memo = Hashtbl.create 64 in
+  let memo = Tt.Tbl.create 64 in
   fst (search memo tt)
 
 let of_sop aig cubes ~nvars leaves =

@@ -5,14 +5,35 @@ exception Limit
 (* Node 0 = terminal false, node 1 = terminal true. Internal nodes
    store (var, low, high) in parallel growable arrays; the unique table
    guarantees strong canonicity (paper Section IV-C relies on it for
-   cheap global queries). *)
+   cheap global queries).
+
+   Both hot-path tables are flat int arrays, so a probe allocates
+   nothing and touches at most a couple of cache lines:
+
+   - The unique table is open-addressing with linear probing over a
+     power-of-two array of node ids (0 = empty; terminals are never
+     entered). Every internal node is registered, so the load factor
+     is (n-2)/capacity and the table doubles at 3/4 load.
+
+   - The computed cache is direct-mapped: 4 words per slot
+     [tag; operand2; operand3; result] with the opcode packed into the
+     tag alongside the first operand. A colliding entry is simply
+     overwritten, which bounds the cache by construction (the previous
+     Hashtbl-based cache grew without limit and even accumulated
+     duplicate bindings). Eviction is invisible to callers: a
+     recomputation replays [mk] on triples that already exist, hits
+     the unique table, and returns the same node ids, so results --
+     and the allocation order of genuinely new nodes -- are
+     bit-identical to an unbounded cache. *)
 type man = {
   mutable var_of : int array;
   mutable low_of : int array;
   mutable high_of : int array;
   mutable n : int;
-  unique : (int * int * int, int) Hashtbl.t;
-  cache : (int * int * int * int, int) Hashtbl.t;
+  mutable unique : int array;
+  mutable unique_mask : int;
+  mutable cache : int array;
+  mutable cache_mask : int;
   node_limit : int;
   (* Telemetry (Sbm_obs): unique-table and computed-cache traffic.
      Plain increments so the hot paths stay hot; engines read them
@@ -33,24 +54,27 @@ type stats = {
 
 let terminal_var = max_int
 
+(* Slots in the computed cache stop doubling here (slots * 4 words);
+   past this point collisions recompute, which is still cheap. *)
+let max_cache_slots = 1 lsl 19
+
 let create ?(node_limit = max_int) () =
   let cap = 1024 in
-  let man =
-    {
-      var_of = Array.make cap terminal_var;
-      low_of = Array.make cap (-1);
-      high_of = Array.make cap (-1);
-      n = 2;
-      unique = Hashtbl.create 4096;
-      cache = Hashtbl.create 4096;
-      node_limit;
-      unique_hits = 0;
-      unique_misses = 0;
-      cache_hits = 0;
-      cache_misses = 0;
-    }
-  in
-  man
+  {
+    var_of = Array.make cap terminal_var;
+    low_of = Array.make cap (-1);
+    high_of = Array.make cap (-1);
+    n = 2;
+    unique = Array.make 1024 0;
+    unique_mask = 1023;
+    cache = Array.make (1024 * 4) 0;
+    cache_mask = 1023;
+    node_limit;
+    unique_hits = 0;
+    unique_misses = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+  }
 
 let stats man =
   {
@@ -91,14 +115,55 @@ let grow man =
   man.low_of <- extend man.low_of (-1);
   man.high_of <- extend man.high_of (-1)
 
+let hash3 v lo hi =
+  let h = (v * 0x9e3779b9) + (lo * 0x85ebca6b) + (hi * 0xc2b2ae35) in
+  h lxor (h lsr 17)
+
+(* Probe the unique table for (v, lo, hi): a node id (>= 2) when
+   present, [-slot - 1] of the first empty slot otherwise. *)
+let rec unique_probe man v lo hi i =
+  let node = man.unique.(i) in
+  if node = 0 then -i - 1
+  else if
+    man.var_of.(node) = v && man.low_of.(node) = lo && man.high_of.(node) = hi
+  then node
+  else unique_probe man v lo hi ((i + 1) land man.unique_mask)
+
+let unique_insert tbl mask man node =
+  let i = ref (hash3 man.var_of.(node) man.low_of.(node) man.high_of.(node)
+               land mask)
+  in
+  while tbl.(!i) <> 0 do
+    i := (!i + 1) land mask
+  done;
+  tbl.(!i) <- node
+
+let unique_grow man =
+  let ncap = 2 * Array.length man.unique in
+  let tbl = Array.make ncap 0 in
+  let mask = ncap - 1 in
+  for node = 2 to man.n - 1 do
+    unique_insert tbl mask man node
+  done;
+  man.unique <- tbl;
+  man.unique_mask <- mask;
+  (* Scale the computed cache with the node population; dropping the
+     old entries is safe (see the cache invariant above). *)
+  let cache_slots = man.cache_mask + 1 in
+  if cache_slots < ncap && cache_slots < max_cache_slots then begin
+    man.cache <- Array.make (cache_slots * 2 * 4) 0;
+    man.cache_mask <- (cache_slots * 2) - 1
+  end
+
 let mk man v lo hi =
   if lo = hi then lo
-  else
-    match Hashtbl.find_opt man.unique (v, lo, hi) with
-    | Some node ->
+  else begin
+    let r = unique_probe man v lo hi (hash3 v lo hi land man.unique_mask) in
+    if r >= 0 then begin
       man.unique_hits <- man.unique_hits + 1;
-      node
-    | None ->
+      r
+    end
+    else begin
       man.unique_misses <- man.unique_misses + 1;
       if man.n >= man.node_limit then raise Limit;
       if man.n >= Array.length man.var_of then grow man;
@@ -107,8 +172,11 @@ let mk man v lo hi =
       man.var_of.(node) <- v;
       man.low_of.(node) <- lo;
       man.high_of.(node) <- hi;
-      Hashtbl.add man.unique (v, lo, hi) node;
+      man.unique.(-r - 1) <- node;
+      if (man.n - 2) * 4 > (man.unique_mask + 1) * 3 then unique_grow man;
       node
+    end
+  end
 
 let ithvar man i =
   if i < 0 then invalid_arg "Bdd.ithvar";
@@ -116,21 +184,47 @@ let ithvar man i =
 
 let topvar man b = if b < 2 then terminal_var else man.var_of.(b)
 
-let cache_find man key =
-  match Hashtbl.find_opt man.cache key with
-  | Some _ as hit ->
-    man.cache_hits <- man.cache_hits + 1;
-    hit
-  | None ->
-    man.cache_misses <- man.cache_misses + 1;
-    None
-
-(* Opcodes for the computed cache. *)
+(* Opcodes for the computed cache. The tag word packs the opcode with
+   the first operand: tag = (a lsl 20) lor op. The first operand is
+   always an internal node (>= 2), so a valid tag is non-zero and 0
+   marks an empty slot. Opcodes stay well under 2^20
+   (op_compose_base + var for the largest), and node ids under 2^42
+   keep the shift exact on 63-bit ints. *)
 let op_and = 0
 let op_xor = 1
 let op_ite = 3
 let op_exists = 4
+let op_restrict0 = 5
+let op_restrict1 = 6
 let op_compose_base = 16 (* op_compose_base + var *)
+
+let cache_slot man op a b c =
+  let h = (a * 0x9e3779b9) lxor (b * 0x85ebca6b) lxor (c * 0xc2b2ae35) lxor op in
+  let h = h lxor (h lsr 15) in
+  (h land man.cache_mask) lsl 2
+
+(* The cached result (>= 0) or -1 on a miss. *)
+let cache_find man op a b c =
+  let i = cache_slot man op a b c in
+  let cache = man.cache in
+  if cache.(i) = (a lsl 20) lor op && cache.(i + 1) = b && cache.(i + 2) = c
+  then begin
+    man.cache_hits <- man.cache_hits + 1;
+    cache.(i + 3)
+  end
+  else begin
+    man.cache_misses <- man.cache_misses + 1;
+    -1
+  end
+
+let cache_store man op a b c r =
+  (* Recompute the slot: recursive calls may have grown the cache. *)
+  let i = cache_slot man op a b c in
+  let cache = man.cache in
+  cache.(i) <- (a lsl 20) lor op;
+  cache.(i + 1) <- b;
+  cache.(i + 2) <- c;
+  cache.(i + 3) <- r
 
 let rec mand man a b =
   if a = 0 || b = 0 then 0
@@ -139,10 +233,9 @@ let rec mand man a b =
   else if a = b then a
   else begin
     let a, b = if a < b then (a, b) else (b, a) in
-    let key = (op_and, a, b, 0) in
-    match cache_find man key with
-    | Some r -> r
-    | None ->
+    let r = cache_find man op_and a b 0 in
+    if r >= 0 then r
+    else begin
       let va = topvar man a and vb = topvar man b in
       let v = min va vb in
       let a0, a1 = if va = v then (man.low_of.(a), man.high_of.(a)) else (a, a) in
@@ -150,8 +243,9 @@ let rec mand man a b =
       let lo = mand man a0 b0 in
       let hi = mand man a1 b1 in
       let r = mk man v lo hi in
-      Hashtbl.add man.cache key r;
+      cache_store man op_and a b 0 r;
       r
+    end
   end
 
 let rec mxor man a b =
@@ -160,10 +254,9 @@ let rec mxor man a b =
   else if b = 0 then a
   else begin
     let a, b = if a < b then (a, b) else (b, a) in
-    let key = (op_xor, a, b, 0) in
-    match cache_find man key with
-    | Some r -> r
-    | None ->
+    let r = cache_find man op_xor a b 0 in
+    if r >= 0 then r
+    else begin
       let va = topvar man a and vb = topvar man b in
       let v = min va vb in
       let a0, a1 = if va = v then (man.low_of.(a), man.high_of.(a)) else (a, a) in
@@ -171,8 +264,9 @@ let rec mxor man a b =
       let lo = mxor man a0 b0 in
       let hi = mxor man a1 b1 in
       let r = mk man v lo hi in
-      Hashtbl.add man.cache key r;
+      cache_store man op_xor a b 0 r;
       r
+    end
   end
 
 let mnot man a = mxor man a 1
@@ -185,10 +279,9 @@ let rec ite man c a b =
   else if a = b then a
   else if a = 1 && b = 0 then c
   else begin
-    let key = (op_ite, c, a, b) in
-    match cache_find man key with
-    | Some r -> r
-    | None ->
+    let r = cache_find man op_ite c a b in
+    if r >= 0 then r
+    else begin
       let v = min (topvar man c) (min (topvar man a) (topvar man b)) in
       let cof x side =
         if topvar man x = v then (if side then man.high_of.(x) else man.low_of.(x))
@@ -197,11 +290,13 @@ let rec ite man c a b =
       let lo = ite man (cof c false) (cof a false) (cof b false) in
       let hi = ite man (cof c true) (cof a true) (cof b true) in
       let r = mk man v lo hi in
-      Hashtbl.add man.cache key r;
+      cache_store man op_ite c a b r;
       r
+    end
   end
 
 let restrict man b i v =
+  let op = if v then op_restrict1 else op_restrict0 in
   let rec go b =
     if b < 2 then b
     else begin
@@ -209,29 +304,29 @@ let restrict man b i v =
       if bv > i then b
       else if bv = i then (if v then man.high_of.(b) else man.low_of.(b))
       else begin
-        let key = ((if v then 6 else 5), b, i, 0) in
-        match cache_find man key with
-        | Some r -> r
-        | None ->
+        let r = cache_find man op b i 0 in
+        if r >= 0 then r
+        else begin
           let r = mk man bv (go man.low_of.(b)) (go man.high_of.(b)) in
-          Hashtbl.add man.cache key r;
+          cache_store man op b i 0 r;
           r
+        end
       end
     end
   in
   go b
 
 let compose man b i g =
+  let op = op_compose_base + i in
   let rec go b =
     if b < 2 then b
     else begin
       let bv = man.var_of.(b) in
       if bv > i then b
       else begin
-        let key = (op_compose_base + i, b, g, 0) in
-        match cache_find man key with
-        | Some r -> r
-        | None ->
+        let r = cache_find man op b g 0 in
+        if r >= 0 then r
+        else begin
           let r =
             if bv = i then ite man g man.high_of.(b) man.low_of.(b)
             else begin
@@ -242,8 +337,9 @@ let compose man b i g =
               ite man (ithvar man bv) hi lo
             end
           in
-          Hashtbl.add man.cache key r;
+          cache_store man op b g 0 r;
           r
+        end
       end
     end
   in
@@ -252,19 +348,22 @@ let compose man b i g =
 let exists man b vars =
   let sorted = List.sort_uniq Stdlib.compare vars in
   let is_quantified v = List.mem v sorted in
+  let vars_hash = Hashtbl.hash sorted in
   let rec go b =
     if b < 2 then b
     else begin
-      let key = (op_exists, b, Hashtbl.hash sorted, 0) in
-      match cache_find man key with
-      | Some r -> r
-      | None ->
+      let r = cache_find man op_exists b vars_hash 0 in
+      if r >= 0 then r
+      else begin
         let v = man.var_of.(b) in
         let lo = go man.low_of.(b) in
         let hi = go man.high_of.(b) in
-        let r = if is_quantified v then mor man lo hi else ite man (ithvar man v) hi lo in
-        Hashtbl.add man.cache key r;
+        let r =
+          if is_quantified v then mor man lo hi else ite man (ithvar man v) hi lo
+        in
+        cache_store man op_exists b vars_hash 0 r;
         r
+      end
     end
   in
   go b
@@ -370,4 +469,4 @@ let to_tt man b ~nvars =
   in
   go b
 
-let clear_cache man = Hashtbl.reset man.cache
+let clear_cache man = Array.fill man.cache 0 (Array.length man.cache) 0

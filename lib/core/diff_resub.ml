@@ -73,8 +73,11 @@ let good_candidates ctx ~f ~g =
    before any BDD work. *)
 let signature_threshold = 52
 
-let run_partition aig config counters obs signatures part index total =
-  let rewrites0 = counters.c_rewrites in
+(* Analysis/commit loop of one partition. Mutates [aig] (candidate
+   cones, commits, traversal marks): parallel workers call this on a
+   private snapshot, the sequential path on the live AIG. Returns the
+   partition's BDD context so the caller can flush its stats. *)
+let run_partition_analysis aig config counters signatures part total =
   let ctx = Bdd_bridge.build ~node_limit:config.bdd_node_limit aig part in
   let members = Bdd_bridge.members ctx in
   (* Depth objective: levels are refreshed after every accepted
@@ -147,6 +150,13 @@ let run_partition aig config counters obs signatures part index total =
           members
       end)
     members;
+  ctx
+
+(* Main-domain bookkeeping for a finished partition: flush the BDD
+   stats into the span, feed the watchdog, record the flight-recorder
+   summary. Shared by the sequential path and the parallel merge
+   path (which runs it against a worker's context). *)
+let finish_partition ctx obs ~index ~rewrites_delta =
   Bdd_bridge.flush_stats ~engine:"diff" ctx obs;
   let bails = Bdd_bridge.limit_bails ctx in
   Sbm_obs.Watchdog.note_partition ~engine:"diff" ~bails;
@@ -156,9 +166,15 @@ let run_partition aig config counters obs signatures part index total =
       ~engine:"diff"
       ~id:(Printf.sprintf "partition-%d" index)
       ~metrics:
-        [ ("members", Array.length members); ("bails", bails);
-          ("rewrites", counters.c_rewrites - rewrites0) ]
+        [ ("members", Array.length (Bdd_bridge.members ctx)); ("bails", bails);
+          ("rewrites", rewrites_delta) ]
       "partition done"
+
+let run_partition aig config counters obs signatures part index total =
+  let rewrites0 = counters.c_rewrites in
+  let ctx = run_partition_analysis aig config counters signatures part total in
+  finish_partition ctx obs ~index
+    ~rewrites_delta:(counters.c_rewrites - rewrites0)
 
 let optimize_stats ?(obs = Sbm_obs.null) ?(config = default_config) aig =
   (* Difference implementations built from here on are this engine's
@@ -181,12 +197,60 @@ let optimize_stats ?(obs = Sbm_obs.null) ?(config = default_config) aig =
     else None
   in
   let skipped = ref 0 in
-  List.iteri
-    (fun i part ->
+  let jobs = Sbm_par.Jobs.get () in
+  if jobs <= 1 || List.length parts <= 1 then
+    (* Sequential path: byte-for-byte the historical behaviour. *)
+    List.iteri
+      (fun i part ->
+        Sbm_obs.Watchdog.poll ();
+        if Sbm_obs.Watchdog.abort_requested () then incr skipped
+        else run_partition aig config counters obs signatures part i total)
+      parts
+  else begin
+    (* Parallel path: workers analyze partitions on private AIG
+       snapshots; results are applied in ascending index. A clean
+       (zero-rewrite, not-stale) analysis is merged verbatim —
+       counters, BDD stats, flight-recorder events and speculative
+       origin-created counts, exactly what the sequential run would
+       have produced; anything else is redone sequentially on the
+       live AIG. *)
+    let pool = Sbm_par.Pool.global () in
+    let analyze _i part =
+      if Sbm_obs.Watchdog.abort_requested () then None
+      else begin
+        let snap = Aig.copy aig in
+        let wc = { c_pairs = 0; c_diffs = 0; c_rewrites = 0 } in
+        let wtotal = ref 0 in
+        let before = Aig.origin_stats snap in
+        let ctx, events =
+          FR.capture (fun () ->
+              run_partition_analysis snap config wc signatures part wtotal)
+        in
+        Some (wc, ctx, events, Par_merge.created_delta ~before ~after:(Aig.origin_stats snap))
+      end
+    in
+    let apply index part result ~dirty =
       Sbm_obs.Watchdog.poll ();
-      if Sbm_obs.Watchdog.abort_requested () then incr skipped
-      else run_partition aig config counters obs signatures part i total)
-    parts;
+      if Sbm_obs.Watchdog.abort_requested () then begin
+        incr skipped;
+        false
+      end
+      else
+        match result with
+        | Some (wc, ctx, events, created) when (not dirty) && wc.c_rewrites = 0 ->
+          counters.c_pairs <- counters.c_pairs + wc.c_pairs;
+          counters.c_diffs <- counters.c_diffs + wc.c_diffs;
+          Par_merge.merge_created aig created;
+          FR.replay events;
+          finish_partition ctx obs ~index ~rewrites_delta:0;
+          false
+        | Some _ | None ->
+          let r0 = counters.c_rewrites in
+          run_partition aig config counters obs signatures part index total;
+          counters.c_rewrites > r0
+    in
+    Sbm_par.Sched.run_ordered pool (Array.of_list parts) ~analyze ~apply
+  end;
   if !skipped > 0 && Sbm_obs.enabled obs then
     Sbm_obs.add obs "watchdog.partitions_skipped" !skipped;
   if Sbm_obs.enabled obs then begin

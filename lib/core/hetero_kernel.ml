@@ -141,23 +141,59 @@ let run ?(obs = Sbm_obs.null) ?(config = default_config) aig =
   let trials = ref 0 in
   let improved = ref 0 in
   let skipped = ref 0 in
-  List.iteri
-    (fun idx part ->
+  let note idx part t i =
+    trials := !trials + t;
+    if i then incr improved;
+    if FR.enabled () then
+      FR.record ~severity:FR.Debug ~engine:"kernel"
+        ~id:(Printf.sprintf "partition-%d" idx)
+        ~metrics:
+          [ ("members", List.length part); ("trials", t);
+            ("improved", if i then 1 else 0) ]
+        "partition done"
+  in
+  let jobs = Sbm_par.Jobs.get () in
+  if jobs <= 1 || List.length parts <= 1 then
+    (* Sequential path: byte-for-byte the historical behaviour. *)
+    List.iteri
+      (fun idx part ->
+        Sbm_obs.Watchdog.poll ();
+        if Sbm_obs.Watchdog.abort_requested () then incr skipped
+        else begin
+          let t, i = optimize_partition net config part in
+          note idx part t i
+        end)
+      parts
+  else begin
+    (* Parallel path: workers run the threshold trials on a private
+       network copy. A partition whose best trial did not improve
+       leaves the live network's covers untouched, so when no earlier
+       partition of the chunk committed either, the worker's verdict
+       transfers verbatim; improved or stale partitions are redone on
+       the live network in index order. *)
+    let pool = Sbm_par.Pool.global () in
+    let analyze _i part =
+      if Sbm_obs.Watchdog.abort_requested () then None
+      else Some (optimize_partition (Network.copy net) config part)
+    in
+    let apply idx part result ~dirty =
       Sbm_obs.Watchdog.poll ();
-      if Sbm_obs.Watchdog.abort_requested () then incr skipped
-      else begin
-        let t, i = optimize_partition net config part in
-        trials := !trials + t;
-        if i then incr improved;
-        if FR.enabled () then
-          FR.record ~severity:FR.Debug ~engine:"kernel"
-            ~id:(Printf.sprintf "partition-%d" idx)
-            ~metrics:
-              [ ("members", List.length part); ("trials", t);
-                ("improved", if i then 1 else 0) ]
-            "partition done"
-      end)
-    parts;
+      if Sbm_obs.Watchdog.abort_requested () then begin
+        incr skipped;
+        false
+      end
+      else
+        match result with
+        | Some (t, false) when not dirty ->
+          note idx part t false;
+          false
+        | Some _ | None ->
+          let t, i = optimize_partition net config part in
+          note idx part t i;
+          i
+    in
+    Sbm_par.Sched.run_ordered pool (Array.of_list parts) ~analyze ~apply
+  end;
   let lits_after = Network.num_lits net in
   if Sbm_obs.enabled obs then begin
     Sbm_obs.add obs "kernel.partitions" (List.length parts);

@@ -170,8 +170,10 @@ let members_in_leaf_cones ctx =
   done;
   tainted
 
-let run_partition aig config counters obs part index total =
-  let subst0 = counters.c_subst in
+(* Analysis/substitution loop of one partition. Mutates [aig]:
+   parallel workers call this on a private snapshot, the sequential
+   path on the live AIG. Returns the partition's BDD context. *)
+let run_partition_analysis aig config counters part total =
   let ctx = Bdd_bridge.build ~node_limit:config.bdd_node_limit aig part in
   let tainted = ref (members_in_leaf_cones ctx) in
   let members = Bdd_bridge.members ctx in
@@ -225,6 +227,11 @@ let run_partition aig config counters obs part index total =
           end
       end)
     by_saving;
+  ctx
+
+(* Main-domain bookkeeping for a finished partition (shared by the
+   sequential path and the parallel merge path). *)
+let finish_partition ctx obs ~index ~subst_delta =
   Bdd_bridge.flush_stats ~engine:"mspf" ctx obs;
   let bails = Bdd_bridge.limit_bails ctx in
   Obs.Watchdog.note_partition ~engine:"mspf" ~bails;
@@ -235,9 +242,14 @@ let run_partition aig config counters obs part index total =
       ~engine:"mspf"
       ~id:(Printf.sprintf "partition-%d" index)
       ~metrics:
-        [ ("members", Array.length members); ("bails", bails);
-          ("substitutions", counters.c_subst - subst0) ]
+        [ ("members", Array.length (Bdd_bridge.members ctx)); ("bails", bails);
+          ("substitutions", subst_delta) ]
       "partition done"
+
+let run_partition aig config counters obs part index total =
+  let subst0 = counters.c_subst in
+  let ctx = run_partition_analysis aig config counters part total in
+  finish_partition ctx obs ~index ~subst_delta:(counters.c_subst - subst0)
 
 let optimize_stats ?(obs = Obs.null) ?(config = default_config) aig =
   (* MSPF only substitutes existing literals, but candidate probing
@@ -249,12 +261,58 @@ let optimize_stats ?(obs = Obs.null) ?(config = default_config) aig =
   let counters = { c_mspf = 0; c_cands = 0; c_subst = 0; c_const = 0 } in
   let parts = Partition.compute aig config.limits in
   let skipped = ref 0 in
-  List.iteri
-    (fun i part ->
+  let jobs = Sbm_par.Jobs.get () in
+  if jobs <= 1 || List.length parts <= 1 then
+    (* Sequential path: byte-for-byte the historical behaviour. *)
+    List.iteri
+      (fun i part ->
+        Obs.Watchdog.poll ();
+        if Obs.Watchdog.abort_requested () then incr skipped
+        else run_partition aig config counters obs part i total)
+      parts
+  else begin
+    (* Parallel path: see Diff_resub — clean (zero-substitution,
+       not-stale) worker analyses are merged verbatim, the rest redone
+       sequentially in partition order. *)
+    let module FR = Obs.Flight_recorder in
+    let pool = Sbm_par.Pool.global () in
+    let analyze _i part =
+      if Obs.Watchdog.abort_requested () then None
+      else begin
+        let snap = Aig.copy aig in
+        let wc = { c_mspf = 0; c_cands = 0; c_subst = 0; c_const = 0 } in
+        let wtotal = ref 0 in
+        let before = Aig.origin_stats snap in
+        let ctx, events =
+          FR.capture (fun () -> run_partition_analysis snap config wc part wtotal)
+        in
+        Some
+          (wc, ctx, events,
+           Par_merge.created_delta ~before ~after:(Aig.origin_stats snap))
+      end
+    in
+    let apply index part result ~dirty =
       Obs.Watchdog.poll ();
-      if Obs.Watchdog.abort_requested () then incr skipped
-      else run_partition aig config counters obs part i total)
-    parts;
+      if Obs.Watchdog.abort_requested () then begin
+        incr skipped;
+        false
+      end
+      else
+        match result with
+        | Some (wc, ctx, events, created) when (not dirty) && wc.c_subst = 0 ->
+          counters.c_mspf <- counters.c_mspf + wc.c_mspf;
+          counters.c_cands <- counters.c_cands + wc.c_cands;
+          Par_merge.merge_created aig created;
+          FR.replay events;
+          finish_partition ctx obs ~index ~subst_delta:0;
+          false
+        | Some _ | None ->
+          let s0 = counters.c_subst in
+          run_partition aig config counters obs part index total;
+          counters.c_subst > s0
+    in
+    Sbm_par.Sched.run_ordered pool (Array.of_list parts) ~analyze ~apply
+  end;
   if !skipped > 0 && Obs.enabled obs then
     Obs.add obs "watchdog.partitions_skipped" !skipped;
   if Obs.enabled obs then begin

@@ -1,0 +1,24 @@
+module Aig = Sbm_aig.Aig
+
+(* Provenance bookkeeping for the parallel merge path.
+
+   A worker analyzing a partition on a private AIG snapshot still
+   builds (and discards) speculative candidate cones, and the origin
+   ledger counts those constructions. When the analysis is merged
+   without a sequential redo, the live AIG never saw the speculation,
+   so the worker's created-count deltas must be folded in explicitly —
+   otherwise attribution shares would differ between job counts. *)
+
+let created_delta ~before ~after =
+  List.filter_map
+    (fun (o, created, _live) ->
+      let prev =
+        match List.find_opt (fun (o', _, _) -> o' = o) before with
+        | Some (_, c, _) -> c
+        | None -> 0
+      in
+      if created > prev then Some (o, created - prev) else None)
+    after
+
+let merge_created aig deltas =
+  List.iter (fun (o, n) -> Aig.note_created aig o n) deltas

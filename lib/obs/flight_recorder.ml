@@ -56,13 +56,48 @@ let capacity () = Array.length st.ring
 let elapsed_ns () =
   if enabled () then Int64.sub (monotonic_ns ()) st.t0 else 0L
 
+(* Worker-domain buffering. The ring and its counters are owned by the
+   main domain; a worker domain that must record (BDD bails, cache
+   collapses) runs under [capture], which installs a domain-local
+   buffer. Buffered events keep their true timestamps and are merged
+   into the ring by [replay] on the main domain with fresh sequence
+   numbers, so the merged order is chosen deterministically by the
+   caller, not by scheduling. *)
+let buffer_key : event list ref option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
 let record ?(severity = Info) ?(id = "") ?(metrics = []) ~engine message =
   if enabled () then begin
-    let seq = st.seq in
-    st.seq <- seq + 1;
-    st.ring.(seq mod Array.length st.ring) <-
-      { seq; t_ns = elapsed_ns (); severity; engine; id; message; metrics }
+    match Domain.DLS.get buffer_key with
+    | Some buf ->
+      buf :=
+        { seq = -1; t_ns = elapsed_ns (); severity; engine; id; message; metrics }
+        :: !buf
+    | None ->
+      let seq = st.seq in
+      st.seq <- seq + 1;
+      st.ring.(seq mod Array.length st.ring) <-
+        { seq; t_ns = elapsed_ns (); severity; engine; id; message; metrics }
   end
+
+let capture f =
+  let buf = ref [] in
+  let prev = Domain.DLS.get buffer_key in
+  Domain.DLS.set buffer_key (Some buf);
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set buffer_key prev)
+    (fun () ->
+      let r = f () in
+      (r, List.rev !buf))
+
+let replay events =
+  if enabled () then
+    List.iter
+      (fun e ->
+        let seq = st.seq in
+        st.seq <- seq + 1;
+        st.ring.(seq mod Array.length st.ring) <- { e with seq })
+      events
 
 let events () =
   if not (enabled ()) then []

@@ -16,7 +16,10 @@
     are overwritten once the buffer is full (the [dropped] count keeps
     the loss visible).
 
-    Single-threaded by design, like the rest of the system. *)
+    The ring is owned by the main domain. Worker domains record
+    through {!capture}/{!replay}: events are buffered domain-locally
+    and merged on the main domain in an order the scheduler cannot
+    perturb. *)
 
 type severity = Debug | Info | Warn | Error
 
@@ -63,6 +66,19 @@ val record :
   unit
 (** [record ~engine msg] appends an event (severity defaults to
     [Info]). No-op when disabled. *)
+
+val capture : (unit -> 'a) -> 'a * event list
+(** [capture f] runs [f] with recording redirected to a private
+    domain-local buffer and returns [f]'s result together with the
+    buffered events (oldest first, [seq = -1]). This is how worker
+    domains record: the shared ring is owned by the main domain, so a
+    parallel partition analysis runs under [capture] and its events
+    are merged back with {!replay} in deterministic partition order. *)
+
+val replay : event list -> unit
+(** [replay events] appends captured events to the ring with fresh
+    sequence numbers, preserving their original timestamps. Call on
+    the main domain only. No-op when disabled. *)
 
 (** {1 Reading} *)
 

@@ -39,7 +39,9 @@ type state = {
   mutable heap_fired : bool;
   mutable last_beat_ns : int64;
   mutable verdicts : verdict list; (* reversed *)
-  mutable abort : bool;
+  (* Atomic so worker domains can read it lock-free; only the main
+     domain ever writes (workers honour it at partition boundaries). *)
+  abort : bool Atomic.t;
 }
 
 let st =
@@ -51,7 +53,7 @@ let st =
     heap_fired = false;
     last_beat_ns = 0L;
     verdicts = [];
-    abort = false;
+    abort = Atomic.make false;
   }
 
 let enabled () = st.config <> None
@@ -65,22 +67,22 @@ let arm config =
   st.heap_fired <- false;
   st.last_beat_ns <- 0L;
   st.verdicts <- [];
-  st.abort <- false
+  Atomic.set st.abort false
 
 let disarm () =
   st.config <- None;
   st.passes <- [];
-  st.abort <- false
+  Atomic.set st.abort false
 
 let verdicts () = List.rev st.verdicts
-let abort_requested () = st.abort
-let clear_abort () = st.abort <- false
+let abort_requested () = Atomic.get st.abort
+let clear_abort () = Atomic.set st.abort false
 
 let fire (config : config) rule detail =
   let v = { rule; detail; action = config.action; t_ns = FR.elapsed_ns () } in
   st.verdicts <- v :: st.verdicts;
   FR.record ~severity:Warn ~engine:"watchdog" ~id:rule detail;
-  if config.action = Abort then st.abort <- true
+  if config.action = Abort then Atomic.set st.abort true
 
 let pass_started name =
   match st.config with
@@ -105,7 +107,7 @@ let pass_ended name =
     (match drop st.passes with
     | Some rest -> st.passes <- rest
     | None -> ());
-    st.abort <- false
+    Atomic.set st.abort false
 
 let ms_of_ns ns = Int64.to_float ns /. 1e6
 

@@ -1,0 +1,27 @@
+(* Global job-count setting. 0 means "not set yet": the first [get]
+   resolves it from the SBM_JOBS environment variable (default 1) and
+   caches the result. [set] (the CLI --jobs flag) wins over the
+   environment. *)
+
+let state = Atomic.make 0
+
+let of_env () =
+  match Sys.getenv_opt "SBM_JOBS" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> 1)
+
+let set n =
+  if n < 1 then invalid_arg "Sbm_par.Jobs.set: jobs must be >= 1";
+  Atomic.set state n
+
+let get () =
+  match Atomic.get state with
+  | 0 ->
+    let n = of_env () in
+    (* Another domain may have raced us; either wrote a valid value. *)
+    ignore (Atomic.compare_and_set state 0 n);
+    Atomic.get state
+  | n -> n

@@ -1,0 +1,10 @@
+(** Global worker-count setting for partition-parallel passes.
+
+    Resolution order: an explicit {!set} (the [--jobs] CLI flag), then
+    the [SBM_JOBS] environment variable, then 1 (sequential). *)
+
+(** [set n] fixes the job count. Raises [Invalid_argument] if [n < 1]. *)
+val set : int -> unit
+
+(** [get ()] returns the effective job count (>= 1). *)
+val get : unit -> int

@@ -185,16 +185,25 @@ let pp_value ppf (metric, v) =
   if metric = "wall_ms" then Fmt.pf ppf "%10.1f" v
   else Fmt.pf ppf "%10.0f" v
 
+(* Wall-time rows carry an old/new speedup ratio (>1 = the new
+   snapshot is faster), printed even when time regressions are
+   tolerance-exempt: perf comparisons stay self-documenting under
+   [--ignore-time]. *)
+let pp_speedup ppf (dl : delta) =
+  if dl.metric = "wall_ms" && dl.new_value > 0.0 then
+    Fmt.pf ppf "%7.2fx" (dl.old_value /. dl.new_value)
+  else Fmt.pf ppf "%8s" ""
+
 let pp ppf d =
-  Fmt.pf ppf "%-12s %-8s %10s %10s %8s  %s@." "benchmark" "metric" "old" "new"
-    "delta" "verdict";
+  Fmt.pf ppf "%-12s %-8s %10s %10s %8s %8s  %s@." "benchmark" "metric" "old"
+    "new" "delta" "speedup" "verdict";
   List.iter
     (fun (r : row) ->
       List.iter
         (fun dl ->
-          Fmt.pf ppf "%-12s %-8s %a %a %+7.1f%%  %s@." r.bench dl.metric
+          Fmt.pf ppf "%-12s %-8s %a %a %+7.1f%% %a  %s@." r.bench dl.metric
             pp_value (dl.metric, dl.old_value) pp_value (dl.metric, dl.new_value)
-            dl.pct (verdict_tag dl.verdict))
+            dl.pct pp_speedup dl (verdict_tag dl.verdict))
         r.deltas)
     d.rows;
   List.iter (fun b -> Fmt.pf ppf "%-12s dropped from new snapshot: REGRESSED@." b)

@@ -18,7 +18,19 @@ type t = {
   mutable n : int;
   inputs : int array; (* node ids, by PI index *)
   mutable outs : (node_id * bool) array; (* node id, complemented *)
+  (* Caches over the reachable-cover structure, rebuilt lazily and
+     dropped by [invalidate] on any cover mutation. [topo_cache] is
+     the [internal_nodes] DFS order; [occ_cache.(v)] lists the
+     internal nodes whose cover references [v], in topological order
+     (exactly the fanout scan [eliminate_trial] used to recompute per
+     candidate, which made elimination quadratic in network size). *)
+  mutable topo_cache : node_id list option;
+  mutable occ_cache : int list array option;
 }
+
+let invalidate t =
+  t.topo_cache <- None;
+  t.occ_cache <- None
 
 let num_inputs t = Array.length t.inputs
 let num_outputs t = Array.length t.outs
@@ -48,6 +60,8 @@ let of_aig aig =
       n = 0;
       inputs = Array.make (Aig.num_inputs aig) (-1);
       outs = [||];
+      topo_cache = None;
+      occ_cache = None;
     }
   in
   let map = Array.make (Aig.num_nodes aig) (-1) in
@@ -78,23 +92,54 @@ let of_aig aig =
   t
 
 let internal_nodes t =
-  (* Topological order by DFS from the outputs. *)
-  let visited = Array.make t.n false in
-  let order = ref [] in
-  let rec visit id =
-    if not visited.(id) then begin
-      visited.(id) <- true;
-      match (node t id).kind with
-      | Pi _ -> ()
-      | Internal ->
+  match t.topo_cache with
+  | Some order -> order
+  | None ->
+    (* Topological order by DFS from the outputs. *)
+    let visited = Array.make t.n false in
+    let order = ref [] in
+    let rec visit id =
+      if not visited.(id) then begin
+        visited.(id) <- true;
+        match (node t id).kind with
+        | Pi _ -> ()
+        | Internal ->
+          List.iter
+            (fun c -> Array.iter (fun l -> visit (Sop.var_of l)) c)
+            (node t id).cover;
+          order := id :: !order
+      end
+    in
+    Array.iter (fun (id, _) -> visit id) t.outs;
+    let order = List.rev !order in
+    t.topo_cache <- Some order;
+    order
+
+(* [occurrences t].(v) lists the reachable internal nodes whose cover
+   references [v], topologically ordered. *)
+let occurrences t =
+  match t.occ_cache with
+  | Some occ when Array.length occ = t.n -> occ
+  | Some _ | None ->
+    let occ = Array.make t.n [] in
+    List.iter
+      (fun m ->
+        let seen = Hashtbl.create 8 in
         List.iter
-          (fun c -> Array.iter (fun l -> visit (Sop.var_of l)) c)
-          (node t id).cover;
-        order := id :: !order
-    end
-  in
-  Array.iter (fun (id, _) -> visit id) t.outs;
-  List.rev !order
+          (fun c ->
+            Array.iter
+              (fun l ->
+                let v = Sop.var_of l in
+                if not (Hashtbl.mem seen v) then begin
+                  Hashtbl.add seen v ();
+                  occ.(v) <- m :: occ.(v)
+                end)
+              c)
+          (cover t m))
+      (internal_nodes t);
+    Array.iteri (fun v l -> occ.(v) <- List.rev l) occ;
+    t.occ_cache <- Some occ;
+    occ
 
 let num_internal t = List.length (internal_nodes t)
 
@@ -150,16 +195,7 @@ let eliminate_trial t n ~max_cubes =
   | Internal ->
     if is_output t n || not nd.alive then None
     else begin
-      let live = internal_nodes t in
-      let fanouts =
-        List.filter
-          (fun m ->
-            m <> n
-            && List.exists
-                 (fun c -> Array.exists (fun l -> Sop.var_of l = n) c)
-                 (cover t m))
-          live
-      in
+      let fanouts = List.filter (fun m -> m <> n) (occurrences t).(n) in
       if fanouts = [] then Some ([], - (Sop.num_lits nd.cover))
       else begin
         let rec go acc delta = function
@@ -183,6 +219,7 @@ let eliminate_node t n ~max_cubes =
   | Some (updates, delta) ->
     List.iter (fun (m, cv) -> (node t m).cover <- cv) updates;
     (node t n).alive <- false;
+    invalidate t;
     Some delta
 
 let eliminate t ~threshold ~max_cubes ?(only = fun _ -> true) () =
@@ -268,6 +305,7 @@ let extract_kernels t ?(only = fun _ -> true) ~max_passes () =
             let candidate = Sop.normalize (newq @ r) in
             if Sop.num_lits candidate + 1 < Sop.num_lits cv then begin
               (node t n).cover <- candidate;
+              invalidate t;
               applied := true
             end
           end)
@@ -332,6 +370,7 @@ let extract_cubes t ?(only = fun _ -> true) ~max_passes () =
           in
           (node t n).cover <- Sop.normalize replaced)
         nodes;
+      invalidate t;
       incr created;
       continue_ := true
   done;
@@ -428,13 +467,32 @@ let to_aig ?provenance t =
     Aig.set_origin aig (Aig.current_origin src));
   aig
 
+(* Deep copy for parallel analysis: node records are fresh (covers are
+   replaced wholesale, never mutated in place, so sharing the cube
+   lists themselves is safe), caches start cold. *)
+let copy t =
+  {
+    nodes =
+      Array.init (Array.length t.nodes) (fun i ->
+          let nd = t.nodes.(i) in
+          { kind = nd.kind; cover = nd.cover; alive = nd.alive; origin = nd.origin });
+    n = t.n;
+    inputs = Array.copy t.inputs;
+    outs = Array.copy t.outs;
+    topo_cache = None;
+    occ_cache = None;
+  }
+
 let mark t = t.n
 
-let set_cover t n cv = (node t n).cover <- cv
+let set_cover t n cv =
+  (node t n).cover <- cv;
+  invalidate t
 
 let revive t n = (node t n).alive <- true
 
 let truncate t m =
+  invalidate t;
   for id = m to t.n - 1 do
     t.nodes.(id).alive <- false
   done

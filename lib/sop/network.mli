@@ -85,6 +85,12 @@ val extract_cubes : t -> ?only:(node_id -> bool) -> max_passes:int -> unit -> in
     the same partition and keeps the best (paper, Section IV-B); these
     hooks let it roll back a trial. *)
 
+(** [copy t] is a deep, independent copy (shared covers are safe:
+    covers are replaced wholesale, never mutated in place). Used by
+    the parallel scheduler to analyze partitions on private
+    snapshots. *)
+val copy : t -> t
+
 (** [mark t] is a checkpoint covering node allocation. *)
 val mark : t -> int
 

@@ -7,7 +7,7 @@ let lit_compl l = l lxor 1
 let lit_is_compl l = l land 1 = 1
 
 let cube_of_list lits =
-  let c = Array.of_list (List.sort_uniq Stdlib.compare lits) in
+  let c = Array.of_list (List.sort_uniq Int.compare lits) in
   Array.iteri
     (fun i l ->
       if i > 0 && var_of c.(i - 1) = var_of l then
@@ -41,26 +41,60 @@ let cube_contains a b =
   in
   go 0 0
 
+(* Literal arrays are sorted, so division and intersection are linear
+   merges (the quadratic membership filters dominated kernel
+   extraction). *)
 let cube_div a b =
   if not (cube_contains a b) then None
   else begin
-    let keep = Array.to_list a |> List.filter (fun l -> not (Array.exists (fun x -> x = l) b)) in
-    Some (Array.of_list keep)
+    let la = Array.length a and lb = Array.length b in
+    let out = Array.make (la - lb) 0 in
+    let rec go i j n =
+      if i = la then Some out
+      else if j < lb && a.(i) = b.(j) then go (i + 1) (j + 1) n
+      else (out.(n) <- a.(i); go (i + 1) j (n + 1))
+    in
+    go 0 0 0
   end
+
+(* Sorted intersection of two literal arrays. *)
+let cube_inter a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (min la lb) 0 in
+  let rec go i j n =
+    if i = la || j = lb then Array.sub out 0 n
+    else if a.(i) = b.(j) then (out.(n) <- a.(i); go (i + 1) (j + 1) (n + 1))
+    else if a.(i) < b.(j) then go (i + 1) j n
+    else go i (j + 1) n
+  in
+  go 0 0 0
 
 let common_cube = function
   | [] -> [||]
-  | first :: rest ->
-    List.fold_left
-      (fun acc c ->
-        Array.to_list acc
-        |> List.filter (fun l -> Array.exists (fun x -> x = l) c)
-        |> Array.of_list)
-      first rest
+  | first :: rest -> List.fold_left cube_inter first rest
+
+(* Cube comparison/equality are hand-rolled int-array loops: kernel
+   extraction and cover normalization sort and dedupe cube lists
+   constantly, and the polymorphic primitives dominated those passes. *)
+let cube_equal (a : cube) (b : cube) =
+  let n = Array.length a in
+  let rec go i =
+    i = n || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1))
+  in
+  Array.length b = n && go 0
 
 let cube_compare (a : cube) (b : cube) =
-  let n = compare (Array.length a) (Array.length b) in
-  if n <> 0 then n else compare a b
+  let na = Array.length a and nb = Array.length b in
+  if na <> nb then Stdlib.compare na nb
+  else begin
+    let rec go i =
+      if i = na then 0
+      else
+        let x = Array.unsafe_get a i and y = Array.unsafe_get b i in
+        if x <> y then Stdlib.compare (x : int) y else go (i + 1)
+    in
+    go 0
+  end
 
 let normalize cover =
   let sorted = List.sort_uniq cube_compare cover in
@@ -76,7 +110,7 @@ let num_lits cover = List.fold_left (fun acc c -> acc + Array.length c) 0 cover
 
 let support cover =
   List.concat_map (fun c -> Array.to_list (Array.map var_of c)) cover
-  |> List.sort_uniq Stdlib.compare
+  |> List.sort_uniq Int.compare
 
 let lit_count cover l =
   List.fold_left
@@ -94,7 +128,7 @@ let divide cover d =
       List.fold_left
         (fun q dc ->
           let qd = divide_by_cube cover dc in
-          List.filter (fun c -> List.exists (fun c' -> c' = c) qd) q)
+          List.filter (fun c -> List.exists (cube_equal c) qd) q)
         q0 rest
     in
     let q = List.sort_uniq cube_compare q in
@@ -106,7 +140,7 @@ let divide cover d =
           (fun qc -> List.filter_map (fun dc -> cube_mul qc dc) d)
           q
       in
-      let r = List.filter (fun c -> not (List.exists (fun p -> p = c) prod)) cover in
+      let r = List.filter (fun c -> not (List.exists (cube_equal c) prod)) cover in
       (q, r)
     end
 
@@ -154,10 +188,24 @@ let kernels_bounded ~limit cover =
 let kernels cover = kernels_bounded ~limit:max_int cover
 
 let cofactor cover l =
+  let nl = lit_compl l in
   List.filter_map
     (fun c ->
-      if Array.exists (fun x -> x = lit_compl l) c then None
-      else Some (Array.of_list (List.filter (fun x -> x <> l) (Array.to_list c))))
+      if Array.exists (fun x -> x = nl) c then None
+      else if not (Array.exists (fun x -> x = l) c) then Some c
+      else begin
+        let n = Array.length c in
+        let out = Array.make (n - 1) 0 in
+        let j = ref 0 in
+        for i = 0 to n - 1 do
+          let x = Array.unsafe_get c i in
+          if x <> l then begin
+            out.(!j) <- x;
+            incr j
+          end
+        done;
+        Some out
+      end)
     cover
 
 let most_frequent_var cover =

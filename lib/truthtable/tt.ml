@@ -67,10 +67,65 @@ let bnor a b = bnot (bor a b)
 let ite c a b = bor (band c a) (band (bnot c) b)
 let mux sel a b = ite sel b a
 
-let equal a b = a.nvars = b.nvars && a.words = b.words
-let is_const0 a = Array.for_all (fun w -> w = 0L) a.words
-let is_const1 a = equal a (const1 a.nvars)
-let compare a b = Stdlib.compare (a.nvars, a.words) (b.nvars, b.words)
+(* Equality, constant tests and comparison are on the hot path of the
+   refactoring engines (memo probes, degenerate-cofactor checks, ISOP
+   recursion); hand-rolled word loops keep them allocation-free and
+   off the polymorphic compare_val machinery. *)
+let words_equal u v =
+  let n = Array.length u in
+  let rec go i =
+    i = n || (Int64.equal (Array.unsafe_get u i) (Array.unsafe_get v i) && go (i + 1))
+  in
+  Array.length v = n && go 0
+
+let equal a b = a.nvars = b.nvars && words_equal a.words b.words
+
+(* [equal_not a b]: a = ~b, without materializing the complement (the
+   decomposition search probes this per split variable). *)
+let equal_not a b =
+  a.nvars = b.nvars
+  &&
+  let mask = word_mask a.nvars in
+  let u = a.words and v = b.words in
+  let n = Array.length u in
+  let rec go i =
+    i = n
+    || (Int64.equal (Array.unsafe_get u i)
+          (Int64.logand (Int64.lognot (Array.unsafe_get v i)) mask)
+       && go (i + 1))
+  in
+  go 0
+
+let is_const0 a =
+  let w = a.words in
+  let n = Array.length w in
+  let rec go i = i = n || (Int64.equal (Array.unsafe_get w i) 0L && go (i + 1)) in
+  go 0
+
+let is_const1 a =
+  let mask = word_mask a.nvars in
+  let w = a.words in
+  let n = Array.length w in
+  let rec go i = i = n || (Int64.equal (Array.unsafe_get w i) mask && go (i + 1)) in
+  go 0
+
+let compare a b =
+  let c = Stdlib.compare a.nvars b.nvars in
+  if c <> 0 then c
+  else begin
+    let u = a.words and v = b.words in
+    let n = Array.length u in
+    let rec go i =
+      if i = n then 0
+      else
+        (* Signed per-word compare: matches the order the previous
+           polymorphic Stdlib.compare imposed (NPN canonization
+           tie-breaks on it). *)
+        let c = Int64.compare (Array.unsafe_get u i) (Array.unsafe_get v i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  end
 
 let hash a =
   Array.fold_left
@@ -123,7 +178,89 @@ let cofactor0 t i =
     { t with words }
   end
 
-let depends_on t i = not (equal (cofactor0 t i) (cofactor1 t i))
+(* Allocation-free dependence test: compare the two cofactors without
+   materializing them (ISOP and [support] probe this per variable). *)
+let depends_on t i =
+  if i < 0 || i >= t.nvars then invalid_arg "Tt.depends_on";
+  if i < 6 then begin
+    let shift = 1 lsl i in
+    let p = var_pattern.(i) in
+    let np = Int64.lognot p in
+    let w = t.words in
+    let n = Array.length w in
+    let rec go j =
+      j < n
+      && (let x = Array.unsafe_get w j in
+          (not
+             (Int64.equal
+                (Int64.shift_right_logical (Int64.logand x p) shift)
+                (Int64.logand x np)))
+          || go (j + 1))
+    in
+    go 0
+  end
+  else begin
+    let block = 1 lsl (i - 6) in
+    let w = t.words in
+    let n = Array.length w in
+    let rec go j =
+      j < n
+      && ((j lsr (i - 6)) land 1 = 0
+          && not (Int64.equal (Array.unsafe_get w j) (Array.unsafe_get w (j + block)))
+         || go (j + 1))
+    in
+    go 0
+  end
+
+(* Fused resubstitution probes: compare a 2-input gate of optionally
+   complemented divisors against a target without materializing the
+   intermediate table. The 1-resub scan evaluates these for every
+   divisor pair and phase — allocating [band]/[bxor] results there
+   dominated the pass. *)
+let and_match ~na a ~nb b c =
+  if a.nvars <> b.nvars || a.nvars <> c.nvars then
+    invalid_arg "Tt.and_match: arity mismatch";
+  let mask = word_mask a.nvars in
+  let wa = a.words and wb = b.words and wc = c.words in
+  let n = Array.length wa in
+  let rec go i eq eqn =
+    if i = n then if eq then 0 else if eqn then 1 else -1
+    else begin
+      let x = Array.unsafe_get wa i in
+      let x = if na then Int64.logand (Int64.lognot x) mask else x in
+      let y = Array.unsafe_get wb i in
+      let y = if nb then Int64.logand (Int64.lognot y) mask else y in
+      let r = Int64.logand x y in
+      let z = Array.unsafe_get wc i in
+      let eq = eq && Int64.equal r z in
+      let eqn = eqn && Int64.equal r (Int64.logand (Int64.lognot z) mask) in
+      if eq || eqn then go (i + 1) eq eqn else -1
+    end
+  in
+  go 0 true true
+
+let xor_equal ~na a ~nb b c =
+  if a.nvars <> b.nvars || a.nvars <> c.nvars then
+    invalid_arg "Tt.xor_equal: arity mismatch";
+  let mask = word_mask a.nvars in
+  let wa = a.words and wb = b.words and wc = c.words in
+  let n = Array.length wa in
+  let rec go i =
+    i = n
+    || (let x = Array.unsafe_get wa i in
+        let x = if na then Int64.logand (Int64.lognot x) mask else x in
+        let y = Array.unsafe_get wb i in
+        let y = if nb then Int64.logand (Int64.lognot y) mask else y in
+        Int64.equal (Int64.logxor x y) (Array.unsafe_get wc i) && go (i + 1))
+  in
+  go 0
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
 
 let support t =
   let rec go i acc =
@@ -140,6 +277,25 @@ let popcount64 w =
 
 let count_ones t = Array.fold_left (fun acc w -> acc + popcount64 w) 0 t.words
 
+(* Number of minterms where [a] and [b] agree: popcount of their XNOR,
+   fused so the scoring loop of the decomposition search allocates
+   nothing. *)
+let agreement a b =
+  if a.nvars <> b.nvars then invalid_arg "Tt.agreement: arity mismatch";
+  let mask = word_mask a.nvars in
+  let u = a.words and v = b.words in
+  let n = Array.length u in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc :=
+      !acc
+      + popcount64
+          (Int64.logand
+             (Int64.lognot (Int64.logxor (Array.unsafe_get u i) (Array.unsafe_get v i)))
+             mask)
+  done;
+  !acc
+
 let get_bit t i =
   if i < 0 || i >= 1 lsl t.nvars then invalid_arg "Tt.get_bit";
   Int64.logand (Int64.shift_right_logical t.words.(i lsr 6) (i land 63)) 1L = 1L
@@ -151,6 +307,13 @@ let set_bit t i =
   { t with words }
 
 let eval t assignment = get_bit t (assignment land ((1 lsl t.nvars) - 1))
+
+(* Single-word constructor for cut functions (≤ 6 variables): avoids
+   the bit-by-bit [of_bits] loop, which copies the table per set bit. *)
+let of_word n w =
+  check_vars n;
+  if n > 6 then invalid_arg "Tt.of_word: more than 6 variables";
+  { nvars = n; words = [| Int64.logand w (word_mask n) |] }
 
 let of_bits n f =
   check_vars n;

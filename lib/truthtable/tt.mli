@@ -39,12 +39,40 @@ val ite : t -> t -> t -> t
 (** [mux sel a b] is [a] when [sel] is false, [b] when true. *)
 val mux : t -> t -> t -> t
 
-(** Structural predicates and comparisons. *)
+(** Structural predicates and comparisons. All are allocation-free
+    word loops (never the polymorphic runtime primitives): the
+    refactoring engines probe them inside memoized recursions. *)
 val equal : t -> t -> bool
 val is_const0 : t -> bool
 val is_const1 : t -> bool
 val compare : t -> t -> int
 val hash : t -> int
+
+(** Imperative hash tables keyed by truth tables, using {!hash} and
+    {!equal} (the polymorphic [Hashtbl] machinery walks and hashes the
+    underlying boxed words on every probe — measurably hot under the
+    synthesis memo tables). *)
+module Tbl : Hashtbl.S with type key = t
+
+(** Fused gate probes for resubstitution, allocation-free.
+    [and_match ~na a ~nb b c] compares [(±a) & (±b)] (operands
+    complemented per [na]/[nb]) against [c]: [0] on equal, [1] on
+    equal-to-complement, [-1] otherwise. [xor_equal ~na a ~nb b c] is
+    true iff [(±a) xor (±b) = c]. *)
+val and_match : na:bool -> t -> nb:bool -> t -> t -> int
+val xor_equal : na:bool -> t -> nb:bool -> t -> t -> bool
+
+(** [equal_not a b] is [equal a (bnot b)] without the allocation. *)
+val equal_not : t -> t -> bool
+
+(** [agreement a b] is [count_ones (bxnor a b)] without the
+    allocations: the number of minterms on which the functions
+    agree. *)
+val agreement : t -> t -> int
+
+(** [of_word n w] builds a table on [n <= 6] variables directly from
+    its 64-bit value (low [2^n] bits; the rest is ignored). *)
+val of_word : int -> int64 -> t
 
 (** [cofactor0 t i] / [cofactor1 t i] fix variable [i] to 0 / 1; the
     result still ranges over [n] variables (it no longer depends on

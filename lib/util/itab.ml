@@ -1,0 +1,116 @@
+(* Open-addressing int-keyed hash table with linear probing and
+   tombstone deletion. Flat int arrays: a probe allocates nothing and
+   never touches the polymorphic hashing/comparison runtime — this
+   backs the AIG structural-hash table, whose probe sits inside every
+   [band] call.
+
+   Keys must be non-negative; values are arbitrary ints. *)
+
+type t = {
+  mutable keys : int array; (* empty_key = empty, tomb_key = deleted *)
+  mutable vals : int array;
+  mutable mask : int;
+  mutable live : int; (* bindings present *)
+  mutable used : int; (* live + tombstones *)
+}
+
+let empty_key = -1
+let tomb_key = -2
+
+let ceil_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 16
+
+let create ?(capacity = 16) () =
+  let cap = ceil_pow2 (max 16 (capacity * 2)) in
+  {
+    keys = Array.make cap empty_key;
+    vals = Array.make cap 0;
+    mask = cap - 1;
+    live = 0;
+    used = 0;
+  }
+
+let length t = t.live
+
+let hash key =
+  let h = key * 0x9e3779b9 in
+  h lxor (h lsr 16)
+
+(* Slot of [key], or of the first empty slot if absent (never a
+   tombstone: lookups must skip them). *)
+let rec find_slot keys mask key i =
+  let k = Array.unsafe_get keys i in
+  if k = key || k = empty_key then i
+  else find_slot keys mask key ((i + 1) land mask)
+
+let find t key ~default =
+  let i = find_slot t.keys t.mask key (hash key land t.mask) in
+  if Array.unsafe_get t.keys i = key then Array.unsafe_get t.vals i else default
+
+let mem t key =
+  let i = find_slot t.keys t.mask key (hash key land t.mask) in
+  Array.unsafe_get t.keys i = key
+
+let rec insert_fresh keys vals mask key v i =
+  let k = Array.unsafe_get keys i in
+  if k = empty_key then begin
+    Array.unsafe_set keys i key;
+    Array.unsafe_set vals i v
+  end
+  else insert_fresh keys vals mask key v ((i + 1) land mask)
+
+let resize t cap =
+  let keys = Array.make cap empty_key in
+  let vals = Array.make cap 0 in
+  let mask = cap - 1 in
+  Array.iteri
+    (fun i k ->
+      if k >= 0 then insert_fresh keys vals mask k t.vals.(i) (hash k land mask))
+    t.keys;
+  t.keys <- keys;
+  t.vals <- vals;
+  t.mask <- mask;
+  t.used <- t.live
+
+(* Insert or overwrite. *)
+let replace t key v =
+  if key < 0 then invalid_arg "Itab.replace: negative key";
+  (* Reuse the key's slot when present; otherwise claim the first
+     tombstone or empty slot on the probe path. *)
+  let keys = t.keys and mask = t.mask in
+  let rec go i tomb =
+    let k = Array.unsafe_get keys i in
+    if k = key then Array.unsafe_set t.vals i v
+    else if k = empty_key then begin
+      let slot = if tomb >= 0 then tomb else i in
+      if Array.unsafe_get keys slot = empty_key then t.used <- t.used + 1;
+      Array.unsafe_set keys slot key;
+      Array.unsafe_set t.vals slot v;
+      t.live <- t.live + 1
+    end
+    else if k = tomb_key && tomb < 0 then go ((i + 1) land mask) i
+    else go ((i + 1) land mask) tomb
+  in
+  go (hash key land mask) (-1);
+  if t.used * 4 > (t.mask + 1) * 3 then
+    resize t (if t.live * 8 > (t.mask + 1) * 3 then (t.mask + 1) * 2 else t.mask + 1)
+
+let remove t key =
+  let i = find_slot t.keys t.mask key (hash key land t.mask) in
+  if Array.unsafe_get t.keys i = key then begin
+    Array.unsafe_set t.keys i tomb_key;
+    t.live <- t.live - 1
+  end
+
+let iter f t =
+  Array.iteri (fun i k -> if k >= 0 then f k t.vals.(i)) t.keys
+
+let copy t =
+  {
+    keys = Array.copy t.keys;
+    vals = Array.copy t.vals;
+    mask = t.mask;
+    live = t.live;
+    used = t.used;
+  }

@@ -1,0 +1,35 @@
+(** Open-addressing hash table from non-negative [int] keys to [int]
+    values: flat arrays, linear probing, tombstone deletion,
+    load-factor doubling. Probes allocate nothing and bypass the
+    polymorphic hashing/equality runtime — built for structural-hash
+    hot paths (the AIG strash table packs its fanin literal pair into
+    one key). *)
+
+type t
+
+(** [create ?capacity ()] sizes the table for about [capacity]
+    bindings before the first resize. *)
+val create : ?capacity:int -> unit -> t
+
+(** Number of live bindings. *)
+val length : t -> int
+
+(** [find t key ~default] is the value bound to [key], or [default].
+    Callers pick a [default] outside the value range (values are node
+    ids, so [-1] is customary). *)
+val find : t -> int -> default:int -> int
+
+val mem : t -> int -> bool
+
+(** [replace t key v] binds [key] to [v], overwriting any previous
+    binding. Raises [Invalid_argument] on a negative key. *)
+val replace : t -> int -> int -> unit
+
+(** [remove t key] drops the binding if present. *)
+val remove : t -> int -> unit
+
+(** [iter f t] applies [f key value] to every binding (unspecified
+    order). *)
+val iter : (int -> int -> unit) -> t -> unit
+
+val copy : t -> t

@@ -23,4 +23,5 @@ let () =
       ("flight", Test_flight.suite);
       ("provenance", Test_provenance.suite);
       ("report", Test_report.suite);
+      ("par", Test_par.suite);
     ]
