@@ -155,6 +155,48 @@ let guarded o f =
       Sbm_obs.Postmortem.report_dump ~reason:(Printexc.to_string e) ();
       Printexc.raise_with_backtrace e bt
 
+(* --- common engine options: jobs + observability + prefilter ---
+
+   One reusable option group shared by every command that runs a flow
+   (opt, bench, attribute), so the engine-facing surface is uniform:
+   --jobs, --recorder/--watchdog/--watchdog-abort/--progress/--deadline,
+   --no-prefilter, --sim-words. *)
+
+type common_opts = {
+  jobs : int option;
+  obs : obs_opts;
+  prefilter : bool;
+  sim_words : int;
+}
+
+let common_opts_term =
+  let no_prefilter_arg =
+    let doc =
+      "Disable the simulation-guided candidate prefilter. QoR is \
+       bit-identical either way (the filter is accept-preserving); \
+       disabling it only restores the engines' full candidate workloads \
+       and drops the $(b,prefilter.*) counters."
+    in
+    Arg.(value & flag & info [ "no-prefilter" ] ~doc)
+  in
+  let sim_words_arg =
+    let doc =
+      "Simulation words per primary input in the prefilter's pattern bank \
+       (64 patterns each; default 4, i.e. 256 patterns)."
+    in
+    Arg.(
+      value
+      & opt int Sbm_core.Prefilter.default_words
+      & info [ "sim-words" ] ~docv:"N" ~doc)
+  in
+  let mk jobs obs no_prefilter sim_words =
+    { jobs; obs; prefilter = not no_prefilter; sim_words = max 1 sim_words }
+  in
+  Term.(
+    const mk $ jobs_arg $ obs_opts_term $ no_prefilter_arg $ sim_words_arg)
+
+let setup_common c = setup_jobs c.jobs
+
 (* --- stats --- *)
 
 let stats_cmd =
@@ -243,9 +285,10 @@ let opt_cmd =
     in
     Arg.(value & opt (some string) None & info [ "explain" ] ~docv:"FILE" ~doc)
   in
-  let run level jobs path flow verify trace report explain obs_opts output =
+  let run level common path flow verify trace report explain output =
     setup_logs level;
-    setup_jobs jobs;
+    setup_common common;
+    let obs_opts = common.obs in
     let aig = read_aig path in
     let before = Sbm_aig.Aig.size aig in
     (* Recorder/watchdog runs always collect: a crash dump without the
@@ -273,7 +316,8 @@ let opt_cmd =
     let t0 = Unix.gettimeofday () in
     let optimized =
       guarded obs_opts (fun () ->
-          Sbm_core.Flow.run ~obs ?explain:explain_cb flow aig)
+          Sbm_core.Flow.run ~obs ?explain:explain_cb
+            ~prefilter:common.prefilter ~sim_words:common.sim_words flow aig)
     in
     let dt = Unix.gettimeofday () -. t0 in
     Option.iter close_out explain_oc;
@@ -311,8 +355,8 @@ let opt_cmd =
   in
   let term =
     Term.(
-      const run $ logs_arg $ jobs_arg $ aig_arg $ flow_arg $ verify_arg
-      $ trace_arg $ report_arg $ explain_arg $ obs_opts_term $ output_arg)
+      const run $ logs_arg $ common_opts_term $ aig_arg $ flow_arg
+      $ verify_arg $ trace_arg $ report_arg $ explain_arg $ output_arg)
   in
   Cmd.v (Cmd.info "opt" ~doc:"Optimize a network") term
 
@@ -432,9 +476,10 @@ let bench_cmd =
     in
     Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N" ~doc)
   in
-  let run level jobs names flow seed scale label out hist repeat obs_opts =
+  let run level common names flow seed scale label out hist repeat =
     setup_logs level;
-    setup_jobs jobs;
+    setup_common common;
+    let obs_opts = common.obs in
     setup_obs obs_opts None;
     let repeat = max 1 repeat in
     let module Epfl = Sbm_epfl.Epfl in
@@ -467,7 +512,9 @@ let bench_cmd =
           in
           let t0 = Unix.gettimeofday () in
           let optimized =
-            guarded obs_opts (fun () -> Sbm_core.Flow.run ~obs:root flow aig)
+            guarded obs_opts (fun () ->
+                Sbm_core.Flow.run ~obs:root ~prefilter:common.prefilter
+                  ~sim_words:common.sim_words flow aig)
           in
           let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
           Sbm_obs.close ~size:(Aig.size optimized)
@@ -504,6 +551,24 @@ let bench_cmd =
            else "");
         if hist then Fmt.pr "%a" Sbm_obs.pp_histograms trace;
         let counters = Sbm_obs.totals trace in
+        (* Per-benchmark prefilter summary (absent with --no-prefilter):
+           survivor ratio over all filtered candidates, plus the
+           rejection and refinement tallies — also the source of CI's
+           prefilter-stats artifact. *)
+        (match List.assoc_opt "prefilter.survivors" counters with
+        | Some survivors ->
+          let get k = Option.value ~default:0 (List.assoc_opt k counters) in
+          let rej_sig = get "prefilter.rejected_signature" in
+          let rej_const = get "prefilter.rejected_const" in
+          let total = survivors + rej_sig + rej_const in
+          Fmt.pr
+            "            prefilter: %d/%d candidates survived (%.1f%%), %d \
+             sig-rejected, %d const-rejected, %d cex refinements@."
+            survivors total
+            (100.0 *. float_of_int survivors /. float_of_int (max 1 total))
+            rej_sig rej_const
+            (get "prefilter.cex_refinements")
+        | None -> ());
         let counters =
           if repeat > 1 then
             counters
@@ -529,9 +594,8 @@ let bench_cmd =
   let term =
     Term.(
       ret
-        (const run $ logs_arg $ jobs_arg $ benches_arg $ flow_arg $ seed_arg
-       $ scale_arg $ label_arg $ out_arg $ hist_arg $ repeat_arg
-       $ obs_opts_term))
+        (const run $ logs_arg $ common_opts_term $ benches_arg $ flow_arg
+       $ seed_arg $ scale_arg $ label_arg $ out_arg $ hist_arg $ repeat_arg))
   in
   Cmd.v
     (Cmd.info "bench"
@@ -655,8 +719,10 @@ let attribute_cmd =
     let doc = "Print the attribution as JSON instead of the human tables." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run level input flow scale seed k json =
+  let run level common input flow scale seed k json =
     setup_logs level;
+    setup_common common;
+    setup_obs common.obs None;
     let aig =
       match Sbm_epfl.Epfl.of_name input with
       | Some b -> `Ok (Sbm_epfl.Epfl.generate ~scale ?seed b)
@@ -667,7 +733,11 @@ let attribute_cmd =
     match aig with
     | `Bad msg -> `Error (false, msg)
     | `Ok aig ->
-      let optimized = Sbm_core.Flow.run flow aig in
+      let optimized =
+        guarded common.obs (fun () ->
+            Sbm_core.Flow.run ~prefilter:common.prefilter
+              ~sim_words:common.sim_words flow aig)
+      in
       let mapping = Sbm_lutmap.Lut_map.map ~k optimized in
       let att = Sbm_report.Attribution.compute optimized mapping in
       if json then print_endline (Sbm_report.Attribution.to_json att)
@@ -682,8 +752,8 @@ let attribute_cmd =
   let term =
     Term.(
       ret
-        (const run $ logs_arg $ input_arg $ flow_arg $ scale_arg $ seed_arg
-       $ k_arg $ json_arg))
+        (const run $ logs_arg $ common_opts_term $ input_arg $ flow_arg
+       $ scale_arg $ seed_arg $ k_arg $ json_arg))
   in
   Cmd.v
     (Cmd.info "attribute"

@@ -390,6 +390,26 @@ let size man b =
   iter_reachable man b (fun _ -> incr count);
   !count
 
+let eval_word man b ~leaf =
+  let memo = Hashtbl.create 64 in
+  let rec go b =
+    if b = 0 then 0L
+    else if b = 1 then -1L
+    else
+      match Hashtbl.find_opt memo b with
+      | Some w -> w
+      | None ->
+        let v = leaf man.var_of.(b) in
+        let w =
+          Int64.logor
+            (Int64.logand v (go man.high_of.(b)))
+            (Int64.logand (Int64.lognot v) (go man.low_of.(b)))
+        in
+        Hashtbl.add memo b w;
+        w
+  in
+  go b
+
 let count_sat man b ~nvars =
   let memo = Hashtbl.create 64 in
   (* fraction of assignments under [b] *)

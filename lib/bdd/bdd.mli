@@ -90,6 +90,14 @@ val support : man -> t -> int list
     (the paper's BDD-size filter operates on this). *)
 val size : man -> t -> int
 
+(** [eval_word man b ~leaf] evaluates [b] bit-parallel over 64
+    assignments at once: [leaf v] supplies the 64-bit value word of
+    variable [v], and bit [i] of the result is [b] evaluated on the
+    [i]th bits of the leaf words. Pure graph walk — never allocates
+    BDD nodes, so it cannot raise {!Limit}. Drives the simulation
+    prefilter's care-set masking. *)
+val eval_word : man -> t -> leaf:(int -> int64) -> int64
+
 (** [count_sat man b ~nvars] is the number of satisfying assignments
     over [nvars] variables, as a float (avoids overflow on wide
     supports). *)

@@ -11,7 +11,9 @@ type config = {
   accept_zero : bool;
   monolithic : bool;
   overlap : float;
-  signature_filter : bool;
+  prefilter : Prefilter.bank option;
+  jobs : int option;
+  watchdog_poll : bool;
   objective : [ `Size | `Depth ];
 }
 
@@ -24,7 +26,9 @@ let default_config =
     accept_zero = false;
     monolithic = false;
     overlap = 0.0;
-    signature_filter = true;
+    prefilter = None;
+    jobs = None;
+    watchdog_poll = true;
     objective = `Size;
   }
 
@@ -40,11 +44,11 @@ type counters = {
   mutable c_pairs : int;
   mutable c_diffs : int;
   mutable c_rewrites : int;
+  pf : Prefilter.counts;
 }
 
-let popcount64 w =
-  let rec go w acc = if w = 0L then acc else go (Int64.logand w (Int64.sub w 1L)) (acc + 1) in
-  go w 0
+let zero_counters () =
+  { c_pairs = 0; c_diffs = 0; c_rewrites = 0; pf = Prefilter.zero_counts () }
 
 (* Structural filters of Section III-B: the pair must share support,
    and [f] must not lie in the cone of [g] (a difference implementation
@@ -67,19 +71,144 @@ let good_candidates ctx ~f ~g =
       false)
   | _ -> false
 
-(* Functional filtering (Section III-B): a 64-pattern signature per
-   node; pairs whose difference toggles on almost every pattern are
-   unlikely to admit a small difference BDD, so they are skipped
-   before any BDD work. *)
-let signature_threshold = 52
+(* Simulation prefilter state for one partition: the store plus two
+   canonical-signature indexes. [index] holds every node with a BDD in
+   the partition context (members and leaves) and the constant
+   signature; [pairs2] holds every 2-leaf AND/OR function (all
+   [±l_i ∧ ±l_j] combinations — canonicalization folds the OR forms
+   in). A pair survives iff [Boolean_difference.compute] could still
+   return [Some]:
+
+   - case a (lines 5-7) needs the difference to exist as a partition
+     node [d] — then the difference's function over the leaves equals
+     [d]'s (or its complement), so its canonical signature is in the
+     index;
+   - case b (lines 8-16) needs [size(diff) + xor_cost <= mffc f] with
+     the difference BDD's size lower-bounded two ways, taking the max:
+     {ul
+     {- the signature ladder: an [index] miss certifies the
+        difference is not constant and not a ±leaf — exactly the
+        functions with BDD size <= 1 — so [size >= 2]; a further
+        [pairs2] miss rules out every function whose BDD has exactly
+        2 nodes (a 2-node BDD is [if x then ±y else c] in some phase,
+        i.e. a 2-leaf AND/OR), so [size >= 3];}
+     {- the support bound: a leaf exactly one of [f], [g] depends on
+        is necessarily in the support of [f ⊕ g], and a reduced BDD
+        carries at least one node per support variable, so
+        [size >= |supp f Δ supp g|] (the [supp] table, precomputed
+        from the members' already-built BDDs).}}
+
+   A rejected pair therefore provably makes [compute] return [None]:
+   skipping it drops only the wasted BDD work, never a rewrite, which
+   is what makes the off-vs-on QoR identity a testable property rather
+   than a tuning accident. *)
+type pair_filter = {
+  store : Prefilter.t;
+  index : (int64 array, unit) Hashtbl.t;
+  pairs2 : (int64 array, unit) Hashtbl.t;
+  supp : (int, int list) Hashtbl.t; (* member node -> ascending BDD support *)
+}
+
+(* |a Δ b| for ascending lists. *)
+let rec delta_size a b =
+  match (a, b) with
+  | [], rest | rest, [] -> List.length rest
+  | x :: a', y :: b' ->
+    if x = y then delta_size a' b'
+    else if x < y then 1 + delta_size a' b
+    else 1 + delta_size a b'
+
+(* Building [pairs2] is O(leaves^2) signatures; beyond this leaf count
+   the set is skipped and the ladder stops at [size >= 2] (still
+   sound, just a weaker bound). *)
+let max_pairs2_leaves = 128
+
+let partition_filter store ctx =
+  match store with
+  | None -> None
+  | Some st ->
+    let members = Bdd_bridge.members ctx in
+    let leaves = Bdd_bridge.leaves ctx in
+    let n = Prefilter.words st in
+    let index = Hashtbl.create (4 * (Array.length members + 1)) in
+    let add v = Hashtbl.replace index (Prefilter.signature st (Aig.lit_of v false)) () in
+    Array.iter add members;
+    Array.iter add leaves;
+    Hashtbl.replace index (Array.make n 0L) ();
+    let k = Array.length leaves in
+    let pairs2 = Hashtbl.create (if k <= max_pairs2_leaves then 2 * k * k else 16) in
+    if k <= max_pairs2_leaves then begin
+      let value = Array.map (fun v -> Array.init n (Prefilter.value st v)) leaves in
+      for i = 0 to k - 1 do
+        for j = i + 1 to k - 1 do
+          List.iter
+            (fun (ci, cj) ->
+              let sig_ =
+                Array.init n (fun w ->
+                    let a = if ci then Int64.lognot value.(i).(w) else value.(i).(w) in
+                    let b = if cj then Int64.lognot value.(j).(w) else value.(j).(w) in
+                    Int64.logand a b)
+              in
+              Hashtbl.replace pairs2 (Prefilter.canonical_of_words sig_) ())
+            [ (false, false); (false, true); (true, false); (true, true) ]
+        done
+      done
+    end;
+    let supp = Hashtbl.create (Array.length members) in
+    let man = Bdd_bridge.man ctx in
+    Array.iter
+      (fun v ->
+        match Bdd_bridge.bdd_of_node ctx v with
+        | None -> ()
+        | Some b -> (
+          match Bdd.support man b with
+          | s -> Hashtbl.replace supp v s
+          | exception Bdd.Limit -> ()))
+      members;
+    Some { store = st; index; pairs2; supp }
+
+let pair_verdict pf ~saving ~xor_cost f g =
+  let st = pf.store in
+  let n = Prefilter.words st in
+  let d =
+    Array.init n (fun w ->
+        Int64.logxor (Prefilter.value st f w) (Prefilter.value st g w))
+  in
+  let dc = Prefilter.canonical_of_words d in
+  if Hashtbl.mem pf.index dc then Prefilter.Maybe
+  else begin
+    (* Case a is impossible; case b survives only when [f]'s MFFC can
+       pay for the certified lower bound on the difference BDD. *)
+    let lb = if Hashtbl.mem pf.pairs2 dc then 2 else 3 in
+    let lb =
+      match (Hashtbl.find_opt pf.supp f, Hashtbl.find_opt pf.supp g) with
+      | Some sf, Some sg -> max lb (delta_size sf sg)
+      | _ -> lb
+    in
+    if lb + xor_cost <= saving then Prefilter.Maybe
+    else begin
+      let const v =
+        let all0 = ref true and all1 = ref true in
+        for w = 0 to n - 1 do
+          let x = Prefilter.value st v w in
+          if x <> 0L then all0 := false;
+          if x <> -1L then all1 := false
+        done;
+        !all0 || !all1
+      in
+      if const g || const f then Prefilter.Reject_const
+      else Prefilter.Reject_signature
+    end
+  end
 
 (* Analysis/commit loop of one partition. Mutates [aig] (candidate
    cones, commits, traversal marks): parallel workers call this on a
    private snapshot, the sequential path on the live AIG. Returns the
    partition's BDD context so the caller can flush its stats. *)
-let run_partition_analysis aig config counters signatures part total =
+let run_partition_analysis aig config counters store part total =
   let ctx = Bdd_bridge.build ~node_limit:config.bdd_node_limit aig part in
   let members = Bdd_bridge.members ctx in
+  let filter = partition_filter store ctx in
   (* Depth objective: levels are refreshed after every accepted
      rewrite (replacement cascades can move many nodes). *)
   let levels = ref (if config.objective = `Depth then Some (Aig.levels aig) else None) in
@@ -101,51 +230,69 @@ let run_partition_analysis aig config counters signatures part total =
       in
       level_of (Aig.node_of candidate) <= level_of f
   in
-  let signature_ok f g =
-    match signatures with
-    | None -> true
-    | Some values ->
-      let d = Int64.logxor values.(f) values.(g) in
-      let ones = popcount64 d in
-      min ones (64 - ones) <= signature_threshold
-  in
   Array.iter
     (fun f ->
       if Aig.is_and aig f then begin
         let pairs = ref 0 in
         let replaced = ref false in
+        (* Case b of the difference computation is only reachable when
+           the MFFC of [f] can pay for the certified lower bound on
+           the difference implementation plus the XOR; the bound per
+           pair comes from the signature ladder in [pair_verdict].
+           Exact per [f]: a committed rewrite (the only thing that
+           moves MFFCs mid-loop) also ends [f]'s candidate scan. *)
+        let saving =
+          match filter with None -> max_int | Some _ -> Aig.mffc_size aig f
+        in
+        let xor_cost = config.diff.Boolean_difference.xor_cost in
         Array.iter
           (fun g ->
             if
               (not !replaced)
               && !pairs < config.max_pairs
               && Aig.is_and aig g
-              && signature_ok f g
               && good_candidates ctx ~f ~g
             then begin
+              (* The pair budget counts every enumerated candidate,
+                 filtered or not, so the enumeration (and therefore the
+                 committed rewrites) is identical with the prefilter on
+                 or off. Only survivors reach [c_pairs] — the public
+                 [diff.pairs_tried] measures work sent to the BDD
+                 layer. *)
               incr pairs;
-              counters.c_pairs <- counters.c_pairs + 1;
-              match Boolean_difference.compute ctx config.diff ~f ~g with
-              | None -> ()
-              | Some candidate ->
-                counters.c_diffs <- counters.c_diffs + 1;
-                if
-                  Aig.node_of candidate <> f
-                  && (not (Aig.in_tfi aig ~node:f ~root:(Aig.node_of candidate)))
-                  && depth_ok f candidate
-                then begin
-                  let gain = Aig.gain_of_replacement aig ~root:f ~candidate in
-                  (* Alg. 2 line 13: accept when not larger. *)
-                  if gain > 0 || (config.accept_zero && gain = 0) then begin
-                    Aig.replace aig f candidate;
-                    total := !total + gain;
-                    counters.c_rewrites <- counters.c_rewrites + 1;
-                    replaced := true;
-                    if config.objective = `Depth then levels := Some (Aig.levels aig)
+              let v =
+                match filter with
+                | None -> Prefilter.Maybe
+                | Some pf ->
+                  let v = pair_verdict pf ~saving ~xor_cost f g in
+                  Prefilter.note counters.pf v;
+                  v
+              in
+              match v with
+              | Prefilter.Reject_const | Prefilter.Reject_signature -> ()
+              | Prefilter.Maybe -> (
+                counters.c_pairs <- counters.c_pairs + 1;
+                match Boolean_difference.compute ctx config.diff ~f ~g with
+                | None -> ()
+                | Some candidate ->
+                  counters.c_diffs <- counters.c_diffs + 1;
+                  if
+                    Aig.node_of candidate <> f
+                    && (not (Aig.in_tfi aig ~node:f ~root:(Aig.node_of candidate)))
+                    && depth_ok f candidate
+                  then begin
+                    let gain = Aig.gain_of_replacement aig ~root:f ~candidate in
+                    (* Alg. 2 line 13: accept when not larger. *)
+                    if gain > 0 || (config.accept_zero && gain = 0) then begin
+                      Aig.replace aig f candidate;
+                      total := !total + gain;
+                      counters.c_rewrites <- counters.c_rewrites + 1;
+                      replaced := true;
+                      if config.objective = `Depth then levels := Some (Aig.levels aig)
+                    end
+                    else Aig.delete_dangling aig (Aig.node_of candidate)
                   end
-                  else Aig.delete_dangling aig (Aig.node_of candidate)
-                end
-                else Aig.delete_dangling aig (Aig.node_of candidate)
+                  else Aig.delete_dangling aig (Aig.node_of candidate))
             end)
           members
       end)
@@ -156,7 +303,7 @@ let run_partition_analysis aig config counters signatures part total =
    stats into the span, feed the watchdog, record the flight-recorder
    summary. Shared by the sequential path and the parallel merge
    path (which runs it against a worker's context). *)
-let finish_partition ctx obs ~index ~rewrites_delta =
+let finish_partition ctx obs ~index ~rewrites_delta ~pf_rejected =
   Bdd_bridge.flush_stats ~engine:"diff" ctx obs;
   let bails = Bdd_bridge.limit_bails ctx in
   Sbm_obs.Watchdog.note_partition ~engine:"diff" ~bails;
@@ -167,14 +314,16 @@ let finish_partition ctx obs ~index ~rewrites_delta =
       ~id:(Printf.sprintf "partition-%d" index)
       ~metrics:
         [ ("members", Array.length (Bdd_bridge.members ctx)); ("bails", bails);
-          ("rewrites", rewrites_delta) ]
+          ("rewrites", rewrites_delta); ("pf_rejected", pf_rejected) ]
       "partition done"
 
-let run_partition aig config counters obs signatures part index total =
+let run_partition aig config counters obs store part index total =
   let rewrites0 = counters.c_rewrites in
-  let ctx = run_partition_analysis aig config counters signatures part total in
+  let rejected0 = Prefilter.rejected counters.pf in
+  let ctx = run_partition_analysis aig config counters store part total in
   finish_partition ctx obs ~index
     ~rewrites_delta:(counters.c_rewrites - rewrites0)
+    ~pf_rejected:(Prefilter.rejected counters.pf - rejected0)
 
 let optimize_stats ?(obs = Sbm_obs.null) ?(config = default_config) aig =
   (* Difference implementations built from here on are this engine's
@@ -182,55 +331,52 @@ let optimize_stats ?(obs = Sbm_obs.null) ?(config = default_config) aig =
   if (Aig.current_origin aig).Aig.Origin.kind = Aig.Origin.Seed then
     Aig.set_origin aig (Aig.Origin.make ~pass:"boolean-difference" Aig.Origin.Diff);
   let total = ref 0 in
-  let counters = { c_pairs = 0; c_diffs = 0; c_rewrites = 0 } in
+  let counters = zero_counters () in
   let parts =
     if config.monolithic then [ Partition.whole aig ]
     else if config.overlap > 0.0 then
       Partition.compute_overlapping aig config.limits ~overlap:config.overlap
     else Partition.compute aig config.limits
   in
-  let signatures =
-    if config.signature_filter then begin
-      let rng = Sbm_util.Rng.create 0xd1ff in
-      Some (Sbm_aig.Sim.simulate aig (Sbm_aig.Sim.random_inputs aig rng))
-    end
-    else None
-  in
+  let store = Option.map (fun bank -> Prefilter.attach bank aig) config.prefilter in
   let skipped = ref 0 in
-  let jobs = Sbm_par.Jobs.get () in
+  let poll () = if config.watchdog_poll then Sbm_obs.Watchdog.poll () in
+  let jobs =
+    match config.jobs with Some j -> max 1 j | None -> Sbm_par.Jobs.get ()
+  in
   if jobs <= 1 || List.length parts <= 1 then
     (* Sequential path: byte-for-byte the historical behaviour. *)
     List.iteri
       (fun i part ->
-        Sbm_obs.Watchdog.poll ();
+        poll ();
         if Sbm_obs.Watchdog.abort_requested () then incr skipped
-        else run_partition aig config counters obs signatures part i total)
+        else run_partition aig config counters obs store part i total)
       parts
   else begin
     (* Parallel path: workers analyze partitions on private AIG
        snapshots; results are applied in ascending index. A clean
        (zero-rewrite, not-stale) analysis is merged verbatim —
-       counters, BDD stats, flight-recorder events and speculative
-       origin-created counts, exactly what the sequential run would
-       have produced; anything else is redone sequentially on the
-       live AIG. *)
-    let pool = Sbm_par.Pool.global () in
+       counters, prefilter tallies, BDD stats, flight-recorder events
+       and speculative origin-created counts, exactly what the
+       sequential run would have produced; anything else is redone
+       sequentially on the live AIG. *)
     let analyze _i part =
       if Sbm_obs.Watchdog.abort_requested () then None
       else begin
         let snap = Aig.copy aig in
-        let wc = { c_pairs = 0; c_diffs = 0; c_rewrites = 0 } in
+        let wstore = Option.map (fun st -> Prefilter.fork st snap) store in
+        let wc = zero_counters () in
         let wtotal = ref 0 in
         let before = Aig.origin_stats snap in
         let ctx, events =
           FR.capture (fun () ->
-              run_partition_analysis snap config wc signatures part wtotal)
+              run_partition_analysis snap config wc wstore part wtotal)
         in
         Some (wc, ctx, events, Par_merge.created_delta ~before ~after:(Aig.origin_stats snap))
       end
     in
     let apply index part result ~dirty =
-      Sbm_obs.Watchdog.poll ();
+      poll ();
       if Sbm_obs.Watchdog.abort_requested () then begin
         incr skipped;
         false
@@ -240,16 +386,22 @@ let optimize_stats ?(obs = Sbm_obs.null) ?(config = default_config) aig =
         | Some (wc, ctx, events, created) when (not dirty) && wc.c_rewrites = 0 ->
           counters.c_pairs <- counters.c_pairs + wc.c_pairs;
           counters.c_diffs <- counters.c_diffs + wc.c_diffs;
+          Par_merge.merge_prefilter counters.pf wc.pf;
           Par_merge.merge_created aig created;
           FR.replay events;
-          finish_partition ctx obs ~index ~rewrites_delta:0;
+          finish_partition ctx obs ~index ~rewrites_delta:0
+            ~pf_rejected:(Prefilter.rejected wc.pf);
           false
         | Some _ | None ->
           let r0 = counters.c_rewrites in
-          run_partition aig config counters obs signatures part index total;
+          run_partition aig config counters obs store part index total;
           counters.c_rewrites > r0
     in
-    Sbm_par.Sched.run_ordered pool (Array.of_list parts) ~analyze ~apply
+    let go pool =
+      Sbm_par.Sched.run_ordered pool (Array.of_list parts) ~analyze ~apply
+    in
+    if jobs = Sbm_par.Jobs.get () then go (Sbm_par.Pool.global ())
+    else Sbm_par.Pool.with_pool ~jobs go
   end;
   if !skipped > 0 && Sbm_obs.enabled obs then
     Sbm_obs.add obs "watchdog.partitions_skipped" !skipped;
@@ -258,7 +410,8 @@ let optimize_stats ?(obs = Sbm_obs.null) ?(config = default_config) aig =
     Sbm_obs.add obs "diff.pairs_tried" counters.c_pairs;
     Sbm_obs.add obs "diff.differences_built" counters.c_diffs;
     Sbm_obs.add obs "diff.rewrites" counters.c_rewrites;
-    Sbm_obs.add obs "diff.gain" !total
+    Sbm_obs.add obs "diff.gain" !total;
+    if store <> None then Prefilter.flush obs counters.pf
   end;
   {
     gain = !total;
@@ -274,3 +427,40 @@ let run ?obs ?config aig =
   let copy = Aig.copy aig in
   let stats = optimize_stats ?obs ?config copy in
   (fst (Aig.compact copy), stats)
+
+module Engine = struct
+  let name = "diff"
+  let default_origin = Aig.Origin.make ~pass:"boolean-difference" Aig.Origin.Diff
+
+  let config_of (c : Engine_intf.config) =
+    {
+      default_config with
+      limits =
+        (match c.Engine_intf.partition_nodes with
+        | None -> default_config.limits
+        | Some n -> { default_config.limits with Partition.max_nodes = n });
+      bdd_node_limit =
+        Option.value c.Engine_intf.bdd_node_limit
+          ~default:default_config.bdd_node_limit;
+      accept_zero = c.Engine_intf.effort = Engine_intf.High;
+      prefilter = c.Engine_intf.prefilter;
+      jobs = c.Engine_intf.jobs;
+      watchdog_poll = c.Engine_intf.watchdog_poll;
+    }
+
+  let stats_of (s : stats) =
+    {
+      Engine_intf.gain = s.gain;
+      details =
+        [ ("partitions", s.partitions); ("pairs_tried", s.pairs_tried);
+          ("differences_built", s.differences_built); ("rewrites", s.rewrites) ];
+    }
+
+  let run (c : Engine_intf.config) aig =
+    let aig', s = run ~obs:c.Engine_intf.obs ~config:(config_of c) aig in
+    (aig', stats_of s)
+
+  let optimize (c : Engine_intf.config) aig =
+    let s = optimize_stats ~obs:c.Engine_intf.obs ~config:(config_of c) aig in
+    (aig, stats_of s)
+end

@@ -17,11 +17,15 @@ type config = {
   overlap : float;
       (** 0 = distinct partitions; > 0 extends each partition into its
           neighbor ("distinct or overlapping", Section III-D) *)
-  signature_filter : bool;
-      (** functional filtering "similar to [1]" (Section III-B):
-          simulation signatures prune pairs whose difference toggles
-          on most patterns and is therefore unlikely to have a small
-          BDD *)
+  prefilter : Prefilter.bank option;
+      (** functional filtering "similar to [1]" (Section III-B), made
+          sound: with a pattern bank, every candidate pair is vetted
+          against simulation signatures before any BDD work, and a
+          pair is only skipped when the difference computation
+          provably returns nothing for it — QoR is bit-identical with
+          the filter on or off (see {!Prefilter}) *)
+  jobs : int option;  (** worker domains; [None] = global [Jobs.get ()] *)
+  watchdog_poll : bool;  (** poll the watchdog at partition boundaries *)
   objective : [ `Size | `Depth ];
       (** [`Size] is the paper's focus; [`Depth] implements the
           sketched extension ("depth reducing techniques could be
@@ -51,3 +55,7 @@ val run :
     the total size gain (the engine behind {!run}; flow scripts use
     it between passes). *)
 val optimize : ?obs:Sbm_obs.span -> ?config:config -> Sbm_aig.Aig.t -> int
+
+(** The engine behind the unified {!Engine_intf.S} interface; flows
+    and the gradient optimizer dispatch through it. *)
+module Engine : Engine_intf.S

@@ -1,0 +1,13 @@
+(* Registry of every engine exposed through the unified interface.
+   Generic call sites — the identity test suites, the CLI's engine
+   listing — iterate this instead of naming each engine. *)
+
+let all : (string * (module Engine_intf.S)) list =
+  [
+    ("diff", (module Diff_resub.Engine));
+    ("mspf", (module Mspf.Engine));
+    ("kernel", (module Hetero_kernel.Engine));
+    ("gradient", (module Gradient.Engine));
+  ]
+
+let find name = List.assoc_opt name all

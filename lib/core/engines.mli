@@ -1,0 +1,8 @@
+(** Registry of the engines behind the unified {!Engine_intf.S}
+    interface, keyed by the engine's counter prefix. Generic call
+    sites (identity test suites, listings) iterate {!all} instead of
+    naming each engine module. *)
+
+val all : (string * (module Engine_intf.S)) list
+
+val find : string -> (module Engine_intf.S) option

@@ -154,7 +154,21 @@ let baseline ?(obs = Obs.null) aig0 =
   keep "balance" Sbm_aig.Balance.run;
   fst (Aig.compact !aig)
 
-let sbm_iteration ~obs ~explain ~effort aig0 =
+(* The engine configuration of one flow run: a single pattern bank
+   shared by every Boolean-engine pass (and both SBM iterations), so
+   counterexamples folded back by the SAT passes refine every later
+   pass's filtering. *)
+let engine_config ~prefilter ~sim_words =
+  if prefilter then
+    {
+      Engine_intf.default with
+      Engine_intf.prefilter = Some (Prefilter.create_bank ~sim_words ());
+    }
+  else Engine_intf.default
+
+let engine_effort = function Low -> Engine_intf.Low | High -> Engine_intf.High
+
+let sbm_iteration ~obs ~explain ~effort ~ecfg aig0 =
   let aig = ref aig0 in
   let checkpoint name =
     Logs.debug (fun m -> m "flow: %s -> size %d" name (Aig.size !aig))
@@ -172,16 +186,18 @@ let sbm_iteration ~obs ~explain ~effort aig0 =
   run_pass "gradient" (fun sp a ->
       let optimized, _stats =
         Gradient.optimize ~obs:sp ?explain
-          ~config:{ Gradient.default_config with budget }
+          ~config:{ Gradient.default_config with budget; engine = ecfg }
           a
       in
       keep_better a optimized);
   (* 2. Heterogeneous elimination for kernel extraction on
      medium-large partitions. *)
-  run_pass "hetero-kernel" (fun sp a -> keep_better a (fst (Hetero_kernel.run ~obs:sp a)));
+  run_pass "hetero-kernel" (fun sp a ->
+      keep_better a
+        (fst (Hetero_kernel.Engine.run { ecfg with Engine_intf.obs = sp } a)));
   (* 3. Enhanced MSPF computation on medium partitions with BDDs. *)
   run_pass "mspf" (fun sp a ->
-      ignore (Mspf.optimize ~obs:sp a);
+      ignore (Mspf.Engine.optimize { ecfg with Engine_intf.obs = sp } a);
       fst (Aig.compact a));
   (* 4. Collapse and Boolean decomposition on reconvergent MFFCs. *)
   run_pass "collapse-decompose" (fun sp a ->
@@ -195,41 +211,76 @@ let sbm_iteration ~obs ~explain ~effort aig0 =
   (* 5. Boolean-difference-based optimization, to unveil hard-to-find
      rewrites and escape local minima. *)
   run_pass "boolean-difference" (fun sp a ->
-      let dconfig =
-        { Diff_resub.default_config with accept_zero = (effort = High) }
-      in
-      ignore (Diff_resub.optimize ~obs:sp ~config:dconfig a);
+      ignore
+        (Diff_resub.Engine.optimize
+           { ecfg with Engine_intf.obs = sp; effort = engine_effort effort }
+           a);
       fst (Aig.compact a));
-  (* 6. SAT sweeping and redundancy removal. *)
+  (* 6. SAT sweeping and redundancy removal. Disproved candidate
+     equivalences flow back into the pattern bank so the engines of
+     the next iteration never chase the same false positive. *)
   run_pass "sat-sweep" (fun sp a ->
-      let swept, _ = Sbm_sat.Sweep.run ~obs:sp a in
+      let bank = ecfg.Engine_intf.prefilter in
+      let refinements0 =
+        match bank with Some b -> Prefilter.refinements b | None -> 0
+      in
+      let on_cex = Option.map (fun b bits -> Prefilter.refine b bits) bank in
+      let swept, _ = Sbm_sat.Sweep.run ~obs:sp ?on_cex a in
       let a = keep_better a swept in
       ignore
         (Sbm_sat.Redundancy.run ~obs:sp
            ~max_candidates:(match effort with Low -> 50 | High -> 200)
-           a);
+           ?on_cex a);
+      (match bank with
+      | Some b when Obs.enabled sp ->
+        Obs.add sp "prefilter.cex_refinements"
+          (Prefilter.refinements b - refinements0)
+      | _ -> ());
       fst (Aig.compact a));
   !aig
 
-let iteration_pass obs explain name effort aig =
-  pass obs name (fun sp a -> sbm_iteration ~obs:sp ~explain ~effort a) aig
+let iteration_pass obs explain name effort ecfg aig =
+  pass obs name (fun sp a -> sbm_iteration ~obs:sp ~explain ~effort ~ecfg a) aig
 
-let sbm_once ?(obs = Obs.null) ?explain ?(effort = High) aig0 =
+let sbm_once ?(obs = Obs.null) ?explain ?(effort = High) ?(prefilter = true)
+    ?(sim_words = Prefilter.default_words) aig0 =
   let aig, _ = Aig.compact aig0 in
-  iteration_pass obs explain "iteration-1" effort aig
+  let ecfg = engine_config ~prefilter ~sim_words in
+  iteration_pass obs explain "iteration-1" effort ecfg aig
 
-let sbm ?(obs = Obs.null) ?explain ?(effort = High) aig0 =
+let sbm ?(obs = Obs.null) ?explain ?(effort = High) ?(prefilter = true)
+    ?(sim_words = Prefilter.default_words) aig0 =
   (* The optimization flow is iterated twice, with different
-     efforts (Section V-A). *)
+     efforts (Section V-A). One bank serves both iterations:
+     counterexamples found by iteration-1's SAT passes sharpen
+     iteration-2's filtering. *)
   let aig, _ = Aig.compact aig0 in
-  let aig = iteration_pass obs explain "iteration-1" Low aig in
-  iteration_pass obs explain "iteration-2" effort aig
+  let ecfg = engine_config ~prefilter ~sim_words in
+  let aig = iteration_pass obs explain "iteration-1" Low ecfg aig in
+  iteration_pass obs explain "iteration-2" effort ecfg aig
 
-let run ?(obs = Obs.null) ?explain script aig =
+let run ?(obs = Obs.null) ?explain ?(prefilter = true)
+    ?(sim_words = Prefilter.default_words) script aig =
+  let ecfg () = engine_config ~prefilter ~sim_words in
   match script with
   | Baseline -> pass obs "baseline" (fun sp a -> baseline ~obs:sp a) aig
-  | Sbm effort -> sbm ~obs ?explain ~effort aig
+  | Sbm effort -> sbm ~obs ?explain ~effort ~prefilter ~sim_words aig
   | Gradient ->
-    pass obs "gradient" (fun sp a -> fst (Gradient.run ~obs:sp ?explain a)) aig
-  | Diff -> pass obs "boolean-difference" (fun sp a -> fst (Diff_resub.run ~obs:sp a)) aig
-  | Mspf -> pass obs "mspf" (fun sp a -> fst (Mspf.run ~obs:sp a)) aig
+    let ecfg = ecfg () in
+    pass obs "gradient"
+      (fun sp a ->
+        fst
+          (Gradient.run ~obs:sp ?explain
+             ~config:{ Gradient.default_config with engine = ecfg }
+             a))
+      aig
+  | Diff ->
+    let ecfg = ecfg () in
+    pass obs "boolean-difference"
+      (fun sp a -> fst (Diff_resub.Engine.run { ecfg with Engine_intf.obs = sp } a))
+      aig
+  | Mspf ->
+    let ecfg = ecfg () in
+    pass obs "mspf"
+      (fun sp a -> fst (Mspf.Engine.run { ecfg with Engine_intf.obs = sp } a))
+      aig

@@ -45,13 +45,25 @@ val of_string : string -> script option
     equivalent for driving a real [sbm] run to a crash. *)
 val inject_failure_after : int option ref
 
-(** [run ?obs ?explain script aig] dispatches on [script]. The input
-    is not modified. [explain], when given, receives one
-    {!Gradient.event} per move the gradient engine attempts (scripts
-    that never reach the gradient engine emit nothing). *)
+(** [run ?obs ?explain ?prefilter ?sim_words script aig] dispatches on
+    [script]. The input is not modified. [explain], when given,
+    receives one {!Gradient.event} per move the gradient engine
+    attempts (scripts that never reach the gradient engine emit
+    nothing).
+
+    [prefilter] (default [true]) arms the simulation-guided candidate
+    prefilter: one {!Prefilter.bank} of [sim_words] 64-pattern words
+    per input (default {!Prefilter.default_words}) is shared by every
+    Boolean engine the script runs, and the SAT passes fold disproving
+    counterexamples back into it. The filter is accept-preserving, so
+    the optimized network is bit-identical with the prefilter on or
+    off — only the [prefilter.*] counters and the engines' candidate
+    workloads change. *)
 val run :
   ?obs:Sbm_obs.span ->
   ?explain:(Gradient.event -> unit) ->
+  ?prefilter:bool ->
+  ?sim_words:int ->
   script ->
   Sbm_aig.Aig.t ->
   Sbm_aig.Aig.t
@@ -60,20 +72,28 @@ val run :
     script. The input is not modified. *)
 val baseline : ?obs:Sbm_obs.span -> Sbm_aig.Aig.t -> Sbm_aig.Aig.t
 
-(** [sbm ?obs ?explain ?effort aig] runs the full SBM script (default
-    [High]). The input is not modified. *)
+(** [sbm ?obs ?explain ?effort ?prefilter ?sim_words aig] runs the
+    full SBM script (default [High]). The input is not modified. A
+    single pattern bank serves both iterations, so counterexamples
+    found by iteration-1's SAT passes sharpen iteration-2's
+    filtering. *)
 val sbm :
   ?obs:Sbm_obs.span ->
   ?explain:(Gradient.event -> unit) ->
   ?effort:effort ->
+  ?prefilter:bool ->
+  ?sim_words:int ->
   Sbm_aig.Aig.t ->
   Sbm_aig.Aig.t
 
-(** [sbm_once ?obs ?explain ?effort aig] is a single iteration of the
-    script (the Low-effort half), for runtime-sensitive callers. *)
+(** [sbm_once ?obs ?explain ?effort ?prefilter ?sim_words aig] is a
+    single iteration of the script (the Low-effort half), for
+    runtime-sensitive callers. *)
 val sbm_once :
   ?obs:Sbm_obs.span ->
   ?explain:(Gradient.event -> unit) ->
   ?effort:effort ->
+  ?prefilter:bool ->
+  ?sim_words:int ->
   Sbm_aig.Aig.t ->
   Sbm_aig.Aig.t

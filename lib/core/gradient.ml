@@ -9,6 +9,7 @@ type config = {
   min_gradient : float;
   selection : selection;
   zero_gain_moves : bool;
+  engine : Engine_intf.config;
 }
 
 let default_config =
@@ -18,6 +19,7 @@ let default_config =
     min_gradient = 0.03;
     selection = Waterfall;
     zero_gain_moves = true;
+    engine = Engine_intf.default;
   }
 
 type stats = {
@@ -78,7 +80,15 @@ let rebuilding name kind cost build =
         if after <= before then (candidate, before - after) else (aig, 0));
   }
 
-let moves ~zero_gain =
+(* The Boolean-engine moves dispatch through the unified
+   {!Engine_intf.S} interface: the gradient config carries one engine
+   config ([prefilter] bank, jobs override, watchdog discipline) that
+   every engine move inherits, with only the move-specific partition
+   size overridden per call site. *)
+let moves ~zero_gain ~engine =
+  let ecfg obs partition_nodes =
+    { engine with Engine_intf.obs; partition_nodes }
+  in
   [
     in_place "rewrite" Aig.Origin.Rewrite 1 (fun _ aig -> Sbm_aig.Rewrite.run aig);
     rebuilding "balance" Aig.Origin.Balance 1 (fun _ aig -> Sbm_aig.Balance.run aig);
@@ -88,29 +98,20 @@ let moves ~zero_gain =
         if zero_gain then Sbm_aig.Rewrite.run ~zero_gain:true aig
         else Sbm_aig.Rewrite.run aig);
     rebuilding "eliminate & kernel" Aig.Origin.Kernel 3 (fun obs aig ->
-        fst
-          (Hetero_kernel.run ~obs
-             ~config:{ Hetero_kernel.default_config with partition_size = 60 }
-             aig));
+        fst (Hetero_kernel.Engine.run (ecfg obs (Some 60)) aig));
     in_place "refactor -h" Aig.Origin.Refactor 4 (fun _ aig -> Sbm_aig.Refactor.run ~max_leaves:12 ~min_mffc:2 aig);
     in_place "resub -h" Aig.Origin.Resub 5 (fun _ aig ->
         Sbm_aig.Resub.run ~max_leaves:9 ~max_divisors:60 aig);
     in_place "mspf resub" Aig.Origin.Mspf 6 (fun obs aig ->
-        Mspf.optimize ~obs
-          ~config:
-            {
-              Mspf.default_config with
-              limits = { Sbm_partition.Partition.default_limits with max_nodes = 150 };
-            }
-          aig);
+        (snd (Mspf.Engine.optimize (ecfg obs (Some 150)) aig)).Engine_intf.gain);
     rebuilding "eliminate & kernel -h" Aig.Origin.Kernel 6 (fun obs aig ->
-        fst (Hetero_kernel.run ~obs aig));
+        fst (Hetero_kernel.Engine.run (ecfg obs None) aig));
   ]
 
 let optimize ?(obs = Obs.null) ?(explain = fun (_ : event) -> ())
     ?(config = default_config) aig0 =
   let aig = ref aig0 in
-  let all_moves = moves ~zero_gain:config.zero_gain_moves in
+  let all_moves = moves ~zero_gain:config.zero_gain_moves ~engine:config.engine in
   let max_cost = List.fold_left (fun acc m -> max acc m.cost) 1 all_moves in
   let success : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
   let stat name gained =
@@ -324,3 +325,35 @@ let optimize ?(obs = Obs.null) ?(explain = fun (_ : event) -> ())
 let run ?obs ?explain ?config aig =
   let optimized, stats = optimize ?obs ?explain ?config (Aig.copy aig) in
   (fst (Aig.compact optimized), stats)
+
+module Engine = struct
+  let name = "gradient"
+  let default_origin = Aig.Origin.make ~pass:"gradient" Aig.Origin.Other
+
+  (* The engine config rides inside the gradient config; [effort]
+     maps onto the budget the flow scripts historically used (12 for
+     the low-effort iteration, 30 for the high-effort one). *)
+  let config_of (c : Engine_intf.config) =
+    {
+      default_config with
+      budget = (match c.Engine_intf.effort with Engine_intf.Low -> 12 | Engine_intf.High -> 30);
+      engine = c;
+    }
+
+  let stats_of (s : stats) =
+    {
+      Engine_intf.gain = s.total_gain;
+      details =
+        [ ("moves_tried", s.moves_tried); ("moves_gained", s.moves_gained);
+          ("budget_spent", s.budget_spent);
+          ("budget_extensions", s.budget_extensions) ];
+    }
+
+  let run (c : Engine_intf.config) aig =
+    let aig', s = run ~obs:c.Engine_intf.obs ~config:(config_of c) aig in
+    (aig', stats_of s)
+
+  let optimize (c : Engine_intf.config) aig =
+    let aig', s = optimize ~obs:c.Engine_intf.obs ~config:(config_of c) aig in
+    (aig', stats_of s)
+end

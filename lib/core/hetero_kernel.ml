@@ -8,6 +8,9 @@ type config = {
   partition_size : int;
   max_cubes : int;
   extract_passes : int;
+  prefilter : Prefilter.bank option;
+  jobs : int option;
+  watchdog_poll : bool;
 }
 
 let default_config =
@@ -16,6 +19,9 @@ let default_config =
     partition_size = 100;
     max_cubes = 64;
     extract_passes = 20;
+    prefilter = None;
+    jobs = None;
+    watchdog_poll = true;
   }
 
 type stats = {
@@ -133,8 +139,54 @@ let fallback_origin aig =
     Aig.Origin.make ~pass:"hetero-kernel" Aig.Origin.Kernel
   else ambient
 
+(* Observational signature census. Kernel trials accept on literal
+   counts, not on a per-pair functional test, so there is no
+   acceptance check for the prefilter to shadow soundly; instead the
+   engine reports what the signatures see before the SOP round-trip —
+   constant-signature nodes ([Reject_const]), nodes certified
+   functionally distinct from everything scanned before them
+   ([Reject_signature]) and potential functional duplicates
+   ([Maybe], the survivors kernel extraction could share). Strictly
+   QoR-neutral: nothing downstream consults the verdicts. *)
+let signature_census store aig counters =
+  let seen = Hashtbl.create 256 in
+  for v = 1 to Aig.num_nodes aig - 1 do
+    if Aig.is_and aig v && not (Aig.is_dead aig v) then begin
+      let raw =
+        Array.init (Prefilter.words store) (fun w -> Prefilter.value store v w)
+      in
+      let const =
+        Array.for_all (fun w -> w = 0L) raw
+        || Array.for_all (fun w -> w = -1L) raw
+      in
+      let key = Prefilter.canonical_of_words raw in
+      let verdict =
+        if const then Prefilter.Reject_const
+        else if Hashtbl.mem seen key then Prefilter.Maybe
+        else begin
+          Hashtbl.replace seen key ();
+          Prefilter.Reject_signature
+        end
+      in
+      Prefilter.note counters verdict
+    end
+  done;
+  if FR.enabled () then
+    FR.record ~severity:FR.Debug ~engine:"kernel" ~id:"signature-census"
+      ~metrics:
+        [ ("duplicates", counters.Prefilter.survivors);
+          ("distinct", counters.Prefilter.rejected_sig);
+          ("constant", counters.Prefilter.rejected_const) ]
+      "signature census"
+
 let run ?(obs = Sbm_obs.null) ?(config = default_config) aig =
   let fallback = fallback_origin aig in
+  let pf_counts = Prefilter.zero_counts () in
+  (match config.prefilter with
+  | None -> ()
+  | Some bank ->
+    let store = Prefilter.attach bank aig in
+    signature_census store aig pf_counts);
   let net = Network.of_aig aig in
   let lits_before = Network.num_lits net in
   let parts = partitions_of net config.partition_size in
@@ -152,12 +204,15 @@ let run ?(obs = Sbm_obs.null) ?(config = default_config) aig =
             ("improved", if i then 1 else 0) ]
         "partition done"
   in
-  let jobs = Sbm_par.Jobs.get () in
+  let poll () = if config.watchdog_poll then Sbm_obs.Watchdog.poll () in
+  let jobs =
+    match config.jobs with Some j -> max 1 j | None -> Sbm_par.Jobs.get ()
+  in
   if jobs <= 1 || List.length parts <= 1 then
     (* Sequential path: byte-for-byte the historical behaviour. *)
     List.iteri
       (fun idx part ->
-        Sbm_obs.Watchdog.poll ();
+        poll ();
         if Sbm_obs.Watchdog.abort_requested () then incr skipped
         else begin
           let t, i = optimize_partition net config part in
@@ -171,13 +226,12 @@ let run ?(obs = Sbm_obs.null) ?(config = default_config) aig =
        partition of the chunk committed either, the worker's verdict
        transfers verbatim; improved or stale partitions are redone on
        the live network in index order. *)
-    let pool = Sbm_par.Pool.global () in
     let analyze _i part =
       if Sbm_obs.Watchdog.abort_requested () then None
       else Some (optimize_partition (Network.copy net) config part)
     in
     let apply idx part result ~dirty =
-      Sbm_obs.Watchdog.poll ();
+      poll ();
       if Sbm_obs.Watchdog.abort_requested () then begin
         incr skipped;
         false
@@ -192,7 +246,11 @@ let run ?(obs = Sbm_obs.null) ?(config = default_config) aig =
           note idx part t i;
           i
     in
-    Sbm_par.Sched.run_ordered pool (Array.of_list parts) ~analyze ~apply
+    let go pool =
+      Sbm_par.Sched.run_ordered pool (Array.of_list parts) ~analyze ~apply
+    in
+    if jobs = Sbm_par.Jobs.get () then go (Sbm_par.Pool.global ())
+    else Sbm_par.Pool.with_pool ~jobs go
   end;
   let lits_after = Network.num_lits net in
   if Sbm_obs.enabled obs then begin
@@ -200,7 +258,8 @@ let run ?(obs = Sbm_obs.null) ?(config = default_config) aig =
     Sbm_obs.add obs "kernel.trials" !trials;
     Sbm_obs.add obs "kernel.improved_partitions" !improved;
     Sbm_obs.add obs "kernel.lits_saved" (lits_before - lits_after);
-    if !skipped > 0 then Sbm_obs.add obs "watchdog.partitions_skipped" !skipped
+    if !skipped > 0 then Sbm_obs.add obs "watchdog.partitions_skipped" !skipped;
+    if config.prefilter <> None then Prefilter.flush obs pf_counts
   end;
   ( Network.to_aig ~provenance:(aig, fallback) net,
     {
@@ -210,6 +269,42 @@ let run ?(obs = Sbm_obs.null) ?(config = default_config) aig =
       lits_before;
       lits_after;
     } )
+
+module Engine = struct
+  let name = "kernel"
+  let default_origin = Aig.Origin.make ~pass:"hetero-kernel" Aig.Origin.Kernel
+
+  let config_of (c : Engine_intf.config) =
+    {
+      default_config with
+      partition_size =
+        Option.value c.Engine_intf.partition_nodes
+          ~default:default_config.partition_size;
+      prefilter = c.Engine_intf.prefilter;
+      jobs = c.Engine_intf.jobs;
+      watchdog_poll = c.Engine_intf.watchdog_poll;
+    }
+
+  let stats_of ~gain (s : stats) =
+    {
+      Engine_intf.gain;
+      details =
+        [ ("partitions", s.partitions); ("trials", s.trials);
+          ("improved_partitions", s.improved_partitions);
+          ("lits_saved", s.lits_before - s.lits_after) ];
+    }
+
+  let run (c : Engine_intf.config) aig =
+    let aig', s = run ~obs:c.Engine_intf.obs ~config:(config_of c) aig in
+    (aig', stats_of ~gain:(Aig.size aig - Aig.size aig') s)
+
+  (* The SOP round-trip always rebuilds; "optimize" keeps the smaller
+     of input and result, matching how flow scripts use the engine. *)
+  let optimize (c : Engine_intf.config) aig =
+    let aig', s = run c aig in
+    if Aig.size aig' <= Aig.size aig then (aig', s)
+    else (aig, { s with Engine_intf.gain = 0 })
+end
 
 let run_homogeneous ~threshold ?(config = default_config) aig =
   let fallback = fallback_origin aig in

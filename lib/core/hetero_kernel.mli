@@ -13,6 +13,13 @@ type config = {
   partition_size : int; (** internal nodes per partition *)
   max_cubes : int; (** SOP explosion guard during collapsing *)
   extract_passes : int;
+  prefilter : Prefilter.bank option;
+      (** kernel trials accept on literal counts, so there is no
+          per-candidate test to shadow; with a bank the engine instead
+          reports a QoR-neutral signature census (potential functional
+          duplicates as survivors) under the [prefilter.*] counters *)
+  jobs : int option;  (** worker domains; [None] = global [Jobs.get ()] *)
+  watchdog_poll : bool;  (** poll the watchdog at partition boundaries *)
 }
 
 val default_config : config
@@ -33,6 +40,10 @@ type stats = {
     counters. *)
 val run :
   ?obs:Sbm_obs.span -> ?config:config -> Sbm_aig.Aig.t -> Sbm_aig.Aig.t * stats
+
+(** The engine behind the unified {!Engine_intf.S} interface.
+    [optimize] keeps the smaller of input and round-trip result. *)
+module Engine : Engine_intf.S
 
 (** [run_homogeneous ~threshold ?config aig] is the ablation baseline:
     one global threshold for the whole network. *)

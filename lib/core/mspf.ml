@@ -7,10 +7,20 @@ type config = {
   limits : Partition.limits;
   bdd_node_limit : int;
   max_candidates : int;
+  prefilter : Prefilter.bank option;
+  jobs : int option;
+  watchdog_poll : bool;
 }
 
 let default_config =
-  { limits = Partition.default_limits; bdd_node_limit = 200_000; max_candidates = 64 }
+  {
+    limits = Partition.default_limits;
+    bdd_node_limit = 200_000;
+    max_candidates = 64;
+    prefilter = None;
+    jobs = None;
+    watchdog_poll = true;
+  }
 
 type stats = {
   gain : int;
@@ -27,7 +37,11 @@ type counters = {
   mutable c_cands : int;
   mutable c_subst : int;
   mutable c_const : int;
+  pf : Prefilter.counts;
 }
+
+let zero_counters () =
+  { c_mspf = 0; c_cands = 0; c_subst = 0; c_const = 0; pf = Prefilter.zero_counts () }
 
 (* Rebuild the BDDs of the partition cone above [n], reading [n] as
    the free variable [vn]. Returns a lookup giving, for each root, its
@@ -101,8 +115,20 @@ let compute_mspf ctx n =
       None))
 
 (* Search for connectable substitutes: candidates agreeing with [n]
-   on the care set. *)
-let connectable ctx config counters n mspf =
+   on the care set.
+
+   With a prefilter store, the acceptance test's simulation shadow
+   runs first: connectability is [bv ∧ care = bn ∧ care] (either
+   phase), an exact equality over the leaf cut, so any concrete leaf
+   assignment where [(v ⊕ n) ∧ care] is 1 in both phases disproves
+   it. The care set is rendered to pattern words once per node by
+   walking its BDD bit-parallel ({!Bdd.eval_word} at the leaves'
+   signatures), and {!Prefilter.compatible_masked} rejects provably
+   unconnectable candidates before their two BDD conjunctions are
+   built. The candidate budget still counts every examined candidate,
+   filtered or not, so the enumeration — and therefore the accepted
+   substitutions — is bit-identical with the filter on or off. *)
+let connectable ctx config counters store n mspf =
   let man = Bdd_bridge.man ctx in
   let aig = Bdd_bridge.aig ctx in
   match Bdd_bridge.bdd_of_node ctx n with
@@ -111,6 +137,18 @@ let connectable ctx config counters n mspf =
     try
       let care = Bdd.mnot man mspf in
       let n_care = Bdd.mand man bn care in
+      let leaves = Bdd_bridge.leaves ctx in
+      let filt =
+        match store with
+        | None -> None
+        | Some st ->
+          let care_words =
+            Array.init (Prefilter.words st) (fun w ->
+                Bdd.eval_word man care ~leaf:(fun i ->
+                    Prefilter.value st leaves.(i) w))
+          in
+          Some (st, care_words)
+      in
       let candidates = ref [] in
       let examined = ref 0 in
       let consider v =
@@ -124,14 +162,28 @@ let connectable ctx config counters n mspf =
           | None -> ()
           | Some bv ->
             incr examined;
-            counters.c_cands <- counters.c_cands + 1;
-            if Bdd.mand man bv care = n_care then
-              candidates := Aig.lit_of v false :: !candidates
-            else if Bdd.mand man (Bdd.mnot man bv) care = n_care then
-              candidates := Aig.lit_of v true :: !candidates
+            let verdict =
+              match filt with
+              | None -> Prefilter.Maybe
+              | Some (st, care_words) ->
+                let verdict =
+                  Prefilter.compatible_masked st ~care:care_words
+                    (Aig.lit_of n false) (Aig.lit_of v false)
+                in
+                Prefilter.note counters.pf verdict;
+                verdict
+            in
+            match verdict with
+            | Prefilter.Reject_const | Prefilter.Reject_signature -> ()
+            | Prefilter.Maybe ->
+              counters.c_cands <- counters.c_cands + 1;
+              if Bdd.mand man bv care = n_care then
+                candidates := Aig.lit_of v false :: !candidates
+              else if Bdd.mand man (Bdd.mnot man bv) care = n_care then
+                candidates := Aig.lit_of v true :: !candidates
         end
       in
-      Array.iter consider (Bdd_bridge.leaves ctx);
+      Array.iter consider leaves;
       Array.iter consider (Bdd_bridge.members ctx);
       (* Constants are permissible substitutes too. *)
       if Bdd.is_zero man n_care then candidates := Aig.const0 :: !candidates
@@ -173,7 +225,7 @@ let members_in_leaf_cones ctx =
 (* Analysis/substitution loop of one partition. Mutates [aig]:
    parallel workers call this on a private snapshot, the sequential
    path on the live AIG. Returns the partition's BDD context. *)
-let run_partition_analysis aig config counters part total =
+let run_partition_analysis aig config counters store part total =
   let ctx = Bdd_bridge.build ~node_limit:config.bdd_node_limit aig part in
   let tainted = ref (members_in_leaf_cones ctx) in
   let members = Bdd_bridge.members ctx in
@@ -195,7 +247,7 @@ let run_partition_analysis aig config counters part total =
           counters.c_mspf <- counters.c_mspf + 1;
           let man = Bdd_bridge.man ctx in
           if not (Bdd.is_zero man mspf) then begin
-            let candidates = connectable ctx config counters n mspf in
+            let candidates = connectable ctx config counters store n mspf in
             (* Among all connectable fanins, try an irredundant
                subset: the best-gain candidate. *)
             let best =
@@ -212,6 +264,11 @@ let run_partition_analysis aig config counters part total =
             in
             match best with
             | Some (gain, candidate) when gain > 0 ->
+              (* A permissible (not necessarily equivalent)
+                 substitution changes the functions of [n]'s fanout
+                 cone: invalidate their signatures while the old
+                 fanout lists are still in place. *)
+              Option.iter (fun st -> Prefilter.note_edit st n) store;
               Aig.replace aig n candidate;
               total := !total + gain;
               counters.c_subst <- counters.c_subst + 1;
@@ -231,7 +288,7 @@ let run_partition_analysis aig config counters part total =
 
 (* Main-domain bookkeeping for a finished partition (shared by the
    sequential path and the parallel merge path). *)
-let finish_partition ctx obs ~index ~subst_delta =
+let finish_partition ctx obs ~index ~subst_delta ~pf_rejected =
   Bdd_bridge.flush_stats ~engine:"mspf" ctx obs;
   let bails = Bdd_bridge.limit_bails ctx in
   Obs.Watchdog.note_partition ~engine:"mspf" ~bails;
@@ -243,13 +300,16 @@ let finish_partition ctx obs ~index ~subst_delta =
       ~id:(Printf.sprintf "partition-%d" index)
       ~metrics:
         [ ("members", Array.length (Bdd_bridge.members ctx)); ("bails", bails);
-          ("substitutions", subst_delta) ]
+          ("substitutions", subst_delta); ("pf_rejected", pf_rejected) ]
       "partition done"
 
-let run_partition aig config counters obs part index total =
+let run_partition aig config counters obs store part index total =
   let subst0 = counters.c_subst in
-  let ctx = run_partition_analysis aig config counters part total in
-  finish_partition ctx obs ~index ~subst_delta:(counters.c_subst - subst0)
+  let rejected0 = Prefilter.rejected counters.pf in
+  let ctx = run_partition_analysis aig config counters store part total in
+  finish_partition ctx obs ~index
+    ~subst_delta:(counters.c_subst - subst0)
+    ~pf_rejected:(Prefilter.rejected counters.pf - rejected0)
 
 let optimize_stats ?(obs = Obs.null) ?(config = default_config) aig =
   (* MSPF only substitutes existing literals, but candidate probing
@@ -258,33 +318,38 @@ let optimize_stats ?(obs = Obs.null) ?(config = default_config) aig =
   if (Aig.current_origin aig).Aig.Origin.kind = Aig.Origin.Seed then
     Aig.set_origin aig (Aig.Origin.make ~pass:"mspf" Aig.Origin.Mspf);
   let total = ref 0 in
-  let counters = { c_mspf = 0; c_cands = 0; c_subst = 0; c_const = 0 } in
+  let counters = zero_counters () in
   let parts = Partition.compute aig config.limits in
+  let store = Option.map (fun bank -> Prefilter.attach bank aig) config.prefilter in
   let skipped = ref 0 in
-  let jobs = Sbm_par.Jobs.get () in
+  let poll () = if config.watchdog_poll then Obs.Watchdog.poll () in
+  let jobs =
+    match config.jobs with Some j -> max 1 j | None -> Sbm_par.Jobs.get ()
+  in
   if jobs <= 1 || List.length parts <= 1 then
     (* Sequential path: byte-for-byte the historical behaviour. *)
     List.iteri
       (fun i part ->
-        Obs.Watchdog.poll ();
+        poll ();
         if Obs.Watchdog.abort_requested () then incr skipped
-        else run_partition aig config counters obs part i total)
+        else run_partition aig config counters obs store part i total)
       parts
   else begin
     (* Parallel path: see Diff_resub — clean (zero-substitution,
        not-stale) worker analyses are merged verbatim, the rest redone
        sequentially in partition order. *)
     let module FR = Obs.Flight_recorder in
-    let pool = Sbm_par.Pool.global () in
     let analyze _i part =
       if Obs.Watchdog.abort_requested () then None
       else begin
         let snap = Aig.copy aig in
-        let wc = { c_mspf = 0; c_cands = 0; c_subst = 0; c_const = 0 } in
+        let wstore = Option.map (fun st -> Prefilter.fork st snap) store in
+        let wc = zero_counters () in
         let wtotal = ref 0 in
         let before = Aig.origin_stats snap in
         let ctx, events =
-          FR.capture (fun () -> run_partition_analysis snap config wc part wtotal)
+          FR.capture (fun () ->
+              run_partition_analysis snap config wc wstore part wtotal)
         in
         Some
           (wc, ctx, events,
@@ -292,7 +357,7 @@ let optimize_stats ?(obs = Obs.null) ?(config = default_config) aig =
       end
     in
     let apply index part result ~dirty =
-      Obs.Watchdog.poll ();
+      poll ();
       if Obs.Watchdog.abort_requested () then begin
         incr skipped;
         false
@@ -302,16 +367,22 @@ let optimize_stats ?(obs = Obs.null) ?(config = default_config) aig =
         | Some (wc, ctx, events, created) when (not dirty) && wc.c_subst = 0 ->
           counters.c_mspf <- counters.c_mspf + wc.c_mspf;
           counters.c_cands <- counters.c_cands + wc.c_cands;
+          Par_merge.merge_prefilter counters.pf wc.pf;
           Par_merge.merge_created aig created;
           FR.replay events;
-          finish_partition ctx obs ~index ~subst_delta:0;
+          finish_partition ctx obs ~index ~subst_delta:0
+            ~pf_rejected:(Prefilter.rejected wc.pf);
           false
         | Some _ | None ->
           let s0 = counters.c_subst in
-          run_partition aig config counters obs part index total;
+          run_partition aig config counters obs store part index total;
           counters.c_subst > s0
     in
-    Sbm_par.Sched.run_ordered pool (Array.of_list parts) ~analyze ~apply
+    let go pool =
+      Sbm_par.Sched.run_ordered pool (Array.of_list parts) ~analyze ~apply
+    in
+    if jobs = Sbm_par.Jobs.get () then go (Sbm_par.Pool.global ())
+    else Sbm_par.Pool.with_pool ~jobs go
   end;
   if !skipped > 0 && Obs.enabled obs then
     Obs.add obs "watchdog.partitions_skipped" !skipped;
@@ -321,7 +392,8 @@ let optimize_stats ?(obs = Obs.null) ?(config = default_config) aig =
     Obs.add obs "mspf.candidates_examined" counters.c_cands;
     Obs.add obs "mspf.substitutions" counters.c_subst;
     Obs.add obs "mspf.constant_collapses" counters.c_const;
-    Obs.add obs "mspf.gain" !total
+    Obs.add obs "mspf.gain" !total;
+    if store <> None then Prefilter.flush obs counters.pf
   end;
   {
     gain = !total;
@@ -338,3 +410,41 @@ let run ?obs ?config aig =
   let copy = Aig.copy aig in
   let stats = optimize_stats ?obs ?config copy in
   (fst (Aig.compact copy), stats)
+
+module Engine = struct
+  let name = "mspf"
+  let default_origin = Aig.Origin.make ~pass:"mspf" Aig.Origin.Mspf
+
+  let config_of (c : Engine_intf.config) =
+    {
+      default_config with
+      limits =
+        (match c.Engine_intf.partition_nodes with
+        | None -> default_config.limits
+        | Some n -> { default_config.limits with Partition.max_nodes = n });
+      bdd_node_limit =
+        Option.value c.Engine_intf.bdd_node_limit
+          ~default:default_config.bdd_node_limit;
+      prefilter = c.Engine_intf.prefilter;
+      jobs = c.Engine_intf.jobs;
+      watchdog_poll = c.Engine_intf.watchdog_poll;
+    }
+
+  let stats_of (s : stats) =
+    {
+      Engine_intf.gain = s.gain;
+      details =
+        [ ("partitions", s.partitions); ("computed", s.mspf_computed);
+          ("candidates_examined", s.candidates_examined);
+          ("substitutions", s.substitutions);
+          ("constant_collapses", s.constant_collapses) ];
+    }
+
+  let run (c : Engine_intf.config) aig =
+    let aig', s = run ~obs:c.Engine_intf.obs ~config:(config_of c) aig in
+    (aig', stats_of s)
+
+  let optimize (c : Engine_intf.config) aig =
+    let s = optimize_stats ~obs:c.Engine_intf.obs ~config:(config_of c) aig in
+    (aig, stats_of s)
+end

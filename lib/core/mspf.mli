@@ -23,6 +23,14 @@ type config = {
   limits : Sbm_partition.Partition.limits;
   bdd_node_limit : int;
   max_candidates : int; (** substitute candidates examined per node *)
+  prefilter : Prefilter.bank option;
+      (** with a pattern bank, the connectability test's simulation
+          shadow (signature equality under the care mask) vets every
+          candidate before its BDD conjunctions are built; rejection
+          is provably sound, so QoR is bit-identical with the filter
+          on or off *)
+  jobs : int option;  (** worker domains; [None] = global [Jobs.get ()] *)
+  watchdog_poll : bool;  (** poll the watchdog at partition boundaries *)
 }
 
 val default_config : config
@@ -48,3 +56,6 @@ val run :
     place and returns the total size gain (the engine behind {!run};
     flow scripts use it between passes). *)
 val optimize : ?obs:Sbm_obs.span -> ?config:config -> Sbm_aig.Aig.t -> int
+
+(** The engine behind the unified {!Engine_intf.S} interface. *)
+module Engine : Engine_intf.S

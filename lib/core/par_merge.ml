@@ -22,3 +22,14 @@ let created_delta ~before ~after =
 
 let merge_created aig deltas =
   List.iter (fun (o, n) -> Aig.note_created aig o n) deltas
+
+(* Prefilter verdict tallies ride the same per-partition flush path
+   as the BDD manager stats: a clean worker analysis contributes its
+   counts verbatim, a redone partition contributes the sequential
+   recount — either way the totals match the jobs=1 run bit for
+   bit. *)
+let merge_prefilter (dst : Prefilter.counts) (src : Prefilter.counts) =
+  dst.Prefilter.rejected_sig <- dst.Prefilter.rejected_sig + src.Prefilter.rejected_sig;
+  dst.Prefilter.rejected_const <-
+    dst.Prefilter.rejected_const + src.Prefilter.rejected_const;
+  dst.Prefilter.survivors <- dst.Prefilter.survivors + src.Prefilter.survivors

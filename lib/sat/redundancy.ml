@@ -1,8 +1,21 @@
 module Aig = Sbm_aig.Aig
 
+(* Read the satisfying assignment back as a primary-input vector
+   (indexed by input position); a model read only, after a [Sat]
+   result. *)
+let model_inputs solver vars aig =
+  let bits = Array.make (Aig.num_inputs aig) false in
+  for v = 0 to Aig.num_nodes aig - 1 do
+    if Aig.is_input aig v && vars.(v) > 0 then
+      bits.(Aig.input_index aig v) <- Solver.model_value solver vars.(v)
+  done;
+  bits
+
 (* Check whether replacing node [v] by literal [cand] preserves every
-   output, with one SAT call on a fresh miter. *)
-let bypass_safe obs solver_limit aig v cand =
+   output, with one SAT call on a fresh miter. A [Sat] answer carries
+   the input assignment under which the bypass flips an output; it is
+   handed to [on_cex] (the simulation prefilter's refinement hook). *)
+let bypass_safe obs ?on_cex solver_limit aig v cand =
   let solver = Solver.create () in
   let vars = Tseitin.encode solver aig in
   (* Encode the modified cones: copy variables for the TFO of [v],
@@ -69,10 +82,16 @@ let bypass_safe obs solver_limit aig v cand =
     end;
     match result with
     | Solver.Unsat -> true
-    | Solver.Sat | Solver.Unknown -> false
+    | Solver.Sat ->
+      (match on_cex with
+      | Some f -> f (model_inputs solver vars aig)
+      | None -> ());
+      false
+    | Solver.Unknown -> false
   end
 
-let run ?(obs = Sbm_obs.null) ?(conflict_limit = 1000) ?(max_candidates = 200) aig =
+let run ?(obs = Sbm_obs.null) ?(conflict_limit = 1000) ?(max_candidates = 200)
+    ?on_cex aig =
   let removed = ref 0 in
   let tried = ref 0 in
   let order = Aig.topo aig in
@@ -88,7 +107,7 @@ let run ?(obs = Sbm_obs.null) ?(conflict_limit = 1000) ?(max_candidates = 200) a
             && not (Aig.in_tfi aig ~node:v ~root:(Aig.node_of cand))
           then begin
             incr tried;
-            if bypass_safe obs conflict_limit aig v cand then begin
+            if bypass_safe obs ?on_cex conflict_limit aig v cand then begin
               Aig.replace aig v cand;
               incr removed;
               true

@@ -6,14 +6,18 @@
     call on a miter between the original network and a copy with the
     node bypassed; proven-redundant nodes are replaced. *)
 
-(** [run ?obs ?conflict_limit ?max_candidates aig] tries candidates
-    in topological order and returns the number of nodes bypassed.
-    The AIG is modified in place. [obs] receives the counters
-    [redundancy.tried], [redundancy.removed], [redundancy.sat_calls]
-    and [sat.conflicts]/[sat.decisions]/[sat.propagations]. *)
+(** [run ?obs ?conflict_limit ?max_candidates ?on_cex aig] tries
+    candidates in topological order and returns the number of nodes
+    bypassed. The AIG is modified in place. [obs] receives the
+    counters [redundancy.tried], [redundancy.removed],
+    [redundancy.sat_calls] and [sat.conflicts]/[sat.decisions]/
+    [sat.propagations]. [on_cex] receives the primary-input
+    assignment of every [Sat] (bypass-unsafe) answer — a model read
+    only, feeding the simulation prefilter's pattern bank. *)
 val run :
   ?obs:Sbm_obs.span ->
   ?conflict_limit:int ->
   ?max_candidates:int ->
+  ?on_cex:(bool array -> unit) ->
   Sbm_aig.Aig.t ->
   int

@@ -24,13 +24,36 @@ let signatures aig ~sim_rounds rng =
         (canon, phase))
     sigs
 
-let run ?(obs = Sbm_obs.null) ?(sim_rounds = 4) ?(conflict_limit = 1000) aig =
+(* Read the satisfying assignment back as a primary-input vector
+   (indexed by input position). Only called after a [Sat] result;
+   purely a model read, so extraction never changes the solver's
+   state or the sweep's decisions. *)
+let model_inputs solver vars aig =
+  let bits = Array.make (Aig.num_inputs aig) false in
+  for v = 0 to Aig.num_nodes aig - 1 do
+    if Aig.is_input aig v && vars.(v) > 0 then
+      bits.(Aig.input_index aig v) <- Solver.model_value solver vars.(v)
+  done;
+  bits
+
+let run ?(obs = Sbm_obs.null) ?(sim_rounds = 4) ?(conflict_limit = 1000) ?on_cex
+    aig =
   let aig, _ = Aig.compact aig in
   let rng = Rng.create 0x5eed in
   let sigs = signatures aig ~sim_rounds rng in
   let solver = Solver.create () in
   let sat_calls = ref 0 in
   let vars = Tseitin.encode solver aig in
+  (* A [Sat] answer is a counterexample: the pair looked equivalent to
+     the signatures (same class) but a concrete input assignment
+     distinguishes it. Feed it to the subscriber (the simulation
+     prefilter folds it into its pattern bank so the same false
+     positive never survives simulation again). *)
+  let cex result =
+    match (on_cex, result) with
+    | Some f, Solver.Sat -> f (model_inputs solver vars aig)
+    | _ -> ()
+  in
   (* Group live AND nodes and PIs by canonical signature. *)
   let classes : (int64 list, (int * bool) list) Hashtbl.t = Hashtbl.create 256 in
   let order = Aig.topo aig in
@@ -61,10 +84,13 @@ let run ?(obs = Sbm_obs.null) ?(sim_rounds = 4) ?(conflict_limit = 1000) aig =
                    unsatisfiable. *)
                 incr sat_calls;
                 let r1 = Solver.solve ~assumptions:[ a; -b' ] ~conflict_limit solver in
+                cex r1;
                 let r2 =
                   if r1 = Solver.Unsat then begin
                     incr sat_calls;
-                    Solver.solve ~assumptions:[ -a; b' ] ~conflict_limit solver
+                    let r = Solver.solve ~assumptions:[ -a; b' ] ~conflict_limit solver in
+                    cex r;
+                    r
                   end
                   else Solver.Sat
                 in

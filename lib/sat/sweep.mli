@@ -8,14 +8,22 @@
     compacted (topologically numbered) AIG. This is the "SAT-based
     sweeping" step of the paper's resynthesis script (ref. [9]). *)
 
-(** [run ?obs ?sim_rounds ?conflict_limit aig] returns the swept AIG
-    (a fresh, compacted network) and the number of merged nodes.
-    [obs] receives the counters [sweep.classes], [sweep.sat_calls],
-    [sweep.merged] and [sat.conflicts]/[sat.decisions]/
-    [sat.propagations]. *)
+(** [run ?obs ?sim_rounds ?conflict_limit ?on_cex aig] returns the
+    swept AIG (a fresh, compacted network) and the number of merged
+    nodes. [obs] receives the counters [sweep.classes],
+    [sweep.sat_calls], [sweep.merged] and [sat.conflicts]/
+    [sat.decisions]/[sat.propagations].
+
+    [on_cex] receives the primary-input assignment of every [Sat]
+    answer — a concrete pattern distinguishing a candidate pair the
+    signatures could not. The simulation prefilter subscribes with
+    {!Sbm_core.Prefilter.refine} so the same false positive never
+    survives simulation again. Extraction is a model read only: it
+    never changes the solver's behaviour or the sweep's decisions. *)
 val run :
   ?obs:Sbm_obs.span ->
   ?sim_rounds:int ->
   ?conflict_limit:int ->
+  ?on_cex:(bool array -> unit) ->
   Sbm_aig.Aig.t ->
   Sbm_aig.Aig.t * int

@@ -53,7 +53,10 @@ let test_signature_filter_sound () =
   for _ = 1 to 5 do
     let aig = Helpers.random_xor_aig ~inputs:8 ~gates:50 ~outputs:4 rng in
     let original = Aig.copy aig in
-    let config = { Sbm_core.Diff_resub.default_config with signature_filter = true } in
+    let config =
+      { Sbm_core.Diff_resub.default_config with
+        prefilter = Some (Sbm_core.Prefilter.create_bank ()) }
+    in
     ignore (Sbm_core.Diff_resub.optimize ~config aig);
     Helpers.assert_equiv_exhaustive ~msg:"filtered diff" original aig
   done
@@ -66,12 +69,12 @@ let test_filter_only_skips () =
   let rng = Rng.create 504 in
   let aig = Helpers.random_xor_aig ~inputs:7 ~gates:45 ~outputs:4 rng in
   List.iter
-    (fun signature_filter ->
+    (fun prefilter ->
       let copy = Aig.copy aig in
-      let config = { Sbm_core.Diff_resub.default_config with signature_filter } in
+      let config = { Sbm_core.Diff_resub.default_config with prefilter } in
       ignore (Sbm_core.Diff_resub.optimize ~config copy);
       Helpers.assert_equiv_exhaustive ~msg:"filter soundness" aig copy)
-    [ true; false ]
+    [ Some (Sbm_core.Prefilter.create_bank ()); None ]
 
 let test_diff_on_structured () =
   (* The engine's target shape: arithmetic reconvergence. *)

@@ -24,4 +24,5 @@ let () =
       ("provenance", Test_provenance.suite);
       ("report", Test_report.suite);
       ("par", Test_par.suite);
+      ("prefilter", Test_prefilter.suite);
     ]

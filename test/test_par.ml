@@ -149,6 +149,13 @@ let check_deterministic b =
   Alcotest.(check (list (pair string int)))
     (name ^ ": counter totals")
     seq.counters par.counters;
+  (* The flow defaults the prefilter on, so its counters must appear
+     in the totals — and, being part of the compared lists above, be
+     bit-identical across jobs. *)
+  Alcotest.(check bool)
+    (name ^ ": prefilter counters present")
+    true
+    (List.mem_assoc "prefilter.survivors" seq.counters);
   Alcotest.(check string)
     (name ^ ": attribution shares")
     seq.attribution par.attribution
