@@ -10,8 +10,11 @@
      bench     — run a benchmark subset, write a QoR snapshot
      diff      — compare two QoR snapshots, gate on regressions
      attribute — run a flow and report per-engine node/LUT provenance
-     profile   — self/total-time hotspots and flamegraph stacks from a trace
-     inspect   — render a post-mortem crash dump *)
+     profile   — self/total-time hotspots, flamegraph stacks and Chrome
+                 traces from a telemetry trace
+     inspect   — render a post-mortem crash dump
+     top       — live dashboard over a --status file of a run in flight
+     metrics   — registered-metric catalog; --check gates docs drift *)
 
 open Cmdliner
 
@@ -58,6 +61,8 @@ type obs_opts = {
   watchdog_abort : bool;
   progress : bool;
   deadline : float option;
+  status : string option;
+  status_interval : float;
 }
 
 let obs_opts_term =
@@ -104,16 +109,39 @@ let obs_opts_term =
     in
     Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECS" ~doc)
   in
-  let mk recorder watchdog watchdog_abort progress deadline =
-    { recorder; watchdog; watchdog_abort; progress; deadline }
+  let status_arg =
+    let doc =
+      "Mirror the live metrics registry to $(docv) while the run is in \
+       flight: a background sampler rewrites the JSONL status file (one \
+       sample per line, atomic rename) every $(b,--status-interval) ms; \
+       attach $(b,sbm top) $(docv) from another terminal to watch it."
+    in
+    Arg.(value & opt (some string) None & info [ "status" ] ~docv:"FILE" ~doc)
+  in
+  let status_interval_arg =
+    let doc = "Status sampling interval in milliseconds (default 500)." in
+    Arg.(
+      value & opt float 500. & info [ "status-interval" ] ~docv:"MS" ~doc)
+  in
+  let mk recorder watchdog watchdog_abort progress deadline status
+      status_interval =
+    {
+      recorder;
+      watchdog;
+      watchdog_abort;
+      progress;
+      deadline;
+      status;
+      status_interval;
+    }
   in
   Term.(
     const mk $ recorder_arg $ watchdog_arg $ watchdog_abort_arg $ progress_arg
-    $ deadline_arg)
+    $ deadline_arg $ status_arg $ status_interval_arg)
 
 let obs_active o =
   o.recorder || o.watchdog || o.watchdog_abort || o.progress
-  || o.deadline <> None
+  || o.deadline <> None || o.status <> None
 
 (* Turn the flags into live machinery: recorder on, watchdog armed,
    crash-dump signal handlers installed. [trace] is the run's collector
@@ -140,7 +168,11 @@ let setup_obs o trace =
     let dir =
       Option.value ~default:"." (Sys.getenv_opt "SBM_CRASH_DUMP_DIR")
     in
-    Sbm_obs.Postmortem.install ~dir ?trace ()
+    Sbm_obs.Postmortem.install ~dir ?trace ();
+    Option.iter
+      (fun path ->
+        Sbm_obs.Status.start ~interval_ms:o.status_interval path)
+      o.status
   end
 
 (* cmdliner's evaluator catches exceptions before any at_exit-style
@@ -328,6 +360,9 @@ let opt_cmd =
       explain;
     Sbm_obs.close ~size:(Sbm_aig.Aig.size optimized)
       ~depth:(Sbm_aig.Aig.depth optimized) obs;
+    (* Final sample + sampler wind-down before the trace is written, so
+       the report embeds the full live-telemetry history. *)
+    Sbm_obs.Status.stop ();
     Fmt.pr "size: %d -> %d (%.1f%%), depth %d, %.2fs@." before
       (Sbm_aig.Aig.size optimized)
       (100.0
@@ -570,9 +605,11 @@ let bench_cmd =
             (get "prefilter.cex_refinements")
         | None -> ());
         let counters =
-          if repeat > 1 then
-            counters
-            @ [ ("bench.wall_ms_min", int_of_float (Float.round (List.hd walls))) ]
+          if repeat > 1 then begin
+            let wall_min = int_of_float (Float.round (List.hd walls)) in
+            Sbm_obs.Metrics.set Sbm_obs.Metrics.bench_wall_ms_min wall_min;
+            counters @ [ ("bench.wall_ms_min", wall_min) ]
+          end
           else counters
         in
         { Sbm_obs.Snapshot.bench; qor; wall_ms; counters }
@@ -584,6 +621,7 @@ let bench_cmd =
       let snapshot =
         Sbm_obs.Snapshot.make ~label ~seed (List.map entry benches)
       in
+      Sbm_obs.Status.stop ();
       (match Sbm_obs.Snapshot.write snapshot out with
       | () -> Fmt.pr "snapshot (%d benchmarks) written to %s@."
                 (List.length benches) out;
@@ -747,6 +785,7 @@ let attribute_cmd =
           (Sbm_aig.Aig.size optimized);
         Fmt.pr "%a" Sbm_report.Attribution.pp att
       end;
+      Sbm_obs.Status.stop ();
       `Ok ()
   in
   let term =
@@ -784,30 +823,63 @@ let profile_cmd =
     in
     Arg.(value & opt (some string) None & info [ "collapsed" ] ~docv:"FILE" ~doc)
   in
+  let chrome_arg =
+    let doc =
+      "Also export the trace to $(docv) in Chrome trace-event format, \
+       loadable in ui.perfetto.dev or chrome://tracing: spans as duration \
+       events, live-telemetry samples as counter series, flight-recorder \
+       events and watchdog verdicts as instants."
+    in
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE" ~doc)
+  in
   (* Exit 2 on unreadable input, matching [sbm inspect]: distinguishable
      from cmdliner's 124 (usage) and the flow's QoR gates. *)
-  let run path top collapsed =
-    match Sbm_report.Profile.load path with
+  let run path top collapsed chrome =
+    let label = if path = "-" then "stdin" else path in
+    match Sbm_report.Json.read_source path with
     | Error msg ->
       Fmt.epr "sbm: %s@." msg;
       Stdlib.exit 2
-    | Ok spans -> (
-      Fmt.pr "%a" (Sbm_report.Profile.pp_hotspots ~top) spans;
-      match collapsed with
-      | None -> ()
-      | Some file -> (
-        match Sbm_report.Profile.write_collapsed spans file with
-        | () -> Fmt.pr "collapsed stacks written to %s@." file
-        | exception Sys_error msg ->
-          Fmt.epr "sbm: cannot write collapsed stacks: %s@." msg;
-          Stdlib.exit 2))
+    | Ok src -> (
+      match Sbm_report.Profile.of_json src with
+      | Error msg ->
+        Fmt.epr "sbm: %s: %s@." label msg;
+        Stdlib.exit 2
+      | Ok spans ->
+        Fmt.pr "%a" (Sbm_report.Profile.pp_hotspots ~top) spans;
+        (match collapsed with
+        | None -> ()
+        | Some file -> (
+          match Sbm_report.Profile.write_collapsed spans file with
+          | () -> Fmt.pr "collapsed stacks written to %s@." file
+          | exception Sys_error msg ->
+            Fmt.epr "sbm: cannot write collapsed stacks: %s@." msg;
+            Stdlib.exit 2));
+        (match chrome with
+        | None -> ()
+        | Some file -> (
+          match Sbm_report.Chrome.convert src with
+          | Error msg ->
+            Fmt.epr "sbm: %s: %s@." label msg;
+            Stdlib.exit 2
+          | Ok doc -> (
+            match
+              Out_channel.with_open_bin file (fun oc ->
+                  Out_channel.output_string oc doc)
+            with
+            | () -> Fmt.pr "Chrome trace written to %s@." file
+            | exception Sys_error msg ->
+              Fmt.epr "sbm: cannot write Chrome trace: %s@." msg;
+              Stdlib.exit 2))))
   in
-  let term = Term.(const run $ trace_arg $ top_arg $ collapsed_arg) in
+  let term =
+    Term.(const run $ trace_arg $ top_arg $ collapsed_arg $ chrome_arg)
+  in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
-         "Attribute wall time: self/total-time hotspots and flamegraph \
-          collapsed stacks from a telemetry trace")
+         "Attribute wall time: self/total-time hotspots, flamegraph \
+          collapsed stacks and Chrome traces from a telemetry trace")
     term
 
 (* --- inspect --- *)
@@ -831,21 +903,103 @@ let inspect_cmd =
     in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run path last json =
+  let abs_arg =
+    let doc =
+      "Print absolute monotonic-clock timestamps in nanoseconds instead of \
+       deltas from run start (falls back to deltas for dumps that predate \
+       the absolute clock)."
+    in
+    Arg.(value & flag & info [ "abs" ] ~doc)
+  in
+  let run path last json abs =
     match Sbm_report.Inspect.load path with
     | Error msg ->
       Fmt.epr "sbm: %s@." msg;
       Stdlib.exit 2
     | Ok dump ->
       if json then print_endline (Sbm_report.Inspect.to_json dump)
-      else Fmt.pr "%a" (Sbm_report.Inspect.pp ~last) dump
+      else Fmt.pr "%a" (Sbm_report.Inspect.pp ~last ~abs) dump
   in
-  let term = Term.(const run $ dump_arg $ last_arg $ json_arg) in
+  let term = Term.(const run $ dump_arg $ last_arg $ json_arg $ abs_arg) in
   Cmd.v
     (Cmd.info "inspect"
        ~doc:
          "Render a post-mortem crash dump: what the run was doing, watchdog \
           verdicts, and the tail of the event timeline")
+    term
+
+(* --- top --- *)
+
+let top_cmd =
+  let status_arg =
+    let doc =
+      "Status file written by a run launched with $(b,--status) $(docv). \
+       Need not exist yet: without $(b,--once) the dashboard waits for it."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"STATUS.jsonl" ~doc)
+  in
+  let refresh_arg =
+    let doc = "Refresh interval in milliseconds." in
+    Arg.(value & opt float 500. & info [ "refresh" ] ~docv:"MS" ~doc)
+  in
+  let once_arg =
+    let doc =
+      "Render the latest sample once and exit (exit 2 when the status file \
+       is missing or empty)."
+    in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let run path refresh once =
+    Stdlib.exit (Sbm_report.Live.run ~refresh_ms:refresh ~once path)
+  in
+  let term = Term.(const run $ status_arg $ refresh_arg $ once_arg) in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard over the --status file of a run in flight: current \
+          pass, counter totals and rates, gauges, watchdog state")
+    term
+
+(* --- metrics --- *)
+
+let metrics_cmd =
+  let json_arg =
+    let doc = "Emit the catalog as JSON instead of the text table." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let check_arg =
+    let doc =
+      "Instead of printing the catalog, compare it against the metric table \
+       in $(docv) (markdown rows of backticked name, kind, unit, engine). \
+       Exit 1 on any drift, 2 when $(docv) is unreadable."
+    in
+    Arg.(value & opt (some string) None & info [ "check" ] ~docv:"DOC.md" ~doc)
+  in
+  let run json check =
+    match check with
+    | None ->
+      print_string
+        (if json then Sbm_report.Catalog.to_json ()
+         else Sbm_report.Catalog.to_text ())
+    | Some path -> (
+      match In_channel.with_open_bin path In_channel.input_all with
+      | exception Sys_error msg ->
+        Fmt.epr "sbm: %s@." msg;
+        Stdlib.exit 2
+      | src -> (
+        match Sbm_report.Catalog.check src with
+        | Ok n -> Fmt.pr "metrics: %d registered metrics match %s@." n path
+        | Error msgs ->
+          List.iter (fun m -> Fmt.epr "sbm: metrics drift: %s@." m) msgs;
+          Stdlib.exit 1))
+  in
+  let term = Term.(const run $ json_arg $ check_arg) in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Print the registered-metric catalog (every counter, gauge and \
+          histogram the binary can emit), or gate it against the table \
+          documented in DESIGN.md")
     term
 
 let () =
@@ -856,6 +1010,7 @@ let () =
       [
         stats_cmd; generate_cmd; opt_cmd; lutmap_cmd; asic_cmd; cec_cmd;
         bench_cmd; diff_cmd; attribute_cmd; profile_cmd; inspect_cmd;
+        top_cmd; metrics_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -3,6 +3,37 @@ module Bdd = Sbm_bdd.Bdd
 module Partition = Sbm_partition.Partition
 module Obs = Sbm_obs
 module FR = Sbm_obs.Flight_recorder
+module M = Sbm_obs.Metrics
+
+let m_nodes =
+  M.counter ~engine:"bdd" ~unit_:"nodes" "bdd.nodes"
+    "BDD nodes allocated, summed over per-partition managers"
+
+let m_unique_hits =
+  M.counter ~engine:"bdd" "bdd.unique_hits" "unique-table lookup hits"
+
+let m_unique_misses =
+  M.counter ~engine:"bdd" "bdd.unique_misses"
+    "unique-table lookup misses (fresh node allocations)"
+
+let m_cache_hits =
+  M.counter ~engine:"bdd" "bdd.cache_hits" "computed-cache hits"
+
+let m_cache_misses =
+  M.counter ~engine:"bdd" "bdd.cache_misses" "computed-cache misses"
+
+let m_unique_hit_pct =
+  M.counter ~engine:"bdd" ~unit_:"pct-points" "bdd.unique_hit_pct"
+    "per-partition unique-table hit percentage, summed over flushes \
+     (divide by bdd-engine partitions for the average)"
+
+let m_cache_hit_pct =
+  M.counter ~engine:"bdd" ~unit_:"pct-points" "bdd.cache_hit_pct"
+    "per-partition computed-cache hit percentage, summed over flushes"
+
+let m_limit_bails =
+  M.counter ~engine:"bdd" ~unit_:"bails" "bdd.limit_bails"
+    "BDD node-budget bail-outs (partition keeps a partial table)"
 
 type t = {
   aig : Aig.t;
@@ -46,14 +77,14 @@ let flush_stats ?(engine = "bdd") t obs =
   let upct = hit_pct bs.Bdd.unique_hits bs.Bdd.unique_misses in
   let cpct = hit_pct bs.Bdd.cache_hits bs.Bdd.cache_misses in
   if Obs.enabled obs then begin
-    Obs.add obs "bdd.nodes" bs.Bdd.nodes;
-    Obs.add obs "bdd.unique_hits" bs.Bdd.unique_hits;
-    Obs.add obs "bdd.unique_misses" bs.Bdd.unique_misses;
-    Obs.add obs "bdd.cache_hits" bs.Bdd.cache_hits;
-    Obs.add obs "bdd.cache_misses" bs.Bdd.cache_misses;
-    Obs.add obs "bdd.unique_hit_pct" upct;
-    Obs.add obs "bdd.cache_hit_pct" cpct;
-    Obs.add obs "bdd.limit_bails" t.bails
+    Obs.bump obs m_nodes bs.Bdd.nodes;
+    Obs.bump obs m_unique_hits bs.Bdd.unique_hits;
+    Obs.bump obs m_unique_misses bs.Bdd.unique_misses;
+    Obs.bump obs m_cache_hits bs.Bdd.cache_hits;
+    Obs.bump obs m_cache_misses bs.Bdd.cache_misses;
+    Obs.bump obs m_unique_hit_pct upct;
+    Obs.bump obs m_cache_hit_pct cpct;
+    Obs.bump obs m_limit_bails t.bails
   end;
   if
     FR.enabled ()

@@ -2,6 +2,28 @@ module Aig = Sbm_aig.Aig
 module Bdd = Sbm_bdd.Bdd
 module Partition = Sbm_partition.Partition
 module FR = Sbm_obs.Flight_recorder
+module M = Sbm_obs.Metrics
+
+let m_partitions =
+  M.counter ~engine:"diff" ~unit_:"partitions" "diff.partitions"
+    "partitions the Boolean-difference engine analyzed"
+
+let m_pairs_tried =
+  M.counter ~engine:"diff" ~unit_:"pairs" "diff.pairs_tried"
+    "node pairs whose Boolean difference reached the BDD layer \
+     (prefilter survivors)"
+
+let m_differences_built =
+  M.counter ~engine:"diff" ~unit_:"pairs" "diff.differences_built"
+    "Boolean differences whose BDD stayed within budget"
+
+let m_rewrites =
+  M.counter ~engine:"diff" ~unit_:"rewrites" "diff.rewrites"
+    "accepted difference-based rewrites (zero-gain ones included)"
+
+let m_gain =
+  M.counter ~engine:"diff" ~unit_:"nodes" "diff.gain"
+    "AIG nodes saved by accepted difference rewrites"
 
 type config = {
   diff : Boolean_difference.config;
@@ -368,11 +390,17 @@ let optimize_stats ?(obs = Sbm_obs.null) ?(config = default_config) aig =
         let wc = zero_counters () in
         let wtotal = ref 0 in
         let before = Aig.origin_stats snap in
-        let ctx, events =
-          FR.capture (fun () ->
-              run_partition_analysis snap config wc wstore part wtotal)
+        (* Metrics.capture mirrors FR.capture: any registry bump a
+           worker makes lands in a domain-local shard, replayed on the
+           main domain only when this analysis merges cleanly. *)
+        let (ctx, events), mdeltas =
+          M.capture (fun () ->
+              FR.capture (fun () ->
+                  run_partition_analysis snap config wc wstore part wtotal))
         in
-        Some (wc, ctx, events, Par_merge.created_delta ~before ~after:(Aig.origin_stats snap))
+        Some
+          ( wc, ctx, events, mdeltas,
+            Par_merge.created_delta ~before ~after:(Aig.origin_stats snap) )
       end
     in
     let apply index part result ~dirty =
@@ -383,11 +411,13 @@ let optimize_stats ?(obs = Sbm_obs.null) ?(config = default_config) aig =
       end
       else
         match result with
-        | Some (wc, ctx, events, created) when (not dirty) && wc.c_rewrites = 0 ->
+        | Some (wc, ctx, events, mdeltas, created)
+          when (not dirty) && wc.c_rewrites = 0 ->
           counters.c_pairs <- counters.c_pairs + wc.c_pairs;
           counters.c_diffs <- counters.c_diffs + wc.c_diffs;
           Par_merge.merge_prefilter counters.pf wc.pf;
           Par_merge.merge_created aig created;
+          Par_merge.merge_metrics mdeltas;
           FR.replay events;
           finish_partition ctx obs ~index ~rewrites_delta:0
             ~pf_rejected:(Prefilter.rejected wc.pf);
@@ -403,16 +433,14 @@ let optimize_stats ?(obs = Sbm_obs.null) ?(config = default_config) aig =
     if jobs = Sbm_par.Jobs.get () then go (Sbm_par.Pool.global ())
     else Sbm_par.Pool.with_pool ~jobs go
   end;
-  if !skipped > 0 && Sbm_obs.enabled obs then
-    Sbm_obs.add obs "watchdog.partitions_skipped" !skipped;
-  if Sbm_obs.enabled obs then begin
-    Sbm_obs.add obs "diff.partitions" (List.length parts);
-    Sbm_obs.add obs "diff.pairs_tried" counters.c_pairs;
-    Sbm_obs.add obs "diff.differences_built" counters.c_diffs;
-    Sbm_obs.add obs "diff.rewrites" counters.c_rewrites;
-    Sbm_obs.add obs "diff.gain" !total;
-    if store <> None then Prefilter.flush obs counters.pf
-  end;
+  if !skipped > 0 then
+    Sbm_obs.bump obs Engine_intf.m_partitions_skipped !skipped;
+  Sbm_obs.bump obs m_partitions (List.length parts);
+  Sbm_obs.bump obs m_pairs_tried counters.c_pairs;
+  Sbm_obs.bump obs m_differences_built counters.c_diffs;
+  Sbm_obs.bump obs m_rewrites counters.c_rewrites;
+  Sbm_obs.bump obs m_gain !total;
+  if store <> None then Prefilter.flush obs counters.pf;
   {
     gain = !total;
     partitions = List.length parts;

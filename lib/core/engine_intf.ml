@@ -11,6 +11,13 @@
 
 module Aig = Sbm_aig.Aig
 
+(* Shared by every partitioned engine (diff/mspf/kernel): partitions
+   skipped because a watchdog abort was pending at their boundary. *)
+let m_partitions_skipped =
+  Sbm_obs.Metrics.counter ~engine:"watchdog" ~unit_:"partitions"
+    "watchdog.partitions_skipped"
+    "partitions skipped at their boundary under a pending watchdog abort"
+
 type effort = Low | High
 
 type config = {

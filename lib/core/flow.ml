@@ -1,5 +1,18 @@
 module Aig = Sbm_aig.Aig
 module Obs = Sbm_obs
+module M = Sbm_obs.Metrics
+
+(* "gain" is the bare counter the in-place baseline steps and the
+   collapse-decompose pass have always reported (no engine prefix —
+   historical name, kept for snapshot compatibility). *)
+let m_gain =
+  M.counter ~engine:"flow" ~unit_:"nodes" "gain"
+    "AIG nodes saved by in-place algebraic steps (rewrite/refactor/\
+     resub/collapse-decompose)"
+
+let m_pass_ms =
+  M.histogram ~engine:"flow" ~unit_:"ms" "flow.pass_ms"
+    "wall time of scripted flow passes"
 
 type effort = Low | High
 
@@ -97,6 +110,10 @@ let pass obs name f aig =
   end
   else begin
     let size0 = Aig.size aig in
+    (* Live node-count gauge: only set where size is already computed
+       (Aig.size is an O(live-nodes) traversal, not a field read). *)
+    M.set M.live_aig_nodes size0;
+    let t0 = Obs.monotonic_ns () in
     let sp = Obs.span ~size:size0 ~depth:(Aig.depth aig) obs name in
     if FR.enabled () then
       FR.record ~severity:FR.Info ~engine:"flow" ~id:name
@@ -106,6 +123,9 @@ let pass obs name f aig =
     let aig = f sp aig in
     let size1 = Aig.size aig in
     Obs.close ~size:size1 ~depth:(Aig.depth aig) sp;
+    M.set M.live_aig_nodes size1;
+    M.observe m_pass_ms
+      (Int64.to_int (Int64.div (Int64.sub (Obs.monotonic_ns ()) t0) 1_000_000L));
     if FR.enabled () then
       FR.record ~severity:FR.Info ~engine:"flow" ~id:name
         ~metrics:[ ("size", size1); ("gain", size0 - size1) ]
@@ -135,7 +155,7 @@ let baseline ?(obs = Obs.null) aig0 =
       step obs name
         (fun sp a ->
           let gain = f a in
-          Obs.add sp "gain" gain;
+          Obs.bump sp m_gain gain;
           a)
         !aig
   in
@@ -206,7 +226,7 @@ let sbm_iteration ~obs ~explain ~effort ~ecfg aig0 =
           ~max_leaves:(match effort with Low -> 10 | High -> 12)
           ~min_mffc:2 a
       in
-      Obs.add sp "gain" gain;
+      Obs.bump sp m_gain gain;
       a);
   (* 5. Boolean-difference-based optimization, to unveil hard-to-find
      rewrites and escape local minima. *)
@@ -233,7 +253,7 @@ let sbm_iteration ~obs ~explain ~effort ~ecfg aig0 =
            ?on_cex a);
       (match bank with
       | Some b when Obs.enabled sp ->
-        Obs.add sp "prefilter.cex_refinements"
+        Obs.bump sp Prefilter.m_cex_refinements
           (Prefilter.refinements b - refinements0)
       | _ -> ());
       fst (Aig.compact a));

@@ -1,5 +1,47 @@
 module Aig = Sbm_aig.Aig
 module Obs = Sbm_obs
+module M = Sbm_obs.Metrics
+
+let m_move_cost =
+  M.counter ~engine:"gradient" ~unit_:"cost" "move.cost"
+    "summed cost of attempted gradient moves"
+
+let m_move_gain =
+  M.counter ~engine:"gradient" ~unit_:"nodes" "move.gain"
+    "summed size gain of attempted gradient moves"
+
+let m_gradient_aborts =
+  M.counter ~engine:"watchdog" ~unit_:"aborts" "watchdog.gradient_aborts"
+    "gradient runs cut short by a watchdog abort"
+
+let m_budget_forfeited =
+  M.counter ~engine:"gradient" ~unit_:"moves" "gradient.budget_forfeited"
+    "move budget remaining when a watchdog abort ended the run"
+
+let m_moves_tried =
+  M.counter ~engine:"gradient" ~unit_:"moves" "gradient.moves_tried"
+    "gradient moves attempted"
+
+let m_moves_gained =
+  M.counter ~engine:"gradient" ~unit_:"moves" "gradient.moves_gained"
+    "gradient moves accepted with positive gain"
+
+let m_gain =
+  M.counter ~engine:"gradient" ~unit_:"nodes" "gradient.gain"
+    "AIG nodes saved by accepted gradient moves"
+
+let m_budget_spent =
+  M.counter ~engine:"gradient" ~unit_:"moves" "gradient.budget_spent"
+    "move budget consumed"
+
+let m_budget_extensions =
+  M.counter ~engine:"gradient" ~unit_:"extensions"
+    "gradient.budget_extensions"
+    "budget extensions granted while the gradient stayed promising"
+
+let m_rounds =
+  M.counter ~engine:"gradient" ~unit_:"rounds" "gradient.rounds"
+    "gradient rounds executed"
 
 type selection = Waterfall | Parallel
 
@@ -153,8 +195,8 @@ let optimize ?(obs = Obs.null) ?(explain = fun (_ : event) -> ())
     else begin
       let sp = Obs.span ~size:(Aig.size target) obs m.name in
       let next, gain = m.apply sp target in
-      Obs.add sp "move.cost" m.cost;
-      Obs.add sp "move.gain" gain;
+      Obs.bump sp m_move_cost m.cost;
+      Obs.bump sp m_move_gain gain;
       Obs.close ~size:(Aig.size next) sp;
       (next, gain)
     end
@@ -284,10 +326,8 @@ let optimize ?(obs = Obs.null) ?(explain = fun (_ : event) -> ())
         FR.record ~severity:FR.Warn ~engine:"gradient"
           ~metrics:[ ("budget_forfeited", !budget) ]
           "aborted by watchdog; budget marked exhausted";
-      if Obs.enabled obs then begin
-        Obs.incr obs "watchdog.gradient_aborts";
-        Obs.add obs "gradient.budget_forfeited" !budget
-      end;
+      Obs.bump obs m_gradient_aborts 1;
+      Obs.bump obs m_budget_forfeited !budget;
       budget := 0;
       continue_ := false
     end;
@@ -304,14 +344,12 @@ let optimize ?(obs = Obs.null) ?(explain = fun (_ : event) -> ())
     end;
     if Queue.length recent >= config.k && gradient () <= 0.0 then continue_ := false
   done;
-  if Obs.enabled obs then begin
-    Obs.add obs "gradient.moves_tried" !tried;
-    Obs.add obs "gradient.moves_gained" !gained;
-    Obs.add obs "gradient.gain" !total_gain;
-    Obs.add obs "gradient.budget_spent" !spent;
-    Obs.add obs "gradient.budget_extensions" !extensions;
-    Obs.add obs "gradient.rounds" !round
-  end;
+  Obs.bump obs m_moves_tried !tried;
+  Obs.bump obs m_moves_gained !gained;
+  Obs.bump obs m_gain !total_gain;
+  Obs.bump obs m_budget_spent !spent;
+  Obs.bump obs m_budget_extensions !extensions;
+  Obs.bump obs m_rounds !round;
   ( !aig,
     {
       moves_tried = !tried;

@@ -2,6 +2,23 @@ module Aig = Sbm_aig.Aig
 module Network = Sbm_sop.Network
 module Sop = Sbm_sop.Sop
 module FR = Sbm_obs.Flight_recorder
+module M = Sbm_obs.Metrics
+
+let m_partitions =
+  M.counter ~engine:"kernel" ~unit_:"partitions" "kernel.partitions"
+    "SOP partitions the heterogeneous-kernel engine processed"
+
+let m_trials =
+  M.counter ~engine:"kernel" ~unit_:"trials" "kernel.trials"
+    "kernel-extraction threshold trials run"
+
+let m_improved_partitions =
+  M.counter ~engine:"kernel" ~unit_:"partitions" "kernel.improved_partitions"
+    "partitions whose best trial reduced literal count"
+
+let m_lits_saved =
+  M.counter ~engine:"kernel" ~unit_:"literals" "kernel.lits_saved"
+    "SOP literals saved by committed kernel extractions"
 
 type config = {
   thresholds : int list;
@@ -253,14 +270,13 @@ let run ?(obs = Sbm_obs.null) ?(config = default_config) aig =
     else Sbm_par.Pool.with_pool ~jobs go
   end;
   let lits_after = Network.num_lits net in
-  if Sbm_obs.enabled obs then begin
-    Sbm_obs.add obs "kernel.partitions" (List.length parts);
-    Sbm_obs.add obs "kernel.trials" !trials;
-    Sbm_obs.add obs "kernel.improved_partitions" !improved;
-    Sbm_obs.add obs "kernel.lits_saved" (lits_before - lits_after);
-    if !skipped > 0 then Sbm_obs.add obs "watchdog.partitions_skipped" !skipped;
-    if config.prefilter <> None then Prefilter.flush obs pf_counts
-  end;
+  Sbm_obs.bump obs m_partitions (List.length parts);
+  Sbm_obs.bump obs m_trials !trials;
+  Sbm_obs.bump obs m_improved_partitions !improved;
+  Sbm_obs.bump obs m_lits_saved (lits_before - lits_after);
+  if !skipped > 0 then
+    Sbm_obs.bump obs Engine_intf.m_partitions_skipped !skipped;
+  if config.prefilter <> None then Prefilter.flush obs pf_counts;
   ( Network.to_aig ~provenance:(aig, fallback) net,
     {
       partitions = List.length parts;

@@ -2,6 +2,32 @@ module Aig = Sbm_aig.Aig
 module Bdd = Sbm_bdd.Bdd
 module Obs = Sbm_obs
 module Partition = Sbm_partition.Partition
+module M = Sbm_obs.Metrics
+
+let m_partitions =
+  M.counter ~engine:"mspf" ~unit_:"partitions" "mspf.partitions"
+    "partitions the MSPF engine analyzed"
+
+let m_computed =
+  M.counter ~engine:"mspf" ~unit_:"functions" "mspf.computed"
+    "maximum sets of permissible functions computed"
+
+let m_candidates_examined =
+  M.counter ~engine:"mspf" ~unit_:"candidates" "mspf.candidates_examined"
+    "substitution candidates that reached the BDD compatibility check \
+     (prefilter survivors)"
+
+let m_substitutions =
+  M.counter ~engine:"mspf" ~unit_:"substitutions" "mspf.substitutions"
+    "accepted permissible-function substitutions"
+
+let m_constant_collapses =
+  M.counter ~engine:"mspf" ~unit_:"nodes" "mspf.constant_collapses"
+    "nodes collapsed to constants by a permissible function"
+
+let m_gain =
+  M.counter ~engine:"mspf" ~unit_:"nodes" "mspf.gain"
+    "AIG nodes saved by MSPF substitutions"
 
 type config = {
   limits : Partition.limits;
@@ -347,13 +373,14 @@ let optimize_stats ?(obs = Obs.null) ?(config = default_config) aig =
         let wc = zero_counters () in
         let wtotal = ref 0 in
         let before = Aig.origin_stats snap in
-        let ctx, events =
-          FR.capture (fun () ->
-              run_partition_analysis snap config wc wstore part wtotal)
+        let (ctx, events), mdeltas =
+          M.capture (fun () ->
+              FR.capture (fun () ->
+                  run_partition_analysis snap config wc wstore part wtotal))
         in
         Some
-          (wc, ctx, events,
-           Par_merge.created_delta ~before ~after:(Aig.origin_stats snap))
+          ( wc, ctx, events, mdeltas,
+            Par_merge.created_delta ~before ~after:(Aig.origin_stats snap) )
       end
     in
     let apply index part result ~dirty =
@@ -364,11 +391,13 @@ let optimize_stats ?(obs = Obs.null) ?(config = default_config) aig =
       end
       else
         match result with
-        | Some (wc, ctx, events, created) when (not dirty) && wc.c_subst = 0 ->
+        | Some (wc, ctx, events, mdeltas, created)
+          when (not dirty) && wc.c_subst = 0 ->
           counters.c_mspf <- counters.c_mspf + wc.c_mspf;
           counters.c_cands <- counters.c_cands + wc.c_cands;
           Par_merge.merge_prefilter counters.pf wc.pf;
           Par_merge.merge_created aig created;
+          Par_merge.merge_metrics mdeltas;
           FR.replay events;
           finish_partition ctx obs ~index ~subst_delta:0
             ~pf_rejected:(Prefilter.rejected wc.pf);
@@ -384,17 +413,14 @@ let optimize_stats ?(obs = Obs.null) ?(config = default_config) aig =
     if jobs = Sbm_par.Jobs.get () then go (Sbm_par.Pool.global ())
     else Sbm_par.Pool.with_pool ~jobs go
   end;
-  if !skipped > 0 && Obs.enabled obs then
-    Obs.add obs "watchdog.partitions_skipped" !skipped;
-  if Obs.enabled obs then begin
-    Obs.add obs "mspf.partitions" (List.length parts);
-    Obs.add obs "mspf.computed" counters.c_mspf;
-    Obs.add obs "mspf.candidates_examined" counters.c_cands;
-    Obs.add obs "mspf.substitutions" counters.c_subst;
-    Obs.add obs "mspf.constant_collapses" counters.c_const;
-    Obs.add obs "mspf.gain" !total;
-    if store <> None then Prefilter.flush obs counters.pf
-  end;
+  if !skipped > 0 then Obs.bump obs Engine_intf.m_partitions_skipped !skipped;
+  Obs.bump obs m_partitions (List.length parts);
+  Obs.bump obs m_computed counters.c_mspf;
+  Obs.bump obs m_candidates_examined counters.c_cands;
+  Obs.bump obs m_substitutions counters.c_subst;
+  Obs.bump obs m_constant_collapses counters.c_const;
+  Obs.bump obs m_gain !total;
+  if store <> None then Prefilter.flush obs counters.pf;
   {
     gain = !total;
     partitions = List.length parts;

@@ -33,3 +33,12 @@ let merge_prefilter (dst : Prefilter.counts) (src : Prefilter.counts) =
   dst.Prefilter.rejected_const <-
     dst.Prefilter.rejected_const + src.Prefilter.rejected_const;
   dst.Prefilter.survivors <- dst.Prefilter.survivors + src.Prefilter.survivors
+
+(* Registry counter deltas captured on a worker domain
+   ([Metrics.capture] around the analysis) are applied here, on the
+   main domain, in ascending partition order — the same merge-or-redo
+   contract as flight-recorder events, so registry totals stay
+   bit-identical at any job count. A redone partition re-bumps on the
+   main domain and its captured deltas are dropped by the caller. *)
+let merge_metrics (deltas : Sbm_obs.Metrics.delta) =
+  Sbm_obs.Metrics.replay deltas

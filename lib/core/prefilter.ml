@@ -280,7 +280,26 @@ let note c = function
 
 let rejected c = c.rejected_sig + c.rejected_const
 
+module M = Sbm_obs.Metrics
+
+let m_rejected_signature =
+  M.counter ~engine:"prefilter" ~unit_:"candidates"
+    "prefilter.rejected_signature"
+    "candidates rejected by signature mismatch before any BDD work"
+
+let m_rejected_const =
+  M.counter ~engine:"prefilter" ~unit_:"candidates" "prefilter.rejected_const"
+    "candidates rejected as provably constant under the care set"
+
+let m_survivors =
+  M.counter ~engine:"prefilter" ~unit_:"candidates" "prefilter.survivors"
+    "candidates the prefilter passed through to the BDD layer"
+
+let m_cex_refinements =
+  M.counter ~engine:"prefilter" ~unit_:"patterns" "prefilter.cex_refinements"
+    "SAT counterexample patterns folded back into the signature bank"
+
 let flush obs c =
-  Sbm_obs.add obs "prefilter.rejected_signature" c.rejected_sig;
-  Sbm_obs.add obs "prefilter.rejected_const" c.rejected_const;
-  Sbm_obs.add obs "prefilter.survivors" c.survivors
+  Sbm_obs.bump obs m_rejected_signature c.rejected_sig;
+  Sbm_obs.bump obs m_rejected_const c.rejected_const;
+  Sbm_obs.bump obs m_survivors c.survivors

@@ -155,7 +155,11 @@ val note : counts -> verdict -> unit
 (** [rejected counts] is the total of both rejection kinds. *)
 val rejected : counts -> int
 
-(** [flush obs counts] adds the three counters to [obs] (call only on
-    prefilter-enabled runs, so disabled runs carry no [prefilter.*]
-    keys at all). *)
+(** [flush obs counts] bumps the three registered counters — span tree
+    and metrics registry both (call only on prefilter-enabled runs, so
+    disabled runs carry no [prefilter.*] keys at all). *)
 val flush : Sbm_obs.span -> counts -> unit
+
+(** Registered handle for [prefilter.cex_refinements], bumped by the
+    flow's sat-sweep pass as counterexamples refine the bank. *)
+val m_cex_refinements : Sbm_obs.Metrics.t

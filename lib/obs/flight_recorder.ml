@@ -56,6 +56,8 @@ let capacity () = Array.length st.ring
 let elapsed_ns () =
   if enabled () then Int64.sub (monotonic_ns ()) st.t0 else 0L
 
+let t0_ns () = if enabled () then st.t0 else 0L
+
 (* Worker-domain buffering. The ring and its counters are owned by the
    main domain; a worker domain that must record (BDD bails, cache
    collapses) runs under [capture], which installs a domain-local

@@ -55,6 +55,11 @@ val capacity : unit -> int
 val elapsed_ns : unit -> int64
 (** Monotonic time since {!enable} ([0L] when disabled). *)
 
+val t0_ns : unit -> int64
+(** Absolute monotonic timestamp of {!enable} ([0L] when disabled).
+    Event [t_ns] values are relative to this origin; adding it back
+    recovers absolute clock readings for crash-dump correlation. *)
+
 (** {1 Recording} *)
 
 val record :

@@ -1,0 +1,236 @@
+(* Process-global typed metrics registry.
+
+   Every counter the engines report used to be an ad-hoc
+   [(string * int)] pair living only inside a span tree; the registry
+   gives each one a single registration point with kind/unit/engine/
+   description metadata, a process-global value cell, and a stable
+   catalog ([sbm metrics]) that CI can gate against DESIGN.md.
+
+   Value cells are [Atomic.t] so the live-telemetry sampler (a
+   separate domain, see {!Status}) can read a coherent snapshot while
+   the run bumps them. Determinism contract: all bump sites run on the
+   main domain (engines accumulate into partition-local records and
+   flush after the deterministic merge), so totals are bit-identical
+   at any job count. A worker domain that must bump directly runs
+   under {!capture}, which installs a domain-local shard; the shard's
+   deltas are merged on the main domain by the Par_merge path in
+   ascending partition order, exactly like flight-recorder events. *)
+
+type kind = Counter | Gauge | Histogram
+
+let kind_to_string = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+let kind_of_string = function
+  | "counter" -> Some Counter
+  | "gauge" -> Some Gauge
+  | "histogram" -> Some Histogram
+  | _ -> None
+
+type hstats = { h_count : int; h_sum : int; h_min : int; h_max : int }
+
+type t = {
+  id : int;
+  name : string;
+  kind : kind;
+  unit_ : string;
+  engine : string;
+  description : string;
+  cell : int Atomic.t; (* counter total / gauge value *)
+  hcount : int Atomic.t;
+  hsum : int Atomic.t;
+  hmin : int Atomic.t; (* max_int while empty *)
+  hmax : int Atomic.t; (* min_int while empty *)
+  sample : (unit -> int) option; (* callback gauges, read at snapshot *)
+}
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+let next_id = ref 0
+
+(* Registration happens at module-initialization time on the main
+   domain (each library registers its metrics as top-level bindings),
+   so plain mutation is safe. *)
+let register ?(engine = "") ?(unit_ = "count") ?sample kind name description =
+  if Hashtbl.mem registry name then
+    invalid_arg
+      (Printf.sprintf "Sbm_obs.Metrics: duplicate registration of %S" name);
+  let m =
+    {
+      id = !next_id;
+      name;
+      kind;
+      unit_;
+      engine;
+      description;
+      cell = Atomic.make 0;
+      hcount = Atomic.make 0;
+      hsum = Atomic.make 0;
+      hmin = Atomic.make max_int;
+      hmax = Atomic.make min_int;
+      sample;
+    }
+  in
+  incr next_id;
+  Hashtbl.replace registry name m;
+  m
+
+let counter ?engine ?unit_ name description =
+  register ?engine ?unit_ Counter name description
+
+let gauge ?engine ?unit_ name description =
+  register ?engine ?unit_ Gauge name description
+
+let gauge_fn ?engine ?unit_ name description f =
+  register ?engine ?unit_ ~sample:f Gauge name description
+
+let histogram ?engine ?unit_ name description =
+  register ?engine ?unit_ Histogram name description
+
+let name m = m.name
+let kind m = m.kind
+let unit_ m = m.unit_
+let engine m = m.engine
+let description m = m.description
+
+let find n = Hashtbl.find_opt registry n
+
+let all () =
+  Hashtbl.fold (fun _ m acc -> m :: acc) registry []
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+(* --- worker shards --- *)
+
+type delta = (string * int) list
+
+let shard_key : (string, int ref) Hashtbl.t option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let add m n =
+  if m.kind <> Counter then
+    invalid_arg ("Sbm_obs.Metrics.add on non-counter " ^ m.name);
+  match Domain.DLS.get shard_key with
+  | Some tbl -> (
+    match Hashtbl.find_opt tbl m.name with
+    | Some cell -> cell := !cell + n
+    | None -> Hashtbl.add tbl m.name (ref n))
+  | None -> ignore (Atomic.fetch_and_add m.cell n)
+
+let incr m = add m 1
+
+(* Gauges and histograms are observational (never compared bit-exactly
+   across job counts), so they write straight to the shared cells even
+   from a worker domain. *)
+let set m v =
+  if m.kind <> Gauge then
+    invalid_arg ("Sbm_obs.Metrics.set on non-gauge " ^ m.name);
+  Atomic.set m.cell v
+
+let rec atomic_min cell v =
+  let cur = Atomic.get cell in
+  if v < cur && not (Atomic.compare_and_set cell cur v) then atomic_min cell v
+
+let rec atomic_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then atomic_max cell v
+
+let observe m v =
+  if m.kind <> Histogram then
+    invalid_arg ("Sbm_obs.Metrics.observe on non-histogram " ^ m.name);
+  ignore (Atomic.fetch_and_add m.hcount 1);
+  ignore (Atomic.fetch_and_add m.hsum v);
+  atomic_min m.hmin v;
+  atomic_max m.hmax v
+
+let value m = match m.sample with Some f -> f () | None -> Atomic.get m.cell
+
+let hist m =
+  let count = Atomic.get m.hcount in
+  {
+    h_count = count;
+    h_sum = Atomic.get m.hsum;
+    h_min = (if count = 0 then 0 else Atomic.get m.hmin);
+    h_max = (if count = 0 then 0 else Atomic.get m.hmax);
+  }
+
+let capture f =
+  let tbl = Hashtbl.create 16 in
+  let prev = Domain.DLS.get shard_key in
+  Domain.DLS.set shard_key (Some tbl);
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set shard_key prev)
+    (fun () ->
+      let r = f () in
+      let deltas =
+        Hashtbl.fold (fun k cell acc -> (k, !cell) :: acc) tbl []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      (r, deltas))
+
+let replay deltas =
+  List.iter
+    (fun (n, v) ->
+      match Hashtbl.find_opt registry n with
+      | Some m -> ignore (Atomic.fetch_and_add m.cell v)
+      | None -> ())
+    deltas
+
+(* --- snapshot views --- *)
+
+let by_kind k =
+  List.filter_map
+    (fun m -> if m.kind = k then Some (m.name, value m) else None)
+    (all ())
+
+let counters_now () = by_kind Counter
+let gauges_now () = by_kind Gauge
+
+let hists_now () =
+  List.filter_map
+    (fun m -> if m.kind = Histogram then Some (m.name, hist m) else None)
+    (all ())
+
+let reset_values () =
+  Hashtbl.iter
+    (fun _ m ->
+      Atomic.set m.cell 0;
+      Atomic.set m.hcount 0;
+      Atomic.set m.hsum 0;
+      Atomic.set m.hmin max_int;
+      Atomic.set m.hmax min_int)
+    registry
+
+(* --- automatic process gauges --- *)
+
+(* [Gc.quick_stat] heap statistics describe the shared major heap, so
+   sampling them from the telemetry domain sees the whole process. *)
+let _heap_words =
+  gauge_fn ~engine:"process" ~unit_:"words" "process.heap_words"
+    "major heap size in words (Gc.quick_stat)" (fun () ->
+      (Gc.quick_stat ()).Gc.heap_words)
+
+let _major_collections =
+  gauge_fn ~engine:"process" ~unit_:"collections" "process.major_collections"
+    "completed major GC cycles" (fun () ->
+      (Gc.quick_stat ()).Gc.major_collections)
+
+let _minor_collections =
+  gauge_fn ~engine:"process" ~unit_:"collections" "process.minor_collections"
+    "completed minor GC cycles" (fun () ->
+      (Gc.quick_stat ()).Gc.minor_collections)
+
+let live_aig_nodes =
+  gauge ~engine:"process" ~unit_:"nodes" "process.live_aig_nodes"
+    "live AND nodes of the network at the last pass boundary"
+
+let pool_queue_depth =
+  gauge ~engine:"process" ~unit_:"jobs" "process.pool_queue_depth"
+    "partition-analysis jobs outstanding in the current worker-pool batch"
+
+(* Registered here rather than in the CLI because the bench snapshot
+   writer appends it to the counter totals; the catalog must list it
+   wherever the registry is linked. *)
+let bench_wall_ms_min =
+  gauge ~engine:"bench" ~unit_:"ms" "bench.wall_ms_min"
+    "minimum wall time over repeated bench runs (--repeat > 1)"

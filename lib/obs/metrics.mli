@@ -1,0 +1,118 @@
+(** Process-global typed metrics registry.
+
+    Counters, gauges and histograms are registered once, at module
+    initialization, with name/kind/unit/engine/description metadata.
+    Registering the same name twice is a hard error ([Invalid_argument]):
+    the registry doubles as the authoritative metric catalog behind
+    [sbm metrics], so silent shadowing would hide drift.
+
+    Counter bumps normally go straight to a process-global atomic cell
+    (all engine flush sites run on the main domain). Code running on a
+    worker domain wraps its work in {!capture}, which redirects bumps
+    into a domain-local shard; the returned deltas are replayed on the
+    main domain through the deterministic [Par_merge] order, keeping
+    totals bit-identical at any job count. *)
+
+type kind = Counter | Gauge | Histogram
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+
+(** Aggregate view of a histogram's observations. Min/max are 0 while
+    the histogram is empty. *)
+type hstats = { h_count : int; h_sum : int; h_min : int; h_max : int }
+
+type t
+(** A registered metric handle. Obtain one via {!counter} / {!gauge} /
+    {!gauge_fn} / {!histogram} at module-initialization time and keep
+    it; bumping through the handle is a single atomic op. *)
+
+(** {1 Registration} *)
+
+val counter : ?engine:string -> ?unit_:string -> string -> string -> t
+(** [counter ?engine ?unit_ name description] registers a monotonic
+    counter. [unit_] defaults to ["count"]. @raise Invalid_argument on
+    duplicate [name]. *)
+
+val gauge : ?engine:string -> ?unit_:string -> string -> string -> t
+(** A settable point-in-time value. *)
+
+val gauge_fn :
+  ?engine:string -> ?unit_:string -> string -> string -> (unit -> int) -> t
+(** A callback gauge: the function is invoked at snapshot time (e.g.
+    GC statistics). It must be safe to call from the sampler domain. *)
+
+val histogram : ?engine:string -> ?unit_:string -> string -> string -> t
+(** Records count/sum/min/max of observed values. *)
+
+(** {1 Metadata} *)
+
+val name : t -> string
+val kind : t -> kind
+val unit_ : t -> string
+val engine : t -> string
+val description : t -> string
+
+val find : string -> t option
+val all : unit -> t list
+(** All registered metrics, sorted by name. *)
+
+(** {1 Updates} *)
+
+val add : t -> int -> unit
+(** Counter only ([Invalid_argument] otherwise). Inside {!capture} the
+    increment lands in the worker shard, else in the global cell. *)
+
+val incr : t -> unit
+val set : t -> int -> unit
+(** Gauge only. Always writes the global cell. *)
+
+val observe : t -> int -> unit
+(** Histogram only. *)
+
+(** {1 Reads} *)
+
+val value : t -> int
+(** Current counter total or gauge value (callback gauges invoke their
+    sampler). Histogram: number of observations is in {!hist}. *)
+
+val hist : t -> hstats
+
+val counters_now : unit -> (string * int) list
+val gauges_now : unit -> (string * int) list
+val hists_now : unit -> (string * hstats) list
+(** Sorted-by-name snapshots of every metric of the given kind. *)
+
+(** {1 Worker shards} *)
+
+type delta = (string * int) list
+(** Counter deltas accumulated by one {!capture} region, sorted by
+    name. *)
+
+val capture : (unit -> 'a) -> 'a * delta
+(** [capture f] runs [f] with a fresh domain-local counter shard
+    installed: every {!add} inside lands in the shard instead of the
+    global cells. Returns [f]'s result and the shard's deltas. Nests
+    (the inner capture wins while active). *)
+
+val replay : delta -> unit
+(** Apply captured deltas to the global cells (main domain, in
+    deterministic merge order). Unknown names are ignored — a delta
+    can outlive a registry reset in tests. *)
+
+val reset_values : unit -> unit
+(** Zero every value cell (registrations are kept). Test helper —
+    metrics are process-global, so tests isolate by resetting. *)
+
+(** {1 Built-in process metrics} *)
+
+val live_aig_nodes : t
+(** Gauge, set by [Flow] at pass boundaries where the node count is
+    already computed ([Aig.size] is a live-node traversal, not O(1)). *)
+
+val pool_queue_depth : t
+(** Gauge, set by the [lib/par] pool as batch items are claimed. *)
+
+val bench_wall_ms_min : t
+(** Gauge mirroring the [bench.wall_ms_min] snapshot counter written
+    by [sbm bench --repeat]. *)

@@ -1,5 +1,7 @@
 module Flight_recorder = Flight_recorder
 module Watchdog = Watchdog
+module Metrics = Metrics
+module Status = Status
 
 external monotonic_ns : unit -> (int64[@unboxed])
   = "sbm_obs_monotonic_ns_byte" "sbm_obs_monotonic_ns"
@@ -90,6 +92,15 @@ let add span name n =
     | None -> Hashtbl.add tbl name (ref n))
 
 let incr span name = add span name 1
+
+(* A bump through a registered metric handle feeds both sinks: the
+   process-global registry (always — the live-telemetry sampler reads
+   it even when span tracing is off) and the span counter tree (when a
+   span is open — the BENCH snapshot totals come from there and stay
+   byte-identical to the pre-registry flush sites). *)
+let bump span m n =
+  Metrics.add m n;
+  add span (Metrics.name m) n
 
 (* --- freezing --- *)
 
@@ -329,7 +340,59 @@ let to_json trace =
       if i > 0 then Buffer.add_char b ',';
       go n)
     (spans trace);
-  Buffer.add_string b "]}";
+  Buffer.add_char b ']';
+  (* Additive live-telemetry payloads (trace version stays 2: readers
+     that only know "spans" ignore these keys). Emitted only when the
+     corresponding subsystem ran, so plain traces are unchanged. *)
+  let samples = Status.samples () in
+  if samples <> [] then begin
+    Buffer.add_string b ",\"samples\":[";
+    List.iteri
+      (fun i s ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Status.sample_to_json s))
+      samples;
+    Buffer.add_char b ']'
+  end;
+  let events = Flight_recorder.events () in
+  if events <> [] then begin
+    Buffer.add_string b ",\"events\":[";
+    List.iteri
+      (fun i (e : Flight_recorder.event) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"seq\":%d,\"t_ms\":%.3f,\"severity\":\"%s\",\"engine\":\"%s\",\"id\":\"%s\",\"message\":\"%s\",\"metrics\":"
+             e.Flight_recorder.seq
+             (Int64.to_float e.Flight_recorder.t_ns /. 1e6)
+             (Flight_recorder.severity_to_string e.Flight_recorder.severity)
+             (json_escape e.Flight_recorder.engine)
+             (json_escape e.Flight_recorder.id)
+             (json_escape e.Flight_recorder.message));
+        buf_counters b e.Flight_recorder.metrics;
+        Buffer.add_char b '}')
+      events;
+    Buffer.add_char b ']'
+  end;
+  let verdicts = Watchdog.verdicts () in
+  if verdicts <> [] then begin
+    Buffer.add_string b ",\"verdicts\":[";
+    List.iteri
+      (fun i (v : Watchdog.verdict) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"rule\":\"%s\",\"detail\":\"%s\",\"action\":\"%s\",\"t_ms\":%.3f}"
+             (json_escape v.Watchdog.rule)
+             (json_escape v.Watchdog.detail)
+             (match v.Watchdog.action with
+             | Watchdog.Note -> "note"
+             | Watchdog.Abort -> "abort")
+             (Int64.to_float v.Watchdog.t_ns /. 1e6)))
+      verdicts;
+    Buffer.add_char b ']'
+  end;
+  Buffer.add_char b '}';
   Buffer.contents b
 
 let to_jsonl trace =
@@ -481,6 +544,11 @@ module Postmortem = struct
          current_version (json_escape reason) (Unix.getpid ()));
     Buffer.add_string b
       (Printf.sprintf ",\"elapsed_ms\":%.3f" (ms (Flight_recorder.elapsed_ns ())));
+    (* Absolute monotonic origin of the run: event [t_ms] values are
+       relative to it; [t_ns = t0_ns + t_ms*1e6] recovers absolute
+       clock readings for cross-process correlation ([--abs]). *)
+    Buffer.add_string b
+      (Printf.sprintf ",\"t0_ns\":%Ld" (Flight_recorder.t0_ns ()));
     (* Open spans, outermost first: the path from the flow root down
        to wherever the run died. *)
     Buffer.add_string b ",\"span_stack\":[";
@@ -515,9 +583,10 @@ module Postmortem = struct
         if i > 0 then Buffer.add_char b ',';
         Buffer.add_string b
           (Printf.sprintf
-             "{\"seq\":%d,\"t_ms\":%.3f,\"severity\":\"%s\",\"engine\":\"%s\",\"id\":\"%s\",\"message\":\"%s\",\"metrics\":"
+             "{\"seq\":%d,\"t_ms\":%.3f,\"t_ns\":%Ld,\"severity\":\"%s\",\"engine\":\"%s\",\"id\":\"%s\",\"message\":\"%s\",\"metrics\":"
              e.Flight_recorder.seq
              (ms e.Flight_recorder.t_ns)
+             (Int64.add (Flight_recorder.t0_ns ()) e.Flight_recorder.t_ns)
              (Flight_recorder.severity_to_string e.Flight_recorder.severity)
              (json_escape e.Flight_recorder.engine)
              (json_escape e.Flight_recorder.id)

@@ -28,6 +28,16 @@ module Watchdog = Watchdog
 (** Threshold evaluation, heartbeats and graceful aborts; see
     {!Watchdog}. *)
 
+module Metrics = Metrics
+(** Process-global typed metrics registry (counters/gauges/histograms
+    with name/kind/unit/engine/description metadata); see {!Metrics}.
+    Engines bump registered handles through {!bump} so the same event
+    feeds both the span tree and the live registry. *)
+
+module Status = Status
+(** Periodic sampler writing an atomic-rename JSONL status file from
+    the registry + open-span stack + watchdog state; see {!Status}. *)
+
 type trace
 (** A collector of closed spans. *)
 
@@ -70,6 +80,14 @@ val add : span -> string -> int -> unit
 
 (** [incr span name] is [add span name 1]. *)
 val incr : span -> string -> unit
+
+(** [bump span m n] feeds one event to both sinks: the process-global
+    {!Metrics} registry (always, so live telemetry sees untraced runs
+    too) and the span counter under the metric's registered name (when
+    [span] is live — snapshot totals are unchanged relative to calling
+    {!add} directly). Inside {!Metrics.capture} the registry half
+    lands in the worker shard for deterministic replay. *)
+val bump : span -> Metrics.t -> int -> unit
 
 (** {1 Introspection}
 
@@ -147,7 +165,10 @@ val pp : Format.formatter -> trace -> unit
 (** Nested JSON document:
     [{"version":2,"totals":{...},"histograms":{...},"spans":[...]}].
     Version 2 adds the top-level [histograms] object and a per-span
-    [gc] object. *)
+    [gc] object. When live telemetry ran, additive optional keys
+    follow: ["samples"] ({!Status} history), ["events"]
+    ({!Flight_recorder} ring) and ["verdicts"] ({!Watchdog}) — the
+    Perfetto exporter's counter/instant sources. *)
 val to_json : trace -> string
 
 (** One JSON object per line, spans flattened depth-first with a
@@ -232,10 +253,12 @@ module Postmortem : sig
   val configure : ?dir:string -> ?trace:trace -> unit -> unit
 
   (** The single-line JSON post-mortem document:
-      [{"version":1,"reason":...,"pid":...,"elapsed_ms":...,
+      [{"version":1,"reason":...,"pid":...,"elapsed_ms":...,"t0_ns":...,
       "span_stack":[{"name":...,"opened_ms":...}],
       "watchdog":[{"rule":...,"detail":...,"action":...,"t_ms":...}],
-      "counters":{...},"recorded":N,"dropped":N,"events":[...]}]. *)
+      "counters":{...},"recorded":N,"dropped":N,"events":[...]}].
+      [t0_ns] is the absolute monotonic enable time; each event
+      carries both run-relative [t_ms] and absolute [t_ns]. *)
   val to_json : reason:string -> unit -> string
 
   (** [path ()] is where {!dump} writes:

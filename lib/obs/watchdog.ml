@@ -38,6 +38,8 @@ type state = {
   mutable stall_streak : int;
   mutable heap_fired : bool;
   mutable last_beat_ns : int64;
+  mutable last_beat_pass : string; (* pass path at the last beat *)
+  mutable beats : int;
   mutable verdicts : verdict list; (* reversed *)
   (* Atomic so worker domains can read it lock-free; only the main
      domain ever writes (workers honour it at partition boundaries). *)
@@ -52,9 +54,25 @@ let st =
     stall_streak = 0;
     heap_fired = false;
     last_beat_ns = 0L;
+    last_beat_pass = "";
+    beats = 0;
     verdicts = [];
     abort = Atomic.make false;
   }
+
+(* When stderr is not a TTY (CI logs, redirects) the heartbeat fires
+   once per pass-path change instead of once per interval, so a long
+   pass leaves one line, not hundreds. [force_tty] lets tests pin the
+   decision without a pty. *)
+let force_tty : bool option ref = ref None
+
+let stderr_is_tty =
+  lazy (try Unix.isatty Unix.stderr with Unix.Unix_error _ -> false)
+
+let tty () =
+  match !force_tty with Some b -> b | None -> Lazy.force stderr_is_tty
+
+let beats () = st.beats
 
 let enabled () = st.config <> None
 
@@ -66,6 +84,8 @@ let arm config =
   st.stall_streak <- 0;
   st.heap_fired <- false;
   st.last_beat_ns <- 0L;
+  st.last_beat_pass <- "";
+  st.beats <- 0;
   st.verdicts <- [];
   Atomic.set st.abort false
 
@@ -152,13 +172,23 @@ let heartbeat config now =
   match config.heartbeat_ms with
   | None -> ()
   | Some interval ->
-    if ms_of_ns (Int64.sub now st.last_beat_ns) >= interval then begin
+    let where =
+      match st.passes with
+      | [] -> "-"
+      | fs -> String.concat ">" (List.rev_map (fun f -> f.p_name) fs)
+    in
+    let interval_due = ms_of_ns (Int64.sub now st.last_beat_ns) >= interval in
+    (* Interactive stderr: pulse every interval. Piped stderr: only
+       when the run moved to a different pass path (and the interval
+       elapsed, so a fast pass sequence doesn't spam either). *)
+    let due =
+      if tty () then interval_due
+      else interval_due && where <> st.last_beat_pass
+    in
+    if due then begin
       st.last_beat_ns <- now;
-      let where =
-        match st.passes with
-        | [] -> "-"
-        | fs -> String.concat ">" (List.rev_map (fun f -> f.p_name) fs)
-      in
+      st.last_beat_pass <- where;
+      st.beats <- st.beats + 1;
       Printf.eprintf "[sbm %7.1fs] pass=%s heap=%.0fMB events=%d verdicts=%d\n%!"
         (ms_of_ns now /. 1000.0) where (heap_mb ()) (FR.recorded ())
         (List.length st.verdicts)

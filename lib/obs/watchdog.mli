@@ -87,4 +87,15 @@ val note_round : gain:int -> unit
 val poll : unit -> unit
 (** Evaluate time- and memory-based rules and emit a heartbeat if one
     is due. Engines call this at partition/round boundaries; it is a
-    single branch when disarmed. *)
+    single branch when disarmed. When stderr is not a TTY the
+    heartbeat is throttled to one line per pass-path change (CI logs
+    get a pass trail, not a pulse train). *)
+
+(** {1 Heartbeat test hooks} *)
+
+val force_tty : bool option ref
+(** Override the stderr-is-a-TTY decision ([None] = ask [Unix.isatty];
+    test hook for exercising both throttle modes without a pty). *)
+
+val beats : unit -> int
+(** Heartbeat lines printed since {!arm}. *)

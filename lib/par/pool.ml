@@ -32,10 +32,16 @@ type t = {
 
 let jobs t = t.jobs
 
+(* Outstanding jobs of the current batch, for the live dashboard. A
+   gauge is observational (never compared across job counts), so
+   racing worker updates are fine. *)
+let set_queue_depth n = Sbm_obs.Metrics.set Sbm_obs.Metrics.pool_queue_depth n
+
 let exec_batch t b =
   let rec loop () =
     let i = Atomic.fetch_and_add b.next 1 in
     if i < b.total then begin
+      set_queue_depth (max 0 (b.total - i - 1));
       if not (Atomic.get b.cancelled) then b.run1 i;
       let done_now = 1 + Atomic.fetch_and_add b.completed 1 in
       if done_now = b.total then begin
@@ -111,6 +117,7 @@ let run (type a) t n (f : int -> a) : a array =
     Mutex.lock t.mutex;
     t.current <- Some b;
     t.generation <- t.generation + 1;
+    set_queue_depth n;
     Condition.broadcast t.cond;
     Mutex.unlock t.mutex;
     exec_batch t b;
@@ -119,6 +126,7 @@ let run (type a) t n (f : int -> a) : a array =
       Condition.wait t.done_cond t.mutex
     done;
     t.current <- None;
+    set_queue_depth 0;
     Mutex.unlock t.mutex;
     let first_error = Array.find_opt (fun e -> e <> None) errors in
     match first_error with

@@ -1,0 +1,22 @@
+(** Registered-metric catalog for [sbm metrics].
+
+    Renders the process-global metrics registry (populated by linking
+    the engines — no run needed) as text or JSON, and checks it
+    against the metric table documented in DESIGN.md so code and docs
+    cannot drift apart silently. *)
+
+val to_text : unit -> string
+(** Aligned text table of every registered metric:
+    name, kind, unit, engine, description. *)
+
+val to_json : unit -> string
+(** Same catalog as a JSON document:
+    [{"version":1,"metrics":[{"name":...,"kind":...,...},...]}]. *)
+
+val check : string -> (int, string list) result
+(** [check doc_src] compares the registry against the markdown metric
+    table in [doc_src] (rows whose first cell is a backticked metric
+    name, then kind / unit / engine cells). [Ok n] when the [n]
+    registered metrics all match; [Error msgs] lists each drift —
+    missing from the doc, documented but unregistered, or mismatched
+    kind/unit/engine. *)

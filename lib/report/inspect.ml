@@ -1,6 +1,7 @@
 type event = {
   seq : int;
   t_ms : float;
+  t_ns : float option; (* absolute monotonic ns, dumps that carry it *)
   severity : string;
   engine : string;
   id : string;
@@ -17,6 +18,7 @@ type dump = {
   reason : string;
   pid : int;
   elapsed_ms : float;
+  t0_ns : float option; (* absolute monotonic ns of recorder start *)
   span_stack : frame list;
   verdicts : verdict list;
   counters : (string * int) list;
@@ -47,6 +49,7 @@ let event_of_json j =
   {
     seq = int_ "seq" j;
     t_ms = float_ "t_ms" j;
+    t_ns = Json.to_float (Json.member "t_ns" j);
     severity = str ~default:"info" "severity" j;
     engine = str ~default:"?" "engine" j;
     id = str "id" j;
@@ -85,6 +88,7 @@ let of_json s =
             reason = str ~default:"?" "reason" json;
             pid = int_ "pid" json;
             elapsed_ms = float_ "elapsed_ms" json;
+            t0_ns = Json.to_float (Json.member "t0_ns" json);
             span_stack =
               List.map frame_of_json (Json.to_list (Json.member "span_stack" json));
             verdicts =
@@ -113,7 +117,26 @@ let pp_metrics ppf = function
       (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (k, v) -> Fmt.pf ppf "%s=%d" k v))
       metrics
 
-let pp ?(last = 20) ppf d =
+(* Timestamp column. Default: delta from run start ("+123.4 ms" —
+   that is what t_ms already measures). --abs: the absolute monotonic
+   clock in ns, taken from the event's own t_ns when the dump carries
+   one, reconstructed from t0_ns + t_ms otherwise. Dumps predating
+   t0_ns fall back to deltas even under --abs. *)
+let pp_stamp ~abs t0_ns ppf (t_ms, t_ns) =
+  let absolute =
+    if not abs then None
+    else
+      match (t_ns, t0_ns) with
+      | Some ns, _ -> Some ns
+      | None, Some t0 -> Some (t0 +. (t_ms *. 1e6))
+      | None, None -> None
+  in
+  match absolute with
+  | Some ns -> Fmt.pf ppf "[%18.0f ns]" ns
+  | None -> Fmt.pf ppf "[%+10.1f ms]" t_ms
+
+let pp ?(last = 20) ?(abs = false) ppf d =
+  let stamp = pp_stamp ~abs d.t0_ns in
   Fmt.pf ppf "post-mortem dump (version %d)@." d.version;
   Fmt.pf ppf "  reason:  %s@." d.reason;
   Fmt.pf ppf "  pid:     %d   elapsed: %.1f s@." d.pid (d.elapsed_ms /. 1000.0);
@@ -122,14 +145,17 @@ let pp ?(last = 20) ppf d =
   if d.span_stack = [] then Fmt.pf ppf "  (none)@."
   else
     List.iter
-      (fun f -> Fmt.pf ppf "  %-32s opened at %10.1f ms@." f.frame_name f.opened_ms)
+      (fun f ->
+        Fmt.pf ppf "  %-32s opened at %a@." f.frame_name stamp
+          (f.opened_ms, None))
       d.span_stack;
   Fmt.pf ppf "@.watchdog verdicts:@.";
   if d.verdicts = [] then Fmt.pf ppf "  (none)@."
   else
     List.iter
       (fun v ->
-        Fmt.pf ppf "  [%10.1f ms] %s (%s): %s@." v.v_t_ms v.rule v.action v.detail)
+        Fmt.pf ppf "  %a %s (%s): %s@." stamp (v.v_t_ms, None) v.rule v.action
+          v.detail)
       d.verdicts;
   let total = List.length d.events in
   let shown = min last total in
@@ -139,7 +165,7 @@ let pp ?(last = 20) ppf d =
     List.iteri
       (fun i e ->
         if i >= total - shown then
-          Fmt.pf ppf "  [%10.1f ms] %-5s %-10s %-14s %s%a@." e.t_ms
+          Fmt.pf ppf "  %a %-5s %-10s %-14s %s%a@." stamp (e.t_ms, e.t_ns)
             (String.uppercase_ascii e.severity)
             e.engine e.id e.message pp_metrics e.metrics)
       d.events;
@@ -181,6 +207,9 @@ let to_json d =
     (Printf.sprintf
        "{\"version\":%d,\"reason\":\"%s\",\"pid\":%d,\"elapsed_ms\":%.3f"
        d.version (escape d.reason) d.pid d.elapsed_ms);
+  (match d.t0_ns with
+  | Some t0 -> Buffer.add_string b (Printf.sprintf ",\"t0_ns\":%.0f" t0)
+  | None -> ());
   Buffer.add_string b ",\"span_stack\":[";
   List.iteri
     (fun i f ->
@@ -206,10 +235,14 @@ let to_json d =
   List.iteri
     (fun i e ->
       if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "{\"seq\":%d,\"t_ms\":%.3f" e.seq e.t_ms);
+      (match e.t_ns with
+      | Some ns -> Buffer.add_string b (Printf.sprintf ",\"t_ns\":%.0f" ns)
+      | None -> ());
       Buffer.add_string b
         (Printf.sprintf
-           "{\"seq\":%d,\"t_ms\":%.3f,\"severity\":\"%s\",\"engine\":\"%s\",\"id\":\"%s\",\"message\":\"%s\",\"metrics\":"
-           e.seq e.t_ms (escape e.severity) (escape e.engine) (escape e.id)
+           ",\"severity\":\"%s\",\"engine\":\"%s\",\"id\":\"%s\",\"message\":\"%s\",\"metrics\":"
+           (escape e.severity) (escape e.engine) (escape e.id)
            (escape e.message));
       buf_counters b e.metrics;
       Buffer.add_char b '}')

@@ -10,7 +10,9 @@
 
 type event = {
   seq : int;
-  t_ms : float;
+  t_ms : float;  (** delta from recorder start *)
+  t_ns : float option;
+      (** absolute monotonic clock, present in dumps that carry it *)
   severity : string;  (** "debug" | "info" | "warn" | "error" *)
   engine : string;
   id : string;
@@ -33,6 +35,8 @@ type dump = {
   reason : string;
   pid : int;
   elapsed_ms : float;
+  t0_ns : float option;
+      (** absolute monotonic clock at recorder start, when present *)
   span_stack : frame list;  (** outermost first *)
   verdicts : verdict list;
   counters : (string * int) list;
@@ -53,10 +57,13 @@ val of_json : string -> (dump, string) result
     stdin. *)
 val load : string -> (dump, string) result
 
-(** [pp ?last ppf dump] renders the human report: header, open span
-    stack, watchdog verdicts, the last [last] (default 20) timeline
-    events, and non-zero counters. *)
-val pp : ?last:int -> Format.formatter -> dump -> unit
+(** [pp ?last ?abs ppf dump] renders the human report: header, open
+    span stack, watchdog verdicts, the last [last] (default 20)
+    timeline events, and non-zero counters. Timestamps print as deltas
+    from run start ("+123.4 ms"); with [abs] they print the absolute
+    monotonic clock in ns instead (falling back to deltas for dumps
+    that predate [t0_ns]). *)
+val pp : ?last:int -> ?abs:bool -> Format.formatter -> dump -> unit
 
 (** [to_json dump] re-emits the dump in its canonical schema (the
     [--json] output; round-trips through {!of_json}). *)

@@ -1,0 +1,33 @@
+(** [sbm top] — live dashboard over a [--status] JSONL file.
+
+    The sampler rewrites the status file whole via atomic rename, so
+    every poll reads a complete history: one JSON sample per line,
+    oldest first. *)
+
+type view = {
+  seq : int;
+  t_ms : float;
+  pass : string;  (** open-span path, [">"]-joined, outermost first *)
+  counters : (string * float) list;
+  gauges : (string * float) list;
+  verdicts : int;
+  abort : bool;
+  finished : bool;
+}
+
+val load : string -> (view list, string) result
+(** Parse a status file into views, oldest first. [Error] when the
+    file is unreadable or holds no parsable samples. *)
+
+val render : ?prev:view -> view -> string
+(** One plain-text screenful for [view]: header, open-span path,
+    non-zero counters with per-second rates derived from [prev], then
+    gauges. Pure — no ANSI control sequences. *)
+
+val run : ?refresh_ms:float -> ?once:bool -> string -> int
+(** Poll [path] every [refresh_ms] (default 500) and redraw, clearing
+    the screen between frames when stdout is a TTY. Returns the
+    process exit code: 0 once the run's [finished] sample appears (or
+    immediately with [once]); 2 when [once] finds no readable
+    sample file. While looping, a missing file means the run has not
+    started yet — keeps waiting. *)

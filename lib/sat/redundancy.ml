@@ -73,13 +73,11 @@ let bypass_safe obs ?on_cex solver_limit aig v cand =
   else begin
     ignore (Solver.add_clause solver diffs);
     let result = Solver.solve ~conflict_limit:solver_limit solver in
-    if Sbm_obs.enabled obs then begin
-      Sbm_obs.incr obs "redundancy.sat_calls";
-      Sbm_obs.add obs "sat.conflicts" (Solver.num_conflicts solver);
-      Sbm_obs.add obs "sat.decisions" (Solver.num_decisions solver);
-      Sbm_obs.add obs "sat.propagations" (Solver.num_propagations solver);
-      Sbm_obs.add obs "sat.restarts" (Solver.num_restarts solver)
-    end;
+    Sbm_obs.bump obs Sat_metrics.redundancy_sat_calls 1;
+    Sbm_obs.bump obs Sat_metrics.conflicts (Solver.num_conflicts solver);
+    Sbm_obs.bump obs Sat_metrics.decisions (Solver.num_decisions solver);
+    Sbm_obs.bump obs Sat_metrics.propagations (Solver.num_propagations solver);
+    Sbm_obs.bump obs Sat_metrics.restarts (Solver.num_restarts solver);
     match result with
     | Solver.Unsat -> true
     | Solver.Sat ->
@@ -120,8 +118,6 @@ let run ?(obs = Sbm_obs.null) ?(conflict_limit = 1000) ?(max_candidates = 200)
         if not (try_cand f0) then ignore (try_cand f1)
       end)
     order;
-  if Sbm_obs.enabled obs then begin
-    Sbm_obs.add obs "redundancy.tried" !tried;
-    Sbm_obs.add obs "redundancy.removed" !removed
-  end;
+  Sbm_obs.bump obs Sat_metrics.redundancy_tried !tried;
+  Sbm_obs.bump obs Sat_metrics.redundancy_removed !removed;
   !removed

@@ -113,14 +113,14 @@ let run ?(obs = Sbm_obs.null) ?(sim_rounds = 4) ?(conflict_limit = 1000) ?on_cex
            ("merged", !merged); ("restarts", Solver.num_restarts solver) ]
        "sweep done");
   Sbm_obs.Watchdog.poll ();
-  if Sbm_obs.enabled obs then begin
-    Sbm_obs.add obs "sweep.classes" (Hashtbl.length classes);
-    Sbm_obs.add obs "sweep.sat_calls" !sat_calls;
-    Sbm_obs.add obs "sweep.merged" !merged;
-    Sbm_obs.add obs "sat.conflicts" (Solver.num_conflicts solver);
-    Sbm_obs.add obs "sat.decisions" (Solver.num_decisions solver);
-    Sbm_obs.add obs "sat.propagations" (Solver.num_propagations solver);
-    Sbm_obs.add obs "sat.restarts" (Solver.num_restarts solver)
-  end;
+  (* Registered-handle bumps feed the span tree (when tracing) and the
+     process-global registry (always, for live telemetry). *)
+  Sbm_obs.bump obs Sat_metrics.sweep_classes (Hashtbl.length classes);
+  Sbm_obs.bump obs Sat_metrics.sweep_sat_calls !sat_calls;
+  Sbm_obs.bump obs Sat_metrics.sweep_merged !merged;
+  Sbm_obs.bump obs Sat_metrics.conflicts (Solver.num_conflicts solver);
+  Sbm_obs.bump obs Sat_metrics.decisions (Solver.num_decisions solver);
+  Sbm_obs.bump obs Sat_metrics.propagations (Solver.num_propagations solver);
+  Sbm_obs.bump obs Sat_metrics.restarts (Solver.num_restarts solver);
   let swept, _ = Aig.compact aig in
   (swept, !merged)

@@ -25,4 +25,5 @@ let () =
       ("report", Test_report.suite);
       ("par", Test_par.suite);
       ("prefilter", Test_prefilter.suite);
+      ("metrics", Test_metrics.suite);
     ]
