@@ -511,7 +511,15 @@ let bench_cmd =
     in
     Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N" ~doc)
   in
-  let run level common names flow seed scale label out hist repeat =
+  let ledger_arg =
+    let doc =
+      "Append one JSONL run record (the full snapshot keyed by timestamp, \
+       commit from $(b,SBM_COMMIT), flow and job count) to $(docv); render \
+       trends from it with $(b,sbm history)."
+    in
+    Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE" ~doc)
+  in
+  let run level common names flow seed scale label out hist repeat ledger =
     setup_logs level;
     setup_common common;
     let obs_opts = common.obs in
@@ -533,10 +541,19 @@ let bench_cmd =
         | [] -> Epfl.quick_set
         | l -> l
       in
+      (* Per-pass ledger: always on under bench, so every snapshot
+         carries the passes array. The LUT probe closes the QoR loop
+         per pass (the mapper library sits above sbm_core). *)
+      Sbm_core.Flow.ledger_qor_probe :=
+        Some
+          (fun aig ->
+            let m = Sbm_lutmap.Lut_map.map ~k:6 aig in
+            (m.Sbm_lutmap.Lut_map.lut_count, m.Sbm_lutmap.Lut_map.depth));
       let entry b =
         let bench = Epfl.name b in
         let seed_opt = if seed = 0 then None else Some seed in
         let run_once () =
+          Sbm_obs.Ledger.enable ();
           let aig = Epfl.generate ~scale ?seed:seed_opt b in
           let trace = Sbm_obs.create () in
           (* Point a pending crash dump at the benchmark being run. *)
@@ -563,17 +580,17 @@ let bench_cmd =
               levels = mapping.Sbm_lutmap.Lut_map.depth;
             }
           in
-          (Aig.size aig, qor, wall_ms, trace)
+          (Aig.size aig, qor, wall_ms, trace, Sbm_obs.Ledger.rows ())
         in
         let runs = List.init repeat (fun _ -> run_once ()) in
-        let size_in, qor, _, trace = List.hd runs in
+        let size_in, qor, _, trace, passes = List.hd runs in
         List.iter
-          (fun (_, q, _, _) ->
+          (fun (_, q, _, _, _) ->
             if q <> qor then
               failwith (bench ^ ": QoR differs across repeated runs"))
           runs;
         let walls =
-          List.sort Float.compare (List.map (fun (_, _, w, _) -> w) runs)
+          List.sort Float.compare (List.map (fun (_, _, w, _, _) -> w) runs)
         in
         (* Lower median: robust against container noise, deterministic
            for even repeat counts. *)
@@ -612,7 +629,7 @@ let bench_cmd =
           end
           else counters
         in
-        { Sbm_obs.Snapshot.bench; qor; wall_ms; counters }
+        { Sbm_obs.Snapshot.bench; qor; wall_ms; counters; passes }
       in
       let label =
         if label <> "" then label
@@ -622,10 +639,29 @@ let bench_cmd =
         Sbm_obs.Snapshot.make ~label ~seed (List.map entry benches)
       in
       Sbm_obs.Status.stop ();
+      Sbm_obs.Ledger.disable ();
       (match Sbm_obs.Snapshot.write snapshot out with
-      | () -> Fmt.pr "snapshot (%d benchmarks) written to %s@."
-                (List.length benches) out;
-              `Ok ()
+      | () -> (
+        Fmt.pr "snapshot (%d benchmarks) written to %s@."
+          (List.length benches) out;
+        match ledger with
+        | None -> `Ok ()
+        | Some path -> (
+          let record =
+            {
+              Sbm_report.History.t = Unix.time ();
+              commit =
+                Option.value ~default:"" (Sys.getenv_opt "SBM_COMMIT");
+              flow = Sbm_core.Flow.to_string flow;
+              jobs = Sbm_par.Jobs.get ();
+              snapshot;
+            }
+          in
+          match Sbm_report.History.append_run ~path record with
+          | Ok () ->
+            Fmt.pr "ledger record appended to %s@." path;
+            `Ok ()
+          | Error msg -> `Error (false, "cannot append ledger: " ^ msg)))
       | exception Sys_error msg ->
         `Error (false, "cannot write snapshot: " ^ msg))
   in
@@ -633,7 +669,8 @@ let bench_cmd =
     Term.(
       ret
         (const run $ logs_arg $ common_opts_term $ benches_arg $ flow_arg
-       $ seed_arg $ scale_arg $ label_arg $ out_arg $ hist_arg $ repeat_arg))
+       $ seed_arg $ scale_arg $ label_arg $ out_arg $ hist_arg $ repeat_arg
+       $ ledger_arg))
   in
   Cmd.v
     (Cmd.info "bench"
@@ -666,10 +703,19 @@ let diff_cmd =
   in
   let ignore_time_arg =
     let doc =
-      "Never classify a wall-time increase as a regression (for gating on \
-       machines not comparable to the baseline host)."
+      "Drop wall time from the comparison entirely — no time verdicts, no \
+       speedup column — so QoR-only gating output is stable across \
+       machines."
     in
     Arg.(value & flag & info [ "ignore-time" ] ~doc)
+  in
+  let per_pass_arg =
+    let doc =
+      "Align the per-pass ledger rows of the two snapshots and classify \
+       each pass, localizing a QoR or wall-time delta to the pass that \
+       introduced it. A pass-sequence mismatch is a regression."
+    in
+    Arg.(value & flag & info [ "per-pass" ] ~doc)
   in
   let counters_arg =
     let doc = "Also print changed engine counters per benchmark." in
@@ -682,7 +728,8 @@ let diff_cmd =
     in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run old_path new_path threshold time_threshold ignore_time counters json =
+  let run old_path new_path threshold time_threshold ignore_time per_pass
+      counters json =
     let load path =
       match Sbm_report.Report.load_snapshot path with
       | Ok s -> `Ok s
@@ -692,28 +739,44 @@ let diff_cmd =
     | `Bad msg, _ | _, `Bad msg -> `Error (false, msg)
     | `Ok old_snap, `Ok new_snap ->
       let tolerance =
-        {
-          Sbm_report.Report.qor_pct = threshold;
-          time_pct = (if ignore_time then infinity else time_threshold);
-        }
+        { Sbm_report.Report.qor_pct = threshold; time_pct = time_threshold }
       in
-      let d = Sbm_report.Report.diff ~tolerance old_snap new_snap in
-      if json then print_endline (Sbm_report.Report.to_json d)
+      if per_pass then begin
+        let d =
+          Sbm_report.Report.diff_passes ~tolerance ~ignore_time old_snap
+            new_snap
+        in
+        if json then print_endline (Sbm_report.Report.passes_to_json d)
+        else begin
+          Fmt.pr "old: %s@.new: %s@." old_snap.Sbm_obs.Snapshot.label
+            new_snap.Sbm_obs.Snapshot.label;
+          Fmt.pr "%a" Sbm_report.Report.pp_passes d
+        end;
+        let code = Sbm_report.Report.passes_exit_code d in
+        if code <> 0 then Stdlib.exit code;
+        `Ok ()
+      end
       else begin
-        Fmt.pr "old: %s@.new: %s@." old_snap.Sbm_obs.Snapshot.label
-          new_snap.Sbm_obs.Snapshot.label;
-        Fmt.pr "%a" Sbm_report.Report.pp d;
-        if counters then Fmt.pr "%a" Sbm_report.Report.pp_counters d
-      end;
-      let code = Sbm_report.Report.exit_code d in
-      if code <> 0 then Stdlib.exit code;
-      `Ok ()
+        let d =
+          Sbm_report.Report.diff ~tolerance ~ignore_time old_snap new_snap
+        in
+        if json then print_endline (Sbm_report.Report.to_json d)
+        else begin
+          Fmt.pr "old: %s@.new: %s@." old_snap.Sbm_obs.Snapshot.label
+            new_snap.Sbm_obs.Snapshot.label;
+          Fmt.pr "%a" Sbm_report.Report.pp d;
+          if counters then Fmt.pr "%a" Sbm_report.Report.pp_counters d
+        end;
+        let code = Sbm_report.Report.exit_code d in
+        if code <> 0 then Stdlib.exit code;
+        `Ok ()
+      end
   in
   let term =
     Term.(
       ret
         (const run $ old_arg $ new_arg $ threshold_arg $ time_threshold_arg
-       $ ignore_time_arg $ counters_arg $ json_arg))
+       $ ignore_time_arg $ per_pass_arg $ counters_arg $ json_arg))
   in
   Cmd.v
     (Cmd.info "diff"
@@ -1002,6 +1065,41 @@ let metrics_cmd =
           documented in DESIGN.md")
     term
 
+(* --- history --- *)
+
+let history_cmd =
+  let ledger_arg =
+    let doc = "Ledger JSONL file written by $(b,sbm bench --ledger)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"LEDGER.jsonl" ~doc)
+  in
+  let bench_arg =
+    let doc = "Restrict the table to one benchmark." in
+    Arg.(value & opt (some string) None & info [ "bench" ] ~docv:"NAME" ~doc)
+  in
+  let metric_arg =
+    let doc =
+      "Metric to trend: "
+      ^ String.concat ", " Sbm_report.History.qor_metrics
+      ^ ", or any snapshot counter name."
+    in
+    Arg.(value & opt string "size" & info [ "metric" ] ~docv:"M" ~doc)
+  in
+  let run path bench metric =
+    match Sbm_report.History.load path with
+    | Error msg -> `Error (false, msg)
+    | Ok [] -> `Error (false, path ^ ": no parsable ledger records")
+    | Ok runs ->
+      print_string (Sbm_report.History.table ?bench ~metric runs);
+      `Ok ()
+  in
+  let term = Term.(ret (const run $ ledger_arg $ bench_arg $ metric_arg)) in
+  Cmd.v
+    (Cmd.info "history"
+       ~doc:
+         "Render run-over-run QoR trend tables from a bench ledger, \
+          flagging metrics that got worse than the previous run")
+    term
+
 let () =
   let doc = "Scalable Boolean Methods in a modern synthesis flow" in
   let info = Cmd.info "sbm" ~version:"1.0.0" ~doc in
@@ -1009,8 +1107,8 @@ let () =
     Cmd.group info
       [
         stats_cmd; generate_cmd; opt_cmd; lutmap_cmd; asic_cmd; cec_cmd;
-        bench_cmd; diff_cmd; attribute_cmd; profile_cmd; inspect_cmd;
-        top_cmd; metrics_cmd;
+        bench_cmd; diff_cmd; history_cmd; attribute_cmd; profile_cmd;
+        inspect_cmd; top_cmd; metrics_cmd;
       ]
   in
   exit (Cmd.eval group)

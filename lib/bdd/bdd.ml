@@ -42,6 +42,10 @@ type man = {
   mutable unique_misses : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  (* Occupancy of the computed cache: slots with a non-zero tag. A
+     valid tag is never 0 (the first operand is an internal node, so
+     >= 2), so stores into an empty slot are detectable in O(1). *)
+  mutable cache_occupied : int;
 }
 
 type stats = {
@@ -50,6 +54,9 @@ type stats = {
   unique_misses : int;
   cache_hits : int;
   cache_misses : int;
+  unique_capacity : int;
+  cache_slots : int;
+  cache_occupied : int;
 }
 
 let terminal_var = max_int
@@ -74,6 +81,7 @@ let create ?(node_limit = max_int) () =
     unique_misses = 0;
     cache_hits = 0;
     cache_misses = 0;
+    cache_occupied = 0;
   }
 
 let stats man =
@@ -83,6 +91,9 @@ let stats man =
     unique_misses = man.unique_misses;
     cache_hits = man.cache_hits;
     cache_misses = man.cache_misses;
+    unique_capacity = man.unique_mask + 1;
+    cache_slots = man.cache_mask + 1;
+    cache_occupied = man.cache_occupied;
   }
 
 let num_nodes man = man.n
@@ -152,7 +163,8 @@ let unique_grow man =
   let cache_slots = man.cache_mask + 1 in
   if cache_slots < ncap && cache_slots < max_cache_slots then begin
     man.cache <- Array.make (cache_slots * 2 * 4) 0;
-    man.cache_mask <- (cache_slots * 2) - 1
+    man.cache_mask <- (cache_slots * 2) - 1;
+    man.cache_occupied <- 0
   end
 
 let mk man v lo hi =
@@ -221,6 +233,7 @@ let cache_store man op a b c r =
   (* Recompute the slot: recursive calls may have grown the cache. *)
   let i = cache_slot man op a b c in
   let cache = man.cache in
+  if cache.(i) = 0 then man.cache_occupied <- man.cache_occupied + 1;
   cache.(i) <- (a lsl 20) lor op;
   cache.(i + 1) <- b;
   cache.(i + 2) <- c;
@@ -489,4 +502,6 @@ let to_tt man b ~nvars =
   in
   go b
 
-let clear_cache man = Array.fill man.cache 0 (Array.length man.cache) 0
+let clear_cache man =
+  Array.fill man.cache 0 (Array.length man.cache) 0;
+  man.cache_occupied <- 0

@@ -33,13 +33,19 @@ val num_nodes : man -> int
     the Boolean engines. [unique_hits]/[unique_misses] count
     unique-table lookups in [mk] (a miss allocates a node);
     [cache_hits]/[cache_misses] count computed-cache lookups across
-    all memoized operations. *)
+    all memoized operations. [unique_capacity] is the current
+    open-addressing table size (load factor = (nodes-2) /
+    unique_capacity), [cache_slots]/[cache_occupied] the computed
+    cache's slot count and the number of slots holding an entry. *)
 type stats = {
   nodes : int;
   unique_hits : int;
   unique_misses : int;
   cache_hits : int;
   cache_misses : int;
+  unique_capacity : int;
+  cache_slots : int;
+  cache_occupied : int;
 }
 
 (** [stats man] reads the counters (cheap; no reset). *)

@@ -35,6 +35,18 @@ let m_limit_bails =
   M.counter ~engine:"bdd" ~unit_:"bails" "bdd.limit_bails"
     "BDD node-budget bail-outs (partition keeps a partial table)"
 
+(* Occupancy gauges, raised via [set_max] so concurrent flushes and
+   the per-pass ledger (which drains them at pass boundaries) never
+   depend on write order. *)
+let m_unique_load_pct =
+  M.gauge ~engine:"bdd" ~unit_:"pct" "bdd.unique_load_pct"
+    "max open-addressing unique-table load factor since the last pass \
+     boundary (doubles at 75)"
+
+let m_cache_load_pct =
+  M.gauge ~engine:"bdd" ~unit_:"pct" "bdd.cache_load_pct"
+    "max computed-cache slot occupancy since the last pass boundary"
+
 type t = {
   aig : Aig.t;
   man : Bdd.man;
@@ -76,6 +88,13 @@ let flush_stats ?(engine = "bdd") t obs =
   let bs = Bdd.stats t.man in
   let upct = hit_pct bs.Bdd.unique_hits bs.Bdd.unique_misses in
   let cpct = hit_pct bs.Bdd.cache_hits bs.Bdd.cache_misses in
+  (* Load gauges update even without a span sink: the ledger consumes
+     them through the registry alone. flush_stats runs on the main
+     domain in ascending partition order in every execution path, so
+     the maxima are job-count independent. *)
+  M.set_max m_unique_load_pct
+    (100 * (bs.Bdd.nodes - 2) / bs.Bdd.unique_capacity);
+  M.set_max m_cache_load_pct (100 * bs.Bdd.cache_occupied / bs.Bdd.cache_slots);
   if Obs.enabled obs then begin
     Obs.bump obs m_nodes bs.Bdd.nodes;
     Obs.bump obs m_unique_hits bs.Bdd.unique_hits;

@@ -14,6 +14,26 @@ let m_pass_ms =
   M.histogram ~engine:"flow" ~unit_:"ms" "flow.pass_ms"
     "wall time of scripted flow passes"
 
+let m_dead_node_pct =
+  M.gauge ~engine:"aig" ~unit_:"pct" "aig.dead_node_pct"
+    "dead (unreferenced) AIG node slots at the last pass boundary"
+
+(* Percentage of allocated node slots that are dead. [num_nodes] is
+   all allocated slots, [topo] the live inputs + ANDs; both are
+   deterministic at any --jobs, so ledger rows built from this are
+   too. *)
+let dead_node_pct aig =
+  let total = Aig.num_nodes aig in
+  if total = 0 then 0
+  else
+    let live = Array.length (Aig.topo aig) in
+    max 0 (100 * (total - live) / total)
+
+(* LUT-6 probe for the per-pass ledger, installed by the CLI (the
+   mapper lives above this library in the dependency order). When
+   unset, ledger rows carry -1 for luts/levels. *)
+let ledger_qor_probe : (Aig.t -> int * int) option ref = ref None
+
 type effort = Low | High
 
 type script = Baseline | Sbm of effort | Gradient | Diff | Mspf
@@ -102,7 +122,8 @@ module FR = Obs.Flight_recorder
 let pass obs name f aig =
   Aig.set_origin aig (origin_of_pass name);
   Obs.Watchdog.pass_started name;
-  if not (Obs.enabled obs) then begin
+  let ledger = Obs.Ledger.enabled () in
+  if (not (Obs.enabled obs)) && not ledger then begin
     check_injected_failure name;
     let aig = f Obs.null aig in
     Obs.Watchdog.pass_ended name;
@@ -110,22 +131,38 @@ let pass obs name f aig =
   end
   else begin
     let size0 = Aig.size aig in
+    let depth0 = Aig.depth aig in
     (* Live node-count gauge: only set where size is already computed
        (Aig.size is an O(live-nodes) traversal, not a field read). *)
     M.set M.live_aig_nodes size0;
     let t0 = Obs.monotonic_ns () in
-    let sp = Obs.span ~size:size0 ~depth:(Aig.depth aig) obs name in
+    let sp = Obs.span ~size:size0 ~depth:depth0 obs name in
     if FR.enabled () then
       FR.record ~severity:FR.Info ~engine:"flow" ~id:name
         ~metrics:[ ("size", size0) ]
         "pass start";
+    Obs.Ledger.pass_started name;
     check_injected_failure name;
     let aig = f sp aig in
     let size1 = Aig.size aig in
-    Obs.close ~size:size1 ~depth:(Aig.depth aig) sp;
+    let depth1 = Aig.depth aig in
+    Obs.close ~size:size1 ~depth:depth1 sp;
     M.set M.live_aig_nodes size1;
     M.observe m_pass_ms
       (Int64.to_int (Int64.div (Int64.sub (Obs.monotonic_ns ()) t0) 1_000_000L));
+    let dead = dead_node_pct aig in
+    M.set m_dead_node_pct dead;
+    M.set_max M.peak_heap_words (Gc.quick_stat ()).Gc.heap_words;
+    if ledger then begin
+      let luts, levels =
+        match !ledger_qor_probe with
+        | Some probe -> probe aig
+        | None -> (-1, -1)
+      in
+      Obs.Ledger.pass_ended ~size_before:size0 ~size_after:size1
+        ~depth_before:depth0 ~depth_after:depth1 ~luts ~levels
+        ~dead_node_pct:dead
+    end;
     if FR.enabled () then
       FR.record ~severity:FR.Info ~engine:"flow" ~id:name
         ~metrics:[ ("size", size1); ("gain", size0 - size1) ]

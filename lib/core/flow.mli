@@ -45,6 +45,12 @@ val of_string : string -> script option
     equivalent for driving a real [sbm] run to a crash. *)
 val inject_failure_after : int option ref
 
+(** LUT-6 probe for the per-pass ledger ({!Sbm_obs.Ledger}): maps the
+    network and returns [(luts, levels)]. Installed by the CLI — the
+    mapper library sits above this one in the dependency order. While
+    unset, ledger rows record [-1] for both. *)
+val ledger_qor_probe : (Sbm_aig.Aig.t -> int * int) option ref
+
 (** [run ?obs ?explain ?prefilter ?sim_words script aig] dispatches on
     [script]. The input is not modified. [explain], when given,
     receives one {!Gradient.event} per move the gradient engine

@@ -1,0 +1,230 @@
+(* Per-pass resource ledger.
+
+   One row per completed flow pass: QoR before/after, wall time, the
+   registry counter deltas attributable to the pass, GC allocation,
+   a peak-heap sample, and the BDD table / AIG occupancy gauges.
+
+   Determinism contract: every field except the resource samples
+   (wall_ns, minor/major words, heap_words) is bit-identical at any
+   --jobs. Counter deltas are differences of [Metrics.counters_now]
+   taken at pass boundaries on the main domain — worker shards have
+   already been replayed through the deterministic Par_merge order by
+   then. The BDD load gauges are written by [Bdd_bridge.flush_stats],
+   which only runs in [finish_partition] on the main domain in
+   ascending partition order, so their per-pass maxima are equally
+   job-count independent. [row_to_json ~stable:true] projects a row
+   onto the deterministic fields only; the jobs-identity test compares
+   that projection byte-for-byte. *)
+
+external monotonic_ns : unit -> (int64[@unboxed])
+  = "sbm_obs_monotonic_ns_byte" "sbm_obs_monotonic_ns"
+[@@noalloc]
+
+type row = {
+  path : string; (* slash-joined pass path, e.g. "iteration-1/mspf" *)
+  index : int; (* completion order within the run, from 0 *)
+  size_before : int;
+  size_after : int;
+  depth_before : int;
+  depth_after : int;
+  luts : int; (* LUT-6 count after the pass; -1 = not probed *)
+  levels : int; (* LUT levels after the pass; -1 = not probed *)
+  wall_ns : int64;
+  counters : (string * int) list; (* nonzero registry deltas, sorted *)
+  minor_words : float; (* words allocated during the pass *)
+  major_words : float;
+  heap_words : int; (* major heap size sampled at pass end *)
+  unique_load_pct : int; (* max BDD unique-table load during the pass *)
+  cache_load_pct : int; (* max computed-cache load during the pass *)
+  dead_node_pct : int; (* dead AIG slots after the pass *)
+}
+
+(* An open (started, not yet ended) pass. [u_max]/[c_max] accumulate
+   the BDD load gauges: the gauges are drained into every open frame
+   and reset whenever a pass starts or ends, so each frame sees the
+   maximum over exactly its own extent, nesting included. *)
+type frame = {
+  name : string;
+  t0 : int64;
+  counters0 : (string * int) list;
+  minor0 : float;
+  major0 : float;
+  mutable u_max : int;
+  mutable c_max : int;
+}
+
+type state = {
+  mutable enabled : bool;
+  mutable stack : frame list; (* innermost first *)
+  mutable rows : row list; (* newest first *)
+  mutable next_index : int;
+}
+
+let state = { enabled = false; stack = []; rows = []; next_index = 0 }
+
+let enabled () = state.enabled
+
+let reset () =
+  state.stack <- [];
+  state.rows <- [];
+  state.next_index <- 0
+
+let enable () =
+  reset ();
+  state.enabled <- true
+
+let disable () =
+  state.enabled <- false;
+  reset ()
+
+let find_gauge = Metrics.find
+
+(* Read-and-reset a gauge registered elsewhere (bdd_bridge); absent
+   until the BDD layer is linked, hence the option. *)
+let drain name =
+  match find_gauge name with
+  | None -> 0
+  | Some m ->
+    let v = Metrics.value m in
+    Metrics.set m 0;
+    v
+
+let drain_gauges () =
+  let u = drain "bdd.unique_load_pct" in
+  let c = drain "bdd.cache_load_pct" in
+  if u > 0 || c > 0 then
+    List.iter
+      (fun f ->
+        if u > f.u_max then f.u_max <- u;
+        if c > f.c_max then f.c_max <- c)
+      state.stack
+
+let pass_started name =
+  if state.enabled then begin
+    drain_gauges ();
+    let q = Gc.quick_stat () in
+    state.stack <-
+      {
+        name;
+        t0 = monotonic_ns ();
+        counters0 = Metrics.counters_now ();
+        minor0 = q.Gc.minor_words;
+        major0 = q.Gc.major_words;
+        u_max = 0;
+        c_max = 0;
+      }
+      :: state.stack
+  end
+
+let counter_delta before now =
+  (* Both lists are sorted by name (Metrics.counters_now) and [now]
+     can only have grown relative to [before] — registration happens
+     at module init, values are monotonic. *)
+  let rec go before now acc =
+    match (before, now) with
+    | _, [] -> List.rev acc
+    | [], (k, v) :: now -> go [] now (if v <> 0 then (k, v) :: acc else acc)
+    | (kb, vb) :: before', (kn, vn) :: now' ->
+      let c = String.compare kb kn in
+      if c = 0 then
+        go before' now' (if vn <> vb then (kn, vn - vb) :: acc else acc)
+      else if c > 0 then go before now' (if vn <> 0 then (kn, vn) :: acc else acc)
+      else go before' now acc
+  in
+  go before now []
+
+let pass_ended ~size_before ~size_after ~depth_before ~depth_after ~luts
+    ~levels ~dead_node_pct =
+  if state.enabled then begin
+    match state.stack with
+    | [] -> () (* unbalanced end: drop rather than corrupt the ledger *)
+    | f :: rest ->
+      drain_gauges ();
+      state.stack <- rest;
+      let q = Gc.quick_stat () in
+      let path =
+        List.fold_left (fun acc g -> g.name ^ "/" ^ acc) f.name rest
+      in
+      let row =
+        {
+          path;
+          index = state.next_index;
+          size_before;
+          size_after;
+          depth_before;
+          depth_after;
+          luts;
+          levels;
+          wall_ns = Int64.sub (monotonic_ns ()) f.t0;
+          counters = counter_delta f.counters0 (Metrics.counters_now ());
+          minor_words = q.Gc.minor_words -. f.minor0;
+          major_words = q.Gc.major_words -. f.major0;
+          heap_words = q.Gc.heap_words;
+          unique_load_pct = f.u_max;
+          cache_load_pct = f.c_max;
+          dead_node_pct;
+        }
+      in
+      state.next_index <- state.next_index + 1;
+      state.rows <- row :: state.rows
+  end
+
+let rows () = List.rev state.rows
+
+(* --- JSON --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* [stable] omits the resource samples that legitimately vary run to
+   run (wall, GC words, heap); everything else is covered by the
+   jobs-identity contract. *)
+let buf_row ?(stable = false) b r =
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"path\":\"%s\",\"index\":%d,\"size_before\":%d,\"size_after\":%d,\"depth_before\":%d,\"depth_after\":%d,\"luts\":%d,\"levels\":%d"
+       (json_escape r.path) r.index r.size_before r.size_after r.depth_before
+       r.depth_after r.luts r.levels);
+  if not stable then begin
+    Buffer.add_string b (Printf.sprintf ",\"wall_ns\":%Ld" r.wall_ns);
+    Buffer.add_string b
+      (Printf.sprintf ",\"minor_words\":%.0f,\"major_words\":%.0f,\"heap_words\":%d"
+         r.minor_words r.major_words r.heap_words)
+  end;
+  Buffer.add_string b
+    (Printf.sprintf
+       ",\"unique_load_pct\":%d,\"cache_load_pct\":%d,\"dead_node_pct\":%d,\"counters\":{"
+       r.unique_load_pct r.cache_load_pct r.dead_node_pct);
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" (json_escape k) v))
+    r.counters;
+  Buffer.add_string b "}}"
+
+let row_to_json ?stable r =
+  let b = Buffer.create 256 in
+  buf_row ?stable b r;
+  Buffer.contents b
+
+let rows_to_json ?stable rows =
+  let b = Buffer.create 4096 in
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      buf_row ?stable b r)
+    rows;
+  Buffer.add_char b ']';
+  Buffer.contents b

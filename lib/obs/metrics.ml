@@ -127,6 +127,12 @@ let set m v =
     invalid_arg ("Sbm_obs.Metrics.set on non-gauge " ^ m.name);
   Atomic.set m.cell v
 
+let rec set_max m v =
+  if m.kind <> Gauge then
+    invalid_arg ("Sbm_obs.Metrics.set_max on non-gauge " ^ m.name);
+  let cur = Atomic.get m.cell in
+  if v > cur && not (Atomic.compare_and_set m.cell cur v) then set_max m v
+
 let rec atomic_min cell v =
   let cur = Atomic.get cell in
   if v < cur && not (Atomic.compare_and_set cell cur v) then atomic_min cell v
@@ -227,6 +233,10 @@ let live_aig_nodes =
 let pool_queue_depth =
   gauge ~engine:"process" ~unit_:"jobs" "process.pool_queue_depth"
     "partition-analysis jobs outstanding in the current worker-pool batch"
+
+let peak_heap_words =
+  gauge ~engine:"process" ~unit_:"words" "process.peak_heap_words"
+    "high-water mark of the major heap sampled at pass and job boundaries"
 
 (* Registered here rather than in the CLI because the bench snapshot
    writer appends it to the counter totals; the catalog must list it

@@ -67,6 +67,11 @@ val incr : t -> unit
 val set : t -> int -> unit
 (** Gauge only. Always writes the global cell. *)
 
+val set_max : t -> int -> unit
+(** Gauge only: raise the cell to [v] if larger (atomic max). Safe
+    from any domain; used for high-water marks like peak heap and
+    table load factors, which must never depend on write order. *)
+
 val observe : t -> int -> unit
 (** Histogram only. *)
 
@@ -112,6 +117,11 @@ val live_aig_nodes : t
 
 val pool_queue_depth : t
 (** Gauge, set by the [lib/par] pool as batch items are claimed. *)
+
+val peak_heap_words : t
+(** Gauge, raised via {!set_max} by [Flow] at pass boundaries and by
+    pool workers as they claim jobs; the per-pass ledger reads it as a
+    peak-heap sample. *)
 
 val bench_wall_ms_min : t
 (** Gauge mirroring the [bench.wall_ms_min] snapshot counter written

@@ -2,6 +2,7 @@ module Flight_recorder = Flight_recorder
 module Watchdog = Watchdog
 module Metrics = Metrics
 module Status = Status
+module Ledger = Ledger
 
 external monotonic_ns : unit -> (int64[@unboxed])
   = "sbm_obs_monotonic_ns_byte" "sbm_obs_monotonic_ns"
@@ -480,11 +481,17 @@ module Snapshot = struct
     qor : qor;
     wall_ms : float;
     counters : (string * int) list;
+    passes : Ledger.row list;
   }
 
   type t = { version : int; label : string; seed : int; entries : entry list }
 
   let current_version = 1
+
+  (* Version of the per-entry "passes" array. The snapshot itself
+     stays at version 1 — the key is additive and old readers ignore
+     unknown members, matching the trace-v2 precedent. *)
+  let passes_version = 1
 
   let make ?(label = "") ?(seed = 0) entries =
     let entries =
@@ -496,9 +503,14 @@ module Snapshot = struct
 
   let to_json t =
     let b = Buffer.create 4096 in
+    let has_passes = List.exists (fun e -> e.passes <> []) t.entries in
+    Buffer.add_string b (Printf.sprintf "{\"version\":%d" t.version);
+    if has_passes then
+      Buffer.add_string b
+        (Printf.sprintf ",\"passes_version\":%d" passes_version);
     Buffer.add_string b
-      (Printf.sprintf "{\"version\":%d,\"label\":\"%s\",\"seed\":%d,\"entries\":["
-         t.version (json_escape t.label) t.seed);
+      (Printf.sprintf ",\"label\":\"%s\",\"seed\":%d,\"entries\":["
+         (json_escape t.label) t.seed);
     List.iteri
       (fun i e ->
         if i > 0 then Buffer.add_char b ',';
@@ -508,6 +520,10 @@ module Snapshot = struct
              (json_escape e.bench) e.qor.size e.qor.depth e.qor.luts
              e.qor.levels e.wall_ms);
         buf_counters b e.counters;
+        if e.passes <> [] then begin
+          Buffer.add_string b ",\"passes\":";
+          Buffer.add_string b (Ledger.rows_to_json e.passes)
+        end;
         Buffer.add_char b '}')
       t.entries;
     Buffer.add_string b "]}";

@@ -38,6 +38,11 @@ module Status = Status
 (** Periodic sampler writing an atomic-rename JSONL status file from
     the registry + open-span stack + watchdog state; see {!Status}. *)
 
+module Ledger = Ledger
+(** Per-pass resource ledger: one row per completed flow pass with
+    QoR deltas, counter deltas, GC/heap samples and occupancy gauges;
+    see {!Ledger}. *)
+
 type trace
 (** A collector of closed spans. *)
 
@@ -203,6 +208,9 @@ module Snapshot : sig
     qor : qor;
     wall_ms : float;  (** flow wall time for this benchmark *)
     counters : (string * int) list;  (** trace totals, sorted by name *)
+    passes : Ledger.row list;
+        (** per-pass ledger rows in completion order; [[]] when the
+            ledger was off (pre-ledger snapshots parse as [[]]) *)
   }
 
   type t = {
@@ -215,6 +223,12 @@ module Snapshot : sig
   (** Schema version written by {!make} (currently 1). Readers accept
       any version [<= current_version]. *)
   val current_version : int
+
+  (** Version of the additive per-entry ["passes"] array (the snapshot
+      version itself does not change — old readers ignore the key).
+      Emitted as a top-level ["passes_version"] member when any entry
+      carries rows. *)
+  val passes_version : int
 
   (** [make ?label ?seed entries] is a current-version snapshot with
       entries sorted by benchmark name. *)

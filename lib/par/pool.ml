@@ -42,6 +42,11 @@ let exec_batch t b =
     let i = Atomic.fetch_and_add b.next 1 in
     if i < b.total then begin
       set_queue_depth (max 0 (b.total - i - 1));
+      (* Peak-heap high-water mark (Gc heap stats describe the shared
+         major heap). set_max is an atomic max, so racing claims from
+         several domains are fine — the ledger samples it per pass. *)
+      Sbm_obs.Metrics.set_max Sbm_obs.Metrics.peak_heap_words
+        (Gc.quick_stat ()).Gc.heap_words;
       if not (Atomic.get b.cancelled) then b.run1 i;
       let done_now = 1 + Atomic.fetch_and_add b.completed 1 in
       if done_now = b.total then begin

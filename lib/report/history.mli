@@ -1,0 +1,49 @@
+(** Run-over-run ledger history.
+
+    [sbm bench --ledger FILE] appends one JSONL record per run — the
+    full QoR snapshot (per-pass ledger rows included) keyed by
+    timestamp, commit, flow and job count. [sbm history FILE] renders
+    run-over-run trend tables from it with regression flagging.
+
+    The file is append-only; {!load} skips unparsable lines (torn
+    final line from a killed run, foreign garbage) instead of
+    failing. *)
+
+(** Schema version of a ledger line (["schema"] member). Lines with a
+    newer schema are skipped by {!load}. *)
+val schema_version : int
+
+type run = {
+  t : float;  (** unix seconds; 0 when absent *)
+  commit : string;
+  flow : string;
+  jobs : int;
+  snapshot : Sbm_obs.Snapshot.t;
+}
+
+val run_to_json : run -> string
+(** One single-line JSON record:
+    [{"schema":1,"t":...,"commit":...,"flow":...,"jobs":...,
+    "snapshot":{...}}]. *)
+
+val append_run : path:string -> run -> (unit, string) result
+(** Append one record (creates the file if missing). *)
+
+val load : string -> (run list, string) result
+(** All parsable records, in file (= append) order. [Error] only on
+    open failure. *)
+
+val qor_metrics : string list
+(** The non-counter metrics {!table} accepts: size, depth, luts,
+    levels, wall_ms. Any snapshot counter name is also accepted. *)
+
+val metric_value : string -> Sbm_obs.Snapshot.entry -> float option
+(** The value of a metric for one entry; [None] for an unknown
+    counter. *)
+
+val table : ?bench:string -> ?metric:string -> run list -> string
+(** Trend table: one row per run, one column per bench (or just
+    [?bench]), cells carrying [?metric] (default ["size"]) with a
+    ['!'] flag when the value grew against the previous run (every
+    tracked metric is lower-is-better). Ends with a last-vs-previous
+    regression line for gating eyes. *)

@@ -40,8 +40,11 @@ let view_of_json j =
   }
 
 (* Parse the status file into views, oldest first. Lines that fail to
-   parse are skipped: the atomic-rename protocol makes torn lines
-   impossible, but an unrelated file should degrade, not crash. *)
+   parse are skipped, whatever the failure: the atomic-rename protocol
+   makes torn lines impossible from the sampler itself, but a reader
+   racing a rewriting/appending writer (NFS, a copied file, a ledger
+   tail) can still see a truncated final line, and an unrelated file
+   should degrade, not crash. *)
 let load path =
   match In_channel.with_open_bin path In_channel.input_all with
   | exception Sys_error msg -> Error msg
@@ -51,9 +54,9 @@ let load path =
       |> List.filter_map (fun line ->
              if String.trim line = "" then None
              else
-               match Json.parse line with
-               | j -> Some (view_of_json j)
-               | exception Json.Bad _ -> None)
+               match view_of_json (Json.parse line) with
+               | v -> Some v
+               | exception _ -> None)
     in
     if views = [] then Error (path ^ ": no samples") else Ok views
 

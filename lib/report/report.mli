@@ -16,6 +16,10 @@
     documents from the future or with malformed entries. *)
 val snapshot_of_json : string -> (Sbm_obs.Snapshot.t, string) result
 
+(** [snapshot_of_json_value j] parses an already-parsed JSON value —
+    used by {!History} for snapshots nested inside ledger records. *)
+val snapshot_of_json_value : Json.t -> (Sbm_obs.Snapshot.t, string) result
+
 (** [load_snapshot path] reads and parses a snapshot file. *)
 val load_snapshot : string -> (Sbm_obs.Snapshot.t, string) result
 
@@ -67,9 +71,17 @@ type t = {
   verdict : verdict;  (** worst row verdict; [Regressed] if [only_old <> []] *)
 }
 
-(** [diff ?tolerance old_snapshot new_snapshot] classifies every
-    metric of every benchmark present in both snapshots. *)
-val diff : ?tolerance:tolerance -> Sbm_obs.Snapshot.t -> Sbm_obs.Snapshot.t -> t
+(** [diff ?tolerance ?ignore_time old_snapshot new_snapshot]
+    classifies every metric of every benchmark present in both
+    snapshots. [ignore_time] (default [false]) drops the wall-time
+    row entirely — no verdict, no speedup column in {!pp} — so
+    QoR-only gating output is stable across machines. *)
+val diff :
+  ?tolerance:tolerance ->
+  ?ignore_time:bool ->
+  Sbm_obs.Snapshot.t ->
+  Sbm_obs.Snapshot.t ->
+  t
 
 (** {1 Rendering and gating} *)
 
@@ -94,3 +106,53 @@ val verdict_to_string : verdict -> string
     "old":F,"new":F,"pct":F,"verdict":S}...],"counters":[{"counter":S,
     "old":N,"new":N}...]}...],"only_old":[S...],"only_new":[S...]}]. *)
 val to_json : t -> string
+
+(** {1 Per-pass differential forensics}
+
+    [sbm diff --per-pass]: align the ledger pass sequences of two
+    snapshots and classify each aligned pass on the same verdict
+    lattice, localizing a QoR or wall-time delta to the pass (and
+    counter deltas) that introduced it.
+
+    Alignment is positional and requires identical [(index, path)]
+    sequences; any mismatch — different lengths, renamed or reordered
+    passes, rows missing from the new snapshot — is [Regressed]
+    (silent realignment could hide the offending pass). An old
+    snapshot with no [passes] array predates the ledger and is
+    tolerated as [Unchanged]. *)
+
+type pass_row = {
+  path : string;
+  index : int;
+  deltas : delta list;
+      (** size, depth, luts/levels when probed on both sides, wall_ms
+          unless [ignore_time]; values are the pass's "after" QoR *)
+  counter_deltas : counter_delta list;  (** changed per-pass counters *)
+  verdict : verdict;
+}
+
+type bench_passes = {
+  bench : string;
+  rows : pass_row list;  (** empty when [note] is set *)
+  note : string option;  (** alignment outcome when rows are absent *)
+  verdict : verdict;
+}
+
+type passes_diff = { benches : bench_passes list; verdict : verdict }
+
+val diff_passes :
+  ?tolerance:tolerance ->
+  ?ignore_time:bool ->
+  Sbm_obs.Snapshot.t ->
+  Sbm_obs.Snapshot.t ->
+  passes_diff
+
+(** Changed passes only (unchanged passes are counted, not printed);
+    Regressed passes include their counter deltas, and the summary
+    names every regressing [bench:pass]. *)
+val pp_passes : Format.formatter -> passes_diff -> unit
+
+(** 0 unless the overall verdict is [Regressed], then 1. *)
+val passes_exit_code : passes_diff -> int
+
+val passes_to_json : passes_diff -> string

@@ -23,6 +23,7 @@ let () =
       ("flight", Test_flight.suite);
       ("provenance", Test_provenance.suite);
       ("report", Test_report.suite);
+      ("ledger", Test_ledger.suite);
       ("par", Test_par.suite);
       ("prefilter", Test_prefilter.suite);
       ("metrics", Test_metrics.suite);

@@ -11,12 +11,14 @@ module Json = Sbm_report.Json
 module Gradient = Sbm_core.Gradient
 module Rng = Sbm_util.Rng
 
-let entry ?(counters = []) ?(wall_ms = 100.0) bench size depth luts levels =
+let entry ?(counters = []) ?(wall_ms = 100.0) ?(passes = []) bench size depth
+    luts levels =
   {
     Snapshot.bench;
     qor = { Snapshot.size; depth; luts; levels };
     wall_ms;
     counters;
+    passes;
   }
 
 (* --- snapshot round-trip --- *)
@@ -160,6 +162,34 @@ let test_diff_time_and_membership () =
   let added = Report.diff (Snapshot.make []) old_snap in
   Alcotest.(check (list string)) "added listed" [ "a" ] added.Report.only_new;
   Alcotest.(check int) "added bench passes" 0 (Report.exit_code added)
+
+let test_diff_ignore_time () =
+  (* --ignore-time drops wall time from the comparison entirely: no
+     wall_ms delta row, no time verdict, and pp prints no speedup
+     column — QoR-only gating output is stable across machines. *)
+  let old_snap = Snapshot.make [ entry ~wall_ms:100.0 "a" 100 10 40 5 ] in
+  let slow = Snapshot.make [ entry ~wall_ms:900.0 "a" 100 10 40 5 ] in
+  let d = Report.diff ~ignore_time:true old_snap slow in
+  Alcotest.(check int) "time ignored, clean exit" 0 (Report.exit_code d);
+  (match d.Report.rows with
+  | [ r ] ->
+    Alcotest.(check (list string))
+      "wall_ms delta dropped"
+      [ "size"; "depth"; "luts"; "levels" ]
+      (List.map (fun (dl : Report.delta) -> dl.Report.metric) r.Report.deltas)
+  | l -> Alcotest.failf "expected 1 row, got %d" (List.length l));
+  let screen = Fmt.str "%a" Report.pp d in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "no speedup column" false (contains "speedup" screen);
+  Alcotest.(check bool) "no wall_ms row" false (contains "wall_ms" screen);
+  (* With time kept, both appear. *)
+  let screen = Fmt.str "%a" Report.pp (Report.diff old_snap slow) in
+  Alcotest.(check bool) "speedup column present by default" true
+    (contains "speedup" screen)
 
 let test_diff_counter_deltas () =
   let old_snap =
@@ -405,6 +435,7 @@ let suite =
     Alcotest.test_case "snapshot version tolerance" `Quick test_snapshot_version_tolerance;
     Alcotest.test_case "diff classification" `Quick test_diff_classification;
     Alcotest.test_case "diff time and membership" `Quick test_diff_time_and_membership;
+    Alcotest.test_case "diff ignore-time" `Quick test_diff_ignore_time;
     Alcotest.test_case "diff counter deltas" `Quick test_diff_counter_deltas;
     Alcotest.test_case "diff json output" `Quick test_diff_to_json;
     Alcotest.test_case "profile of hand-written trace" `Quick test_profile_of_json;
