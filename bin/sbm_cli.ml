@@ -199,6 +199,7 @@ type common_opts = {
   obs : obs_opts;
   prefilter : bool;
   sim_words : int;
+  fingerprint : string option;
 }
 
 let common_opts_term =
@@ -221,13 +222,30 @@ let common_opts_term =
       & opt int Sbm_core.Prefilter.default_words
       & info [ "sim-words" ] ~docv:"N" ~doc)
   in
-  let mk jobs obs no_prefilter sim_words =
-    { jobs; obs; prefilter = not no_prefilter; sim_words = max 1 sim_words }
+  let fingerprint_arg =
+    let doc =
+      "Stream the determinism audit trail to $(docv) as JSON lines: one \
+       chained state fingerprint per pass and partition-merge boundary \
+       (structure hash, counter digest, prefilter bank, seeds). Two runs' \
+       trails are aligned with $(b,sbm audit) to localize the first \
+       diverging boundary. Fingerprinting never changes QoR or counters."
+    in
+    Arg.(value & opt (some string) None & info [ "fingerprint" ] ~docv:"FILE" ~doc)
+  in
+  let mk jobs obs no_prefilter sim_words fingerprint =
+    { jobs; obs; prefilter = not no_prefilter; sim_words = max 1 sim_words;
+      fingerprint }
   in
   Term.(
-    const mk $ jobs_arg $ obs_opts_term $ no_prefilter_arg $ sim_words_arg)
+    const mk $ jobs_arg $ obs_opts_term $ no_prefilter_arg $ sim_words_arg
+    $ fingerprint_arg)
 
-let setup_common c = setup_jobs c.jobs
+let setup_common c =
+  setup_jobs c.jobs;
+  (* The trail is always collected under `sbm bench` (the bench
+     command re-enables with its own sink); elsewhere it costs one
+     structural hash per boundary, so it is opt-in via the flag. *)
+  Option.iter (fun p -> Sbm_obs.Fingerprint.enable ~path:p ()) c.fingerprint
 
 (* --- stats --- *)
 
@@ -549,6 +567,12 @@ let bench_cmd =
           (fun aig ->
             let m = Sbm_lutmap.Lut_map.map ~k:6 aig in
             (m.Sbm_lutmap.Lut_map.lut_count, m.Sbm_lutmap.Lut_map.depth));
+      (* The audit trail is always on under bench — its chain values
+         ride on the ledger rows, and the overhead is one structural
+         hash per boundary. One continuous trail spans every bench
+         (and repeat) of the invocation, so two bench processes are
+         comparable record-for-record with `sbm audit`. *)
+      Sbm_obs.Fingerprint.enable ?path:common.fingerprint ();
       let entry b =
         let bench = Epfl.name b in
         let seed_opt = if seed = 0 then None else Some seed in
@@ -640,6 +664,7 @@ let bench_cmd =
       in
       Sbm_obs.Status.stop ();
       Sbm_obs.Ledger.disable ();
+      Sbm_obs.Fingerprint.disable ();
       (match Sbm_obs.Snapshot.write snapshot out with
       | () -> (
         Fmt.pr "snapshot (%d benchmarks) written to %s@."
@@ -1089,6 +1114,15 @@ let history_cmd =
     | Error msg -> `Error (false, msg)
     | Ok [] -> `Error (false, path ^ ": no parsable ledger records")
     | Ok runs ->
+      (* An unknown metric would render a table of "-" cells; fail
+         loudly instead, listing what the ledger can trend (exit 2,
+         the `sbm top` missing-input convention). *)
+      let available = Sbm_report.History.available_metrics runs in
+      if not (List.mem metric available) then begin
+        Fmt.epr "sbm: unknown metric '%s'; available: %s@." metric
+          (String.concat ", " available);
+        Stdlib.exit 2
+      end;
       print_string (Sbm_report.History.table ?bench ~metric runs);
       `Ok ()
   in
@@ -1100,6 +1134,45 @@ let history_cmd =
           flagging metrics that got worse than the previous run")
     term
 
+(* --- audit --- *)
+
+let audit_cmd =
+  let a_arg =
+    let doc =
+      "First fingerprint trail (JSONL written by $(b,--fingerprint))."
+    in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"A.jsonl" ~doc)
+  in
+  let b_arg =
+    let doc = "Second fingerprint trail to align against the first." in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"B.jsonl" ~doc)
+  in
+  let run a b =
+    let load path =
+      match Sbm_report.Audit.load path with
+      | Error msg ->
+        Fmt.epr "sbm: %s: %s@." path msg;
+        Stdlib.exit 2
+      | Ok [] ->
+        Fmt.epr "sbm: %s: no parsable trail records@." path;
+        Stdlib.exit 2
+      | Ok records -> records
+    in
+    let ta = load a in
+    let tb = load b in
+    let outcome = Sbm_report.Audit.compare_trails ta tb in
+    Fmt.pr "%a@?" (Sbm_report.Audit.pp ~name_a:a ~name_b:b) outcome;
+    Stdlib.exit (Sbm_report.Audit.exit_code outcome)
+  in
+  let term = Term.(const run $ a_arg $ b_arg) in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Align two determinism audit trails and report the first diverging \
+          pass or partition-merge boundary (exit 1 on divergence, 2 on \
+          unreadable input)")
+    term
+
 let () =
   let doc = "Scalable Boolean Methods in a modern synthesis flow" in
   let info = Cmd.info "sbm" ~version:"1.0.0" ~doc in
@@ -1107,8 +1180,8 @@ let () =
     Cmd.group info
       [
         stats_cmd; generate_cmd; opt_cmd; lutmap_cmd; asic_cmd; cec_cmd;
-        bench_cmd; diff_cmd; history_cmd; attribute_cmd; profile_cmd;
-        inspect_cmd; top_cmd; metrics_cmd;
+        bench_cmd; diff_cmd; history_cmd; audit_cmd; attribute_cmd;
+        profile_cmd; inspect_cmd; top_cmd; metrics_cmd;
       ]
   in
   exit (Cmd.eval group)

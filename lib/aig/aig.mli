@@ -154,6 +154,17 @@ val num_nodes : t -> int
     outputs — the paper's "size of the network". *)
 val size : t -> int
 
+(** [fold_hash aig] is a canonical 64-bit structural digest of the
+    live cone: a bottom-up fold from the outputs in which every node
+    hashes from its fanins' hashes (never from node ids), the two
+    fanin hashes combine smallest-first, and a complemented edge
+    perturbs the fanin hash with a fixed mask. The digest is invariant
+    under {!copy}, {!compact}, and dead-node garbage, and changes
+    (with overwhelming probability) under any functional edit to a
+    live gate. It is the structure component of the determinism audit
+    trail (DESIGN.md §15). *)
+val fold_hash : t -> int64
+
 val input_lit : t -> int -> lit
 val output_lit : t -> int -> lit
 val outputs : t -> lit array

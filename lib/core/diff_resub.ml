@@ -323,9 +323,12 @@ let run_partition_analysis aig config counters store part total =
 
 (* Main-domain bookkeeping for a finished partition: flush the BDD
    stats into the span, feed the watchdog, record the flight-recorder
-   summary. Shared by the sequential path and the parallel merge
-   path (which runs it against a worker's context). *)
-let finish_partition ctx obs ~index ~rewrites_delta ~pf_rejected =
+   summary, and append the merge-boundary fingerprint (the audit
+   trail's merge records must come from the main domain in ascending
+   partition index — exactly this function's contract). Shared by the
+   sequential path and the parallel merge path (which runs it against
+   a worker's context but the live [aig]). *)
+let finish_partition aig ctx obs ~index ~rewrites_delta ~pf_rejected =
   Bdd_bridge.flush_stats ~engine:"diff" ctx obs;
   let bails = Bdd_bridge.limit_bails ctx in
   Sbm_obs.Watchdog.note_partition ~engine:"diff" ~bails;
@@ -337,13 +340,16 @@ let finish_partition ctx obs ~index ~rewrites_delta ~pf_rejected =
       ~metrics:
         [ ("members", Array.length (Bdd_bridge.members ctx)); ("bails", bails);
           ("rewrites", rewrites_delta); ("pf_rejected", pf_rejected) ]
-      "partition done"
+      "partition done";
+  if Sbm_obs.Fingerprint.enabled () then
+    Sbm_obs.Fingerprint.record_merge ~engine:"diff" ~partition:index
+      ~structure:(Aig.fold_hash aig)
 
 let run_partition aig config counters obs store part index total =
   let rewrites0 = counters.c_rewrites in
   let rejected0 = Prefilter.rejected counters.pf in
   let ctx = run_partition_analysis aig config counters store part total in
-  finish_partition ctx obs ~index
+  finish_partition aig ctx obs ~index
     ~rewrites_delta:(counters.c_rewrites - rewrites0)
     ~pf_rejected:(Prefilter.rejected counters.pf - rejected0)
 
@@ -419,7 +425,7 @@ let optimize_stats ?(obs = Sbm_obs.null) ?(config = default_config) aig =
           Par_merge.merge_created aig created;
           Par_merge.merge_metrics mdeltas;
           FR.replay events;
-          finish_partition ctx obs ~index ~rewrites_delta:0
+          finish_partition aig ctx obs ~index ~rewrites_delta:0
             ~pf_rejected:(Prefilter.rejected wc.pf);
           false
         | Some _ | None ->

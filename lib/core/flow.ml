@@ -123,7 +123,9 @@ let pass obs name f aig =
   Aig.set_origin aig (origin_of_pass name);
   Obs.Watchdog.pass_started name;
   let ledger = Obs.Ledger.enabled () in
-  if (not (Obs.enabled obs)) && not ledger then begin
+  let fp = Obs.Fingerprint.enabled () in
+  Obs.Fingerprint.pass_started name;
+  if (not (Obs.enabled obs)) && not ledger && not fp then begin
     check_injected_failure name;
     let aig = f Obs.null aig in
     Obs.Watchdog.pass_ended name;
@@ -153,15 +155,23 @@ let pass obs name f aig =
     let dead = dead_node_pct aig in
     M.set m_dead_node_pct dead;
     M.set_max M.peak_heap_words (Gc.quick_stat ()).Gc.heap_words;
+    (* Trail record first, so the chain value can ride on the ledger
+       row; the ledger's own counter delta then includes the trail's
+       record counter — consistently at any --jobs, hence still
+       deterministic. *)
+    let fingerprint =
+      if fp then Obs.Fingerprint.pass_ended ~structure:(Aig.fold_hash aig)
+      else 0L
+    in
     if ledger then begin
       let luts, levels =
         match !ledger_qor_probe with
         | Some probe -> probe aig
         | None -> (-1, -1)
       in
-      Obs.Ledger.pass_ended ~size_before:size0 ~size_after:size1
+      Obs.Ledger.pass_ended ~fingerprint ~size_before:size0 ~size_after:size1
         ~depth_before:depth0 ~depth_after:depth1 ~luts ~levels
-        ~dead_node_pct:dead
+        ~dead_node_pct:dead ()
     end;
     if FR.enabled () then
       FR.record ~severity:FR.Info ~engine:"flow" ~id:name
@@ -216,12 +226,24 @@ let baseline ?(obs = Obs.null) aig0 =
    counterexamples folded back by the SAT passes refine every later
    pass's filtering. *)
 let engine_config ~prefilter ~sim_words =
-  if prefilter then
+  if prefilter then begin
+    let bank = Prefilter.create_bank ~sim_words () in
+    (* The audit trail's bank/seeds components read the live bank, so
+       counterexamples folded back mid-run show up at the next
+       boundary. Harmless while the trail is disabled (the closure is
+       stored, never invoked). *)
+    Obs.Fingerprint.set_bank_source
+      (Some
+         (fun () -> (Prefilter.bank_digest bank, Prefilter.bank_seeds bank)));
     {
       Engine_intf.default with
-      Engine_intf.prefilter = Some (Prefilter.create_bank ~sim_words ());
+      Engine_intf.prefilter = Some bank;
     }
-  else Engine_intf.default
+  end
+  else begin
+    Obs.Fingerprint.set_bank_source None;
+    Engine_intf.default
+  end
 
 let engine_effort = function Low -> Engine_intf.Low | High -> Engine_intf.High
 
@@ -320,7 +342,11 @@ let run ?(obs = Obs.null) ?explain ?(prefilter = true)
     ?(sim_words = Prefilter.default_words) script aig =
   let ecfg () = engine_config ~prefilter ~sim_words in
   match script with
-  | Baseline -> pass obs "baseline" (fun sp a -> baseline ~obs:sp a) aig
+  | Baseline ->
+    (* No engine config, hence no bank: make sure a source installed
+       by a previous run in this process doesn't leak into the trail. *)
+    Obs.Fingerprint.set_bank_source None;
+    pass obs "baseline" (fun sp a -> baseline ~obs:sp a) aig
   | Sbm effort -> sbm ~obs ?explain ~effort ~prefilter ~sim_words aig
   | Gradient ->
     let ecfg = ecfg () in

@@ -219,7 +219,14 @@ let run ?(obs = Sbm_obs.null) ?(config = default_config) aig =
         ~metrics:
           [ ("members", List.length part); ("trials", t);
             ("improved", if i then 1 else 0) ]
-        "partition done"
+        "partition done";
+    (* Merge-boundary fingerprint: [note] runs on the main domain in
+       ascending partition index in both paths. This engine operates
+       on the SOP network, so the structure component is the
+       network-side digest. *)
+    if Sbm_obs.Fingerprint.enabled () then
+      Sbm_obs.Fingerprint.record_merge ~engine:"kernel" ~partition:idx
+        ~structure:(Network.fold_hash net)
   in
   let poll () = if config.watchdog_poll then Sbm_obs.Watchdog.poll () in
   let jobs =

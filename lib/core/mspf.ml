@@ -313,8 +313,11 @@ let run_partition_analysis aig config counters store part total =
   ctx
 
 (* Main-domain bookkeeping for a finished partition (shared by the
-   sequential path and the parallel merge path). *)
-let finish_partition ctx obs ~index ~subst_delta ~pf_rejected =
+   sequential path and the parallel merge path), including the
+   audit-trail merge-boundary fingerprint — recorded here because
+   this function runs on the main domain in ascending partition
+   index in both paths. *)
+let finish_partition aig ctx obs ~index ~subst_delta ~pf_rejected =
   Bdd_bridge.flush_stats ~engine:"mspf" ctx obs;
   let bails = Bdd_bridge.limit_bails ctx in
   Obs.Watchdog.note_partition ~engine:"mspf" ~bails;
@@ -327,13 +330,16 @@ let finish_partition ctx obs ~index ~subst_delta ~pf_rejected =
       ~metrics:
         [ ("members", Array.length (Bdd_bridge.members ctx)); ("bails", bails);
           ("substitutions", subst_delta); ("pf_rejected", pf_rejected) ]
-      "partition done"
+      "partition done";
+  if Obs.Fingerprint.enabled () then
+    Obs.Fingerprint.record_merge ~engine:"mspf" ~partition:index
+      ~structure:(Aig.fold_hash aig)
 
 let run_partition aig config counters obs store part index total =
   let subst0 = counters.c_subst in
   let rejected0 = Prefilter.rejected counters.pf in
   let ctx = run_partition_analysis aig config counters store part total in
-  finish_partition ctx obs ~index
+  finish_partition aig ctx obs ~index
     ~subst_delta:(counters.c_subst - subst0)
     ~pf_rejected:(Prefilter.rejected counters.pf - rejected0)
 
@@ -399,7 +405,7 @@ let optimize_stats ?(obs = Obs.null) ?(config = default_config) aig =
           Par_merge.merge_created aig created;
           Par_merge.merge_metrics mdeltas;
           FR.replay events;
-          finish_partition ctx obs ~index ~subst_delta:0
+          finish_partition aig ctx obs ~index ~subst_delta:0
             ~pf_rejected:(Prefilter.rejected wc.pf);
           false
         | Some _ | None ->

@@ -30,6 +30,39 @@ let refine bank bits =
 
 let refinements bank = bank.refinement_count
 
+(* --- audit-trail components (DESIGN.md §15) ---
+
+   [bank_digest] folds the full refinement state — shape parameters
+   plus every stored counterexample in arrival order — so the
+   fingerprint trail sees each CEGAR refinement as a digest change at
+   the next boundary. [bank_seeds] is the RNG-seed component: it pins
+   the random-pattern stream identity, which together with the digest
+   determines every signature the filter computes. *)
+
+let fh_finalize z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let fh_mix2 a b = fh_finalize (Int64.add (Int64.mul a 0x9E3779B97F4A7C15L) b)
+
+let bank_digest bank =
+  let acc = fh_mix2 (Int64.of_int bank.sim_words) (Int64.of_int bank.max_cex) in
+  let acc = fh_mix2 acc (Int64.of_int bank.refinement_count) in
+  let acc = fh_mix2 acc (Int64.of_int bank.cex_count) in
+  List.fold_left
+    (fun acc bits ->
+      Array.fold_left
+        (fun acc b -> fh_mix2 acc (if b then 1L else 0L))
+        (fh_mix2 acc (Int64.of_int (Array.length bits)))
+        bits)
+    acc
+    (List.rev bank.cex)
+
+let bank_seeds bank =
+  fh_mix2 (Int64.of_int bank.seed) (Int64.of_int bank.sim_words)
+
 (* Base pattern word for (round, input): an independent SplitMix64
    draw per cell, so the bank renders identically for any input count
    (a flow pass that compacts the AIG re-attaches without changing

@@ -56,6 +56,18 @@ val refine : bank -> bool array -> unit
     [prefilter.cex_refinements] counter). *)
 val refinements : bank -> int
 
+(** [bank_digest bank] is a 64-bit digest of the bank's refinement
+    state — shape parameters plus every retained counterexample in
+    arrival order. The bank component of audit-trail fingerprints
+    (DESIGN.md §15): each CEGAR refinement changes the digest at the
+    next recorded boundary. *)
+val bank_digest : bank -> int64
+
+(** [bank_seeds bank] is the RNG-seed component of audit-trail
+    fingerprints: a digest of [seed] and [sim_words], pinning the
+    random-pattern stream identity. *)
+val bank_seeds : bank -> int64
+
 (** Networks with at most this many primary inputs are simulated on
     {e every} input assignment instead of the bank's random patterns:
     the signature becomes the node's full truth table and every

@@ -29,6 +29,7 @@ type row = {
   depth_after : int;
   luts : int; (* LUT-6 count after the pass; -1 = not probed *)
   levels : int; (* LUT levels after the pass; -1 = not probed *)
+  fingerprint : int64; (* audit-trail chain value; 0 = trail disabled *)
   wall_ns : int64;
   counters : (string * int) list; (* nonzero registry deltas, sorted *)
   minor_words : float; (* words allocated during the pass *)
@@ -116,25 +117,10 @@ let pass_started name =
       :: state.stack
   end
 
-let counter_delta before now =
-  (* Both lists are sorted by name (Metrics.counters_now) and [now]
-     can only have grown relative to [before] — registration happens
-     at module init, values are monotonic. *)
-  let rec go before now acc =
-    match (before, now) with
-    | _, [] -> List.rev acc
-    | [], (k, v) :: now -> go [] now (if v <> 0 then (k, v) :: acc else acc)
-    | (kb, vb) :: before', (kn, vn) :: now' ->
-      let c = String.compare kb kn in
-      if c = 0 then
-        go before' now' (if vn <> vb then (kn, vn - vb) :: acc else acc)
-      else if c > 0 then go before now' (if vn <> 0 then (kn, vn) :: acc else acc)
-      else go before' now acc
-  in
-  go before now []
+let counter_delta = Metrics.counters_delta
 
-let pass_ended ~size_before ~size_after ~depth_before ~depth_after ~luts
-    ~levels ~dead_node_pct =
+let pass_ended ?(fingerprint = 0L) ~size_before ~size_after ~depth_before
+    ~depth_after ~luts ~levels ~dead_node_pct () =
   if state.enabled then begin
     match state.stack with
     | [] -> () (* unbalanced end: drop rather than corrupt the ledger *)
@@ -155,6 +141,7 @@ let pass_ended ~size_before ~size_after ~depth_before ~depth_after ~luts
           depth_after;
           luts;
           levels;
+          fingerprint;
           wall_ns = Int64.sub (monotonic_ns ()) f.t0;
           counters = counter_delta f.counters0 (Metrics.counters_now ());
           minor_words = q.Gc.minor_words -. f.minor0;
@@ -196,6 +183,12 @@ let buf_row ?(stable = false) b r =
        "{\"path\":\"%s\",\"index\":%d,\"size_before\":%d,\"size_after\":%d,\"depth_before\":%d,\"depth_after\":%d,\"luts\":%d,\"levels\":%d"
        (json_escape r.path) r.index r.size_before r.size_after r.depth_before
        r.depth_after r.luts r.levels);
+  (* Additive field: emitted only when the audit trail was live, so
+     pre-fingerprint readers and snapshots are unaffected. The chain
+     value is deterministic, so it belongs to the stable projection. *)
+  if r.fingerprint <> 0L then
+    Buffer.add_string b
+      (Printf.sprintf ",\"fingerprint\":\"%016Lx\"" r.fingerprint);
   if not stable then begin
     Buffer.add_string b (Printf.sprintf ",\"wall_ns\":%Ld" r.wall_ns);
     Buffer.add_string b

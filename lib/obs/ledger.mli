@@ -20,6 +20,10 @@ type row = {
   depth_after : int;
   luts : int;  (** LUT-6 count after the pass; [-1] = not probed *)
   levels : int;  (** LUT levels after the pass; [-1] = not probed *)
+  fingerprint : int64;
+      (** audit-trail chain value at the pass boundary ({!Fingerprint});
+          [0L] when the trail was disabled. Deterministic, so part of
+          the stable projection (emitted as a 16-hex-digit string). *)
   wall_ns : int64;
   counters : (string * int) list;
       (** nonzero registry counter deltas over the pass, sorted by name *)
@@ -49,6 +53,7 @@ val pass_started : string -> unit
     slash-joined paths. No-op while disabled. *)
 
 val pass_ended :
+  ?fingerprint:int64 ->
   size_before:int ->
   size_after:int ->
   depth_before:int ->
@@ -56,9 +61,12 @@ val pass_ended :
   luts:int ->
   levels:int ->
   dead_node_pct:int ->
+  unit ->
   unit
 (** Close the innermost open frame into a {!row}. Pass [-1] for
-    [luts]/[levels] when no LUT probe ran. No-op while disabled. *)
+    [luts]/[levels] when no LUT probe ran; [fingerprint] is the audit
+    trail chain value at this boundary (default [0L] = no trail).
+    No-op while disabled. *)
 
 val rows : unit -> row list
 (** Completed rows in completion order (a nested pass precedes its

@@ -192,6 +192,24 @@ let by_kind k =
 let counters_now () = by_kind Counter
 let gauges_now () = by_kind Gauge
 
+let counters_delta before now =
+  (* Both lists are sorted by name (counters_now) and [now] can only
+     have grown relative to [before] — registration happens at module
+     init, values are monotonic. Shared by the per-pass ledger and the
+     fingerprint trail. *)
+  let rec go before now acc =
+    match (before, now) with
+    | _, [] -> List.rev acc
+    | [], (k, v) :: now -> go [] now (if v <> 0 then (k, v) :: acc else acc)
+    | (kb, vb) :: before', (kn, vn) :: now' ->
+      let c = String.compare kb kn in
+      if c = 0 then
+        go before' now' (if vn <> vb then (kn, vn - vb) :: acc else acc)
+      else if c > 0 then go before now' (if vn <> 0 then (kn, vn) :: acc else acc)
+      else go before' now acc
+  in
+  go before now []
+
 let hists_now () =
   List.filter_map
     (fun m -> if m.kind = Histogram then Some (m.name, hist m) else None)

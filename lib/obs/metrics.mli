@@ -88,6 +88,12 @@ val gauges_now : unit -> (string * int) list
 val hists_now : unit -> (string * hstats) list
 (** Sorted-by-name snapshots of every metric of the given kind. *)
 
+val counters_delta :
+  (string * int) list -> (string * int) list -> (string * int) list
+(** [counters_delta before now] is the sorted list of nonzero counter
+    differences between two {!counters_now} snapshots. Shared by the
+    per-pass ledger and the fingerprint trail. *)
+
 (** {1 Worker shards} *)
 
 type delta = (string * int) list

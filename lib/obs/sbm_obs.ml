@@ -3,6 +3,7 @@ module Watchdog = Watchdog
 module Metrics = Metrics
 module Status = Status
 module Ledger = Ledger
+module Fingerprint = Fingerprint
 
 external monotonic_ns : unit -> (int64[@unboxed])
   = "sbm_obs_monotonic_ns_byte" "sbm_obs_monotonic_ns"

@@ -43,6 +43,11 @@ module Ledger = Ledger
     QoR deltas, counter deltas, GC/heap samples and occupancy gauges;
     see {!Ledger}. *)
 
+module Fingerprint = Fingerprint
+(** Determinism audit trail: chained 64-bit state fingerprints at
+    every pass and partition-merge boundary, streamed as JSONL and
+    aligned by `sbm audit`; see {!Fingerprint}. *)
+
 type trace
 (** A collector of closed spans. *)
 

@@ -106,6 +106,20 @@ let metric_value metric (e : Snapshot.entry) =
   | name ->
     Option.map float_of_int (List.assoc_opt name e.Snapshot.counters)
 
+(* Every metric name [metric_value] can resolve against these runs:
+   the QoR columns plus the union of snapshot counter names. Drives
+   the unknown-metric error in `sbm history --metric`. *)
+let available_metrics runs =
+  let counters =
+    List.concat_map
+      (fun r ->
+        List.concat_map
+          (fun (e : Snapshot.entry) -> List.map fst e.Snapshot.counters)
+          r.snapshot.Snapshot.entries)
+      runs
+  in
+  qor_metrics @ List.sort_uniq String.compare counters
+
 let time_str t =
   if t <= 0.0 then "-"
   else

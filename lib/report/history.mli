@@ -38,6 +38,11 @@ val qor_metrics : string list
     levels, wall_ms. Any snapshot counter name is also accepted. *)
 
 val metric_value : string -> Sbm_obs.Snapshot.entry -> float option
+
+(** [available_metrics runs] is every metric name {!metric_value} can
+    resolve against these runs: {!qor_metrics} plus the sorted union
+    of snapshot counter names. *)
+val available_metrics : run list -> string list
 (** The value of a metric for one entry; [None] for an unknown
     counter. *)
 

@@ -21,6 +21,15 @@ let ledger_row_of_json j =
     depth_after = int "depth_after";
     luts = int ~default:(-1) "luts";
     levels = int ~default:(-1) "levels";
+    (* Additive field (16-hex-digit string); absent in pre-fingerprint
+       snapshots and in rows recorded with the trail disabled. *)
+    fingerprint =
+      (match Json.(to_str (member "fingerprint" j)) with
+      | None -> 0L
+      | Some s -> (
+        match Int64.of_string_opt ("0x" ^ s) with
+        | Some v -> v
+        | None -> 0L));
     wall_ns = Int64.of_float (fl "wall_ns");
     counters =
       Json.to_obj (Json.member "counters" j)

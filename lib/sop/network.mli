@@ -111,3 +111,11 @@ val check : t -> unit
 (** [eval t bits] evaluates all outputs on one input assignment
     (testing hook). *)
 val eval : t -> bool array -> bool array
+
+(** [fold_hash t] is a canonical 64-bit structural digest of the
+    reachable cover structure — the network-side twin of
+    [Aig.fold_hash]. Node ids never enter the hash; literals within a
+    cube and cubes within a cover combine commutatively. Used as the
+    structure component of heterogeneous-kernel merge-boundary
+    fingerprints (DESIGN.md §15). *)
+val fold_hash : t -> int64

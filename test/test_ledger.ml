@@ -36,7 +36,7 @@ let entry ?(counters = []) ?(wall_ms = 100.0) ?(passes = []) bench size depth
   }
 
 let row ?(counters = []) ?(size = 100) ?(luts = -1) ?(levels = -1)
-    ?(wall_ns = 1_000_000L) path index =
+    ?(wall_ns = 1_000_000L) ?(fingerprint = 0L) path index =
   {
     Ledger.path;
     index;
@@ -46,6 +46,7 @@ let row ?(counters = []) ?(size = 100) ?(luts = -1) ?(levels = -1)
     depth_after = 9;
     luts;
     levels;
+    fingerprint;
     wall_ns;
     counters;
     minor_words = 1234.0;
@@ -62,7 +63,7 @@ let test_ledger_paths () =
   with_ledger (fun () ->
       let close () =
         Ledger.pass_ended ~size_before:10 ~size_after:9 ~depth_before:4
-          ~depth_after:4 ~luts:(-1) ~levels:(-1) ~dead_node_pct:0
+          ~depth_after:4 ~luts:(-1) ~levels:(-1) ~dead_node_pct:0 ()
       in
       Ledger.pass_started "iteration-1";
       Ledger.pass_started "mspf";
@@ -84,7 +85,7 @@ let test_ledger_paths () =
   (* While disabled the ledger records nothing. *)
   Ledger.pass_started "stray";
   Ledger.pass_ended ~size_before:1 ~size_after:1 ~depth_before:1 ~depth_after:1
-    ~luts:(-1) ~levels:(-1) ~dead_node_pct:0;
+    ~luts:(-1) ~levels:(-1) ~dead_node_pct:0 ();
   Alcotest.(check bool) "disabled is inert" true (Ledger.rows () = [])
 
 let test_stable_projection () =

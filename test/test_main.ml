@@ -27,4 +27,5 @@ let () =
       ("par", Test_par.suite);
       ("prefilter", Test_prefilter.suite);
       ("metrics", Test_metrics.suite);
+      ("fingerprint", Test_fingerprint.suite);
     ]

@@ -105,43 +105,64 @@ let test_fr_capture_replay () =
 
 (* --- determinism: jobs=4 == jobs=1, bit for bit --- *)
 
-type qor_fingerprint = {
+(* The fingerprint of a run is the library's determinism audit trail
+   (Sbm_obs.Fingerprint): one composite record per pass and merge
+   boundary, so a mismatch names the exact first boundary where the
+   two schedules disagreed instead of just "counters differ". QoR and
+   attribution ride along as a belt-and-braces check. *)
+type run_fingerprint = {
   size : int;
   depth : int;
   luts : int;
   levels : int;
   counters : (string * int) list;
   attribution : string;
+  trail : Obs.Fingerprint.record list;
 }
 
 let fingerprint jobs b =
   with_jobs jobs (fun () ->
-      let aig = Epfl.generate b in
-      let trace = Obs.create () in
-      let root =
-        Obs.root ~size:(Aig.size aig) ~depth:(Aig.depth aig) trace
-          (Epfl.name b)
-      in
-      let optimized =
-        Sbm_core.Flow.run ~obs:root (Sbm_core.Flow.Sbm Sbm_core.Flow.Low) aig
-      in
-      Obs.close ~size:(Aig.size optimized) ~depth:(Aig.depth optimized) root;
-      let mapping = Sbm_lutmap.Lut_map.map ~k:6 optimized in
-      {
-        size = Aig.size optimized;
-        depth = Aig.depth optimized;
-        luts = mapping.Sbm_lutmap.Lut_map.lut_count;
-        levels = mapping.Sbm_lutmap.Lut_map.depth;
-        counters = Obs.totals trace;
-        attribution =
-          Sbm_report.Attribution.to_json
-            (Sbm_report.Attribution.compute optimized mapping);
-      })
+      Obs.Fingerprint.enable ();
+      Fun.protect ~finally:Obs.Fingerprint.disable (fun () ->
+          let aig = Epfl.generate b in
+          let trace = Obs.create () in
+          let root =
+            Obs.root ~size:(Aig.size aig) ~depth:(Aig.depth aig) trace
+              (Epfl.name b)
+          in
+          let optimized =
+            Sbm_core.Flow.run ~obs:root (Sbm_core.Flow.Sbm Sbm_core.Flow.Low)
+              aig
+          in
+          Obs.close ~size:(Aig.size optimized) ~depth:(Aig.depth optimized)
+            root;
+          let mapping = Sbm_lutmap.Lut_map.map ~k:6 optimized in
+          {
+            size = Aig.size optimized;
+            depth = Aig.depth optimized;
+            luts = mapping.Sbm_lutmap.Lut_map.lut_count;
+            levels = mapping.Sbm_lutmap.Lut_map.depth;
+            counters = Obs.totals trace;
+            attribution =
+              Sbm_report.Attribution.to_json
+                (Sbm_report.Attribution.compute optimized mapping);
+            trail = Obs.Fingerprint.records ();
+          }))
 
 let check_deterministic b =
   let name = Epfl.name b in
   let seq = fingerprint 1 b in
   let par = fingerprint 4 b in
+  (* Trail comparison first: on failure the auditor names the first
+     diverging pass/partition boundary rather than a bare mismatch. *)
+  (match Sbm_report.Audit.compare_trails seq.trail par.trail with
+  | Sbm_report.Audit.Identical n ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: trail non-empty (%d records)" name n)
+      true (n > 0)
+  | Sbm_report.Audit.Diverged d ->
+    Alcotest.failf "%s: jobs=1 vs jobs=4, %s" name
+      (Sbm_report.Audit.describe d));
   Alcotest.(check int) (name ^ ": size") seq.size par.size;
   Alcotest.(check int) (name ^ ": depth") seq.depth par.depth;
   Alcotest.(check int) (name ^ ": luts") seq.luts par.luts;
