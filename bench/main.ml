@@ -128,16 +128,7 @@ let fig1 () =
 
 (* Default width scales keep single-benchmark flow time in seconds;
    [--full] uses the paper's exact widths. *)
-let default_scale = function
-  | Epfl.Max | Epfl.Log2 -> 0.25
-  | Epfl.Div | Epfl.Mult | Epfl.Square | Epfl.Sqrt -> 0.125
-  | Epfl.Sin -> 0.25
-  | Epfl.Hypotenuse -> 0.0625
-  | Epfl.Voter -> 0.1
-  | Epfl.Arbiter | Epfl.I2c | Epfl.Priority | Epfl.Cavlc | Epfl.Router
-  | Epfl.Mem_ctrl | Epfl.Adder | Epfl.Bar | Epfl.Ctrl | Epfl.Dec
-  | Epfl.Int2float ->
-    1.0
+let default_scale = Epfl.default_scale
 
 let optimize ?obs ~effort aig =
   match effort with

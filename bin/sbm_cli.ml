@@ -508,6 +508,23 @@ let bench_cmd =
     let doc = "Width scale in (0,1] for arithmetic benchmarks." in
     Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc)
   in
+  let suite_arg =
+    let doc =
+      "Run a named benchmark suite: $(b,quick) (the CI gate subset), \
+       $(b,table1) / $(b,table2) (the paper's EPFL table sets), or \
+       $(b,full) (all 20 benchmarks). Each benchmark runs at its \
+       harness default width scale multiplied by $(b,--scale), so the \
+       giant arithmetic cores stay tractable; the snapshot records the \
+       resulting input node count per entry. Mutually exclusive with \
+       positional benchmark names."
+    in
+    let suites =
+      [ ("quick", `Quick); ("table1", `Table1); ("table2", `Table2);
+        ("full", `Full) ]
+    in
+    Arg.(value & opt (some (enum suites)) None
+         & info [ "suite" ] ~docv:"SUITE" ~doc)
+  in
   let label_arg =
     let doc = "Free-form provenance label stored in the snapshot." in
     Arg.(value & opt string "" & info [ "label" ] ~docv:"TEXT" ~doc)
@@ -537,7 +554,7 @@ let bench_cmd =
     in
     Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE" ~doc)
   in
-  let run level common names flow seed scale label out hist repeat ledger =
+  let run level common names suite flow seed scale label out hist repeat ledger =
     setup_logs level;
     setup_common common;
     let obs_opts = common.obs in
@@ -553,11 +570,35 @@ let bench_cmd =
     let resolved = List.map resolve names in
     match List.filter_map (function `Bad n -> Some n | `Ok _ -> None) resolved with
     | bad :: _ -> `Error (false, "unknown benchmark: " ^ bad)
+    | [] when suite <> None && names <> [] ->
+      `Error (false, "--suite and positional benchmark names are mutually \
+                      exclusive")
     | [] ->
-      let benches =
-        match List.filter_map (function `Ok b -> Some b | `Bad _ -> None) resolved with
-        | [] -> Epfl.quick_set
-        | l -> l
+      (* Named suites run each benchmark at its harness default scale
+         (times --scale); explicit names and the bare default keep the
+         uniform --scale, so the committed quick-set baseline is
+         byte-for-byte unaffected by suite machinery. *)
+      let benches, eff_scale =
+        match suite with
+        | Some s ->
+          let set =
+            match s with
+            | `Quick -> Epfl.quick_set
+            | `Table1 -> Epfl.table1_set
+            | `Table2 -> Epfl.table2_set
+            | `Full -> Epfl.all
+          in
+          (set, fun b -> scale *. Epfl.default_scale b)
+        | None ->
+          let set =
+            match
+              List.filter_map (function `Ok b -> Some b | `Bad _ -> None)
+                resolved
+            with
+            | [] -> Epfl.quick_set
+            | l -> l
+          in
+          (set, fun _ -> scale)
       in
       (* Per-pass ledger: always on under bench, so every snapshot
          carries the passes array. The LUT probe closes the QoR loop
@@ -578,7 +619,7 @@ let bench_cmd =
         let seed_opt = if seed = 0 then None else Some seed in
         let run_once () =
           Sbm_obs.Ledger.enable ();
-          let aig = Epfl.generate ~scale ?seed:seed_opt b in
+          let aig = Epfl.generate ~scale:(eff_scale b) ?seed:seed_opt b in
           let trace = Sbm_obs.create () in
           (* Point a pending crash dump at the benchmark being run. *)
           if obs_active obs_opts then Sbm_obs.Postmortem.configure ~trace ();
@@ -653,11 +694,25 @@ let bench_cmd =
           end
           else counters
         in
-        { Sbm_obs.Snapshot.bench; qor; wall_ms; counters; passes }
+        { Sbm_obs.Snapshot.bench; size_before = size_in; qor; wall_ms;
+          counters; passes }
       in
       let label =
         if label <> "" then label
-        else Fmt.str "flow=%s scale=%g" (Sbm_core.Flow.to_string flow) scale
+        else
+          match suite with
+          | Some s ->
+            let sname =
+              match s with
+              | `Quick -> "quick"
+              | `Table1 -> "table1"
+              | `Table2 -> "table2"
+              | `Full -> "full"
+            in
+            Fmt.str "flow=%s suite=%s scale=%g"
+              (Sbm_core.Flow.to_string flow) sname scale
+          | None ->
+            Fmt.str "flow=%s scale=%g" (Sbm_core.Flow.to_string flow) scale
       in
       let snapshot =
         Sbm_obs.Snapshot.make ~label ~seed (List.map entry benches)
@@ -693,9 +748,9 @@ let bench_cmd =
   let term =
     Term.(
       ret
-        (const run $ logs_arg $ common_opts_term $ benches_arg $ flow_arg
-       $ seed_arg $ scale_arg $ label_arg $ out_arg $ hist_arg $ repeat_arg
-       $ ledger_arg))
+        (const run $ logs_arg $ common_opts_term $ benches_arg $ suite_arg
+       $ flow_arg $ seed_arg $ scale_arg $ label_arg $ out_arg $ hist_arg
+       $ repeat_arg $ ledger_arg))
   in
   Cmd.v
     (Cmd.info "bench"

@@ -1,5 +1,6 @@
 module Vec = Sbm_util.Vec
 module Itab = Sbm_util.Itab
+module Csr = Sbm_util.Csr
 
 type lit = int
 
@@ -72,8 +73,11 @@ type t = {
   mutable nrefs : int array;
   mutable dead : bool array;
   mutable trav : int array;
-  mutable fanouts : Vec.t array;
-  mutable out_uses : Vec.t array;
+  (* Adjacency side tables live in packed CSR arenas (one shared int
+     buffer each) instead of a Vec.t per node: snapshots blit flat
+     arrays instead of re-boxing 2 vectors per node. *)
+  fanouts : Csr.t;
+  out_uses : Csr.t;
   mutable n : int;
   mutable trav_id : int;
   mutable num_live_ands : int;
@@ -98,6 +102,14 @@ type t = {
   mutable n_origins : int;
   mutable cur_origin : int;
   mutable origin_counting : bool;
+  (* Copy-on-write marker for the intern tables ([origin_defs] and
+     [origin_ids]): [copy] and [begin_rebuild] share them between both
+     networks instead of duplicating, and the first [intern_origin]
+     that would mutate a shared table replaces it with a private copy
+     first. A table marked shared is frozen — every holder unshares
+     before writing — so concurrent readers (per-chunk snapshots in
+     the partition scheduler) never observe a mutation. *)
+  mutable origins_shared : bool;
 }
 
 let create ?(expected = 64) () =
@@ -109,8 +121,8 @@ let create ?(expected = 64) () =
       nrefs = Array.make cap 0;
       dead = Array.make cap false;
       trav = Array.make cap 0;
-      fanouts = Array.init cap (fun _ -> Vec.create ~capacity:2 ());
-      out_uses = Array.init cap (fun _ -> Vec.create ~capacity:1 ());
+      fanouts = Csr.create ~nodes:cap ~slot:2 ();
+      out_uses = Csr.create ~nodes:cap ~slot:1 ();
       n = 1;
       trav_id = 0;
       num_live_ands = 0;
@@ -124,6 +136,7 @@ let create ?(expected = 64) () =
       n_origins = 1;
       cur_origin = 0;
       origin_counting = true;
+      origins_shared = false;
     }
   in
   Hashtbl.add aig.origin_ids Origin.seed 0;
@@ -170,18 +183,27 @@ let grow aig =
   let dead' = Array.make ncap false in
   Array.blit aig.dead 0 dead' 0 cap;
   aig.dead <- dead';
-  let fo' = Array.init ncap (fun i -> if i < cap then aig.fanouts.(i) else Vec.create ~capacity:2 ()) in
-  aig.fanouts <- fo';
-  let ou' = Array.init ncap (fun i -> if i < cap then aig.out_uses.(i) else Vec.create ~capacity:1 ()) in
-  aig.out_uses <- ou';
+  Csr.ensure_nodes aig.fanouts ncap;
+  Csr.ensure_nodes aig.out_uses ncap;
   aig.origins <- ext aig.origins 0
 
 (* --- provenance --- *)
+
+(* Take private ownership of the intern tables before the first write
+   after a copy-on-write share. The shared table is left untouched for
+   the other holders. *)
+let unshare_origins aig =
+  if aig.origins_shared then begin
+    aig.origin_defs <- Array.copy aig.origin_defs;
+    aig.origin_ids <- Hashtbl.copy aig.origin_ids;
+    aig.origins_shared <- false
+  end
 
 let intern_origin aig (o : Origin.t) =
   match Hashtbl.find_opt aig.origin_ids o with
   | Some i -> i
   | None ->
+    unshare_origins aig;
     if aig.n_origins >= Array.length aig.origin_defs then begin
       let ncap = 2 * Array.length aig.origin_defs in
       let defs = Array.make ncap Origin.seed in
@@ -214,9 +236,15 @@ let note_created aig o count =
   aig.origin_created.(i) <- aig.origin_created.(i) + count
 
 let begin_rebuild fresh ~from =
-  fresh.origin_defs <- Array.copy from.origin_defs;
+  (* Intern tables are append-only: share them copy-on-write instead
+     of duplicating. Both holders are marked shared; whichever interns
+     a new origin first takes a private copy. [origin_created] is
+     mutated on every node construction, so it stays a real copy. *)
+  fresh.origin_defs <- from.origin_defs;
   fresh.origin_created <- Array.copy from.origin_created;
-  fresh.origin_ids <- Hashtbl.copy from.origin_ids;
+  fresh.origin_ids <- from.origin_ids;
+  from.origins_shared <- true;
+  fresh.origins_shared <- true;
   fresh.n_origins <- from.n_origins;
   fresh.cur_origin <- from.cur_origin;
   fresh.origin_counting <- false
@@ -254,8 +282,8 @@ let band aig a b =
       aig.fanin1.(node) <- b;
       aig.nrefs.(node_of a) <- aig.nrefs.(node_of a) + 1;
       aig.nrefs.(node_of b) <- aig.nrefs.(node_of b) + 1;
-      Vec.push aig.fanouts.(node_of a) node;
-      Vec.push aig.fanouts.(node_of b) node;
+      Csr.push aig.fanouts (node_of a) node;
+      Csr.push aig.fanouts (node_of b) node;
       Itab.replace aig.strash key node;
       aig.num_live_ands <- aig.num_live_ands + 1;
       if aig.origin_counting then
@@ -291,7 +319,7 @@ let add_output aig l =
   Vec.push aig.outs l;
   let v = node_of l in
   aig.nrefs.(v) <- aig.nrefs.(v) + 1;
-  Vec.push aig.out_uses.(v) idx;
+  Csr.push aig.out_uses v idx;
   idx
 
 (* Release one cone rooted at an unreferenced AND node. *)
@@ -307,11 +335,11 @@ let kill_cone aig root =
       if Itab.find aig.strash key ~default:(-1) = v then Itab.remove aig.strash key;
       aig.dead.(v) <- true;
       aig.num_live_ands <- aig.num_live_ands - 1;
-      Vec.clear aig.fanouts.(v);
+      Csr.clear aig.fanouts v;
       List.iter
         (fun f ->
           let w = node_of f in
-          Vec.remove aig.fanouts.(w) v;
+          Csr.remove aig.fanouts w v;
           aig.nrefs.(w) <- aig.nrefs.(w) - 1;
           if aig.nrefs.(w) = 0 then Vec.push stack w)
         [ f0; f1 ]
@@ -338,8 +366,8 @@ let set_output aig i l =
   Vec.set aig.outs i l;
   let v = node_of l in
   aig.nrefs.(v) <- aig.nrefs.(v) + 1;
-  Vec.push aig.out_uses.(v) i;
-  Vec.remove aig.out_uses.(ov) i;
+  Csr.push aig.out_uses v i;
+  Csr.remove aig.out_uses ov i;
   aig.nrefs.(ov) <- aig.nrefs.(ov) - 1;
   if aig.nrefs.(ov) = 0 then kill_cone aig ov
 
@@ -362,14 +390,14 @@ let new_trav aig =
 let fanout_nodes aig node =
   let id = new_trav aig in
   let trav = aig.trav in
-  Vec.fold
+  Csr.fold
     (fun acc fo ->
       if aig.dead.(fo) || trav.(fo) = id then acc
       else begin
         trav.(fo) <- id;
         fo :: acc
       end)
-    [] aig.fanouts.(node)
+    [] aig.fanouts node
 
 let in_tfi aig ~node ~root =
   let id = new_trav aig in
@@ -424,7 +452,7 @@ let replace aig root lit =
     else begin
       Hashtbl.replace forward o nl;
       (* Move primary-output references. *)
-      let out_idxs = Vec.to_array aig.out_uses.(o) in
+      let out_idxs = Csr.to_array aig.out_uses o in
       Array.iter
         (fun idx ->
           let cur = Vec.get aig.outs idx in
@@ -433,13 +461,13 @@ let replace aig root lit =
             Vec.set aig.outs idx nlit;
             let v = node_of nlit in
             aig.nrefs.(v) <- aig.nrefs.(v) + 1;
-            Vec.push aig.out_uses.(v) idx;
-            Vec.remove aig.out_uses.(o) idx;
+            Csr.push aig.out_uses v idx;
+            Csr.remove aig.out_uses o idx;
             aig.nrefs.(o) <- aig.nrefs.(o) - 1
           end)
         out_idxs;
       (* Move fanin references, rehashing each fanout. *)
-      let fos = Vec.to_array aig.fanouts.(o) in
+      let fos = Csr.to_array aig.fanouts o in
       Array.iter
         (fun fo ->
           if (not aig.dead.(fo))
@@ -455,8 +483,8 @@ let replace aig root lit =
                 let nf = nl lxor (f land 1) in
                 let v = node_of nf in
                 aig.nrefs.(v) <- aig.nrefs.(v) + 1;
-                Vec.push aig.fanouts.(v) fo;
-                Vec.remove aig.fanouts.(o) fo;
+                Csr.push aig.fanouts v fo;
+                Csr.remove aig.fanouts o fo;
                 aig.nrefs.(o) <- aig.nrefs.(o) - 1;
                 nf
               end
@@ -741,24 +769,60 @@ let gain_of_replacement aig ~root ~candidate =
   aig.nrefs.(cv) <- aig.nrefs.(cv) - 1;
   !saved - !added
 
+(* O(live) snapshot: per-node arrays are blitted only up to the
+   allocated prefix [n] (with a little headroom so the copy can grow a
+   few times before reallocating), the CSR arenas are copied compacted
+   in the same bound, traversal stamps are reset instead of copied
+   (they are scratch state: a fresh zero array with [trav_id = 0] is
+   indistinguishable from never-traversed), and the append-only
+   origin intern tables are shared copy-on-write. No boxed per-node
+   structures are allocated. *)
 let copy aig =
+  let n = aig.n in
+  let cap = n + (n lsr 2) + 8 in
+  let prefix a fill =
+    let a' = Array.make cap fill in
+    Array.blit a 0 a' 0 n;
+    a'
+  in
+  aig.origins_shared <- true;
   {
-    aig with
-    fanin0 = Array.copy aig.fanin0;
-    fanin1 = Array.copy aig.fanin1;
-    nrefs = Array.copy aig.nrefs;
-    dead = Array.copy aig.dead;
-    trav = Array.copy aig.trav;
-    fanouts = Array.map Vec.copy aig.fanouts;
-    out_uses = Array.map Vec.copy aig.out_uses;
+    fanin0 = prefix aig.fanin0 (-1);
+    fanin1 = prefix aig.fanin1 (-1);
+    nrefs = prefix aig.nrefs 0;
+    dead = prefix aig.dead false;
+    trav = Array.make cap 0;
+    fanouts = Csr.copy aig.fanouts ~nodes:n ~node_cap:cap;
+    out_uses = Csr.copy aig.out_uses ~nodes:n ~node_cap:cap;
+    n;
+    trav_id = 0;
+    num_live_ands = aig.num_live_ands;
     inputs = Vec.copy aig.inputs;
     outs = Vec.copy aig.outs;
     strash = Itab.copy aig.strash;
-    origins = Array.copy aig.origins;
-    origin_defs = Array.copy aig.origin_defs;
+    origins = prefix aig.origins 0;
+    origin_defs = aig.origin_defs;
     origin_created = Array.copy aig.origin_created;
-    origin_ids = Hashtbl.copy aig.origin_ids;
+    origin_ids = aig.origin_ids;
+    n_origins = aig.n_origins;
+    cur_origin = aig.cur_origin;
+    origin_counting = aig.origin_counting;
+    origins_shared = true;
   }
+
+(* Squeeze relocation leaks out of the adjacency arenas. Offsets and
+   capacities change; list contents and order do not, so this is
+   invisible to every reader. Flow scripts call it at pass
+   boundaries. *)
+let compact_arenas aig =
+  Csr.compact aig.fanouts;
+  Csr.compact aig.out_uses
+
+let arena_capacity_words aig =
+  Csr.capacity_words aig.fanouts + Csr.capacity_words aig.out_uses
+
+let arena_live_words aig =
+  Csr.live_words aig.fanouts + Csr.live_words aig.out_uses
 
 let compact aig =
   let fresh = create ~expected:(aig.n + 1) () in
@@ -863,7 +927,7 @@ let check aig =
   for v = 0 to aig.n - 1 do
     if not aig.dead.(v) then begin
       let live_entries =
-        Vec.fold (fun acc fo -> if is_and aig fo then acc + 1 else acc) 0 aig.fanouts.(v)
+        Csr.fold (fun acc fo -> if is_and aig fo then acc + 1 else acc) 0 aig.fanouts v
       in
       if live_entries <> focount.(v) then
         fail "node %d: fanout entries %d but fanin references %d" v live_entries focount.(v)

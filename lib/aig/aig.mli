@@ -114,8 +114,32 @@ val origin_stats : t -> (Origin.t * int * int) list
 (** [create ()] is an empty AIG (constant node only). *)
 val create : ?expected:int -> unit -> t
 
-(** [copy aig] is a deep, independent copy. *)
+(** [copy aig] is a deep, independent copy. O(live): per-node arrays
+    are copied only up to the allocated prefix, adjacency arenas are
+    copied compacted, and the append-only origin intern tables are
+    shared copy-on-write (the first new origin interned on either side
+    takes a private copy). *)
 val copy : t -> t
+
+(** {1 Arena maintenance}
+
+    The fanout and output-use side tables are packed CSR arenas
+    (DESIGN.md §16): many small int lists in one shared buffer. A list
+    that outgrows its slot relocates to the buffer tail and leaks its
+    old slot until the next compaction. *)
+
+(** [compact_arenas aig] repacks both adjacency arenas, reclaiming
+    leaked slots. Contents and order are unchanged — invisible to all
+    readers. Flow scripts call it at pass boundaries. *)
+val compact_arenas : t -> unit
+
+(** [arena_capacity_words aig] is the allocated footprint (in words)
+    of both adjacency arena buffers; [arena_live_words aig] the words
+    actually holding list elements. Their ratio feeds the
+    [aig.arena_live_pct] gauge. *)
+val arena_capacity_words : t -> int
+
+val arena_live_words : t -> int
 
 (** [add_input aig] appends a primary input and returns its literal. *)
 val add_input : t -> lit

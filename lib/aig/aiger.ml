@@ -46,54 +46,118 @@ let write_file aig path =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (write aig))
 
-let read s =
-  let lines = String.split_on_char '\n' s in
-  let lines = List.filter (fun l -> String.trim l <> "") lines in
-  match lines with
-  | [] -> failwith "Aiger.read: empty input"
-  | header :: rest ->
-    let maxvar, ninputs, nlatches, noutputs, nands =
-      match String.split_on_char ' ' (String.trim header) with
-      | [ "aag"; m; i; l; o; a ] ->
-        (int_of_string m, int_of_string i, int_of_string l, int_of_string o, int_of_string a)
-      | _ -> failwith "Aiger.read: bad header"
-    in
-    if nlatches <> 0 then failwith "Aiger.read: latches unsupported";
-    let aig = Aig.create ~expected:(maxvar + 2) () in
-    (* map from aiger variable to our literal *)
-    let map = Array.make (maxvar + 1) (-1) in
-    map.(0) <- Aig.const0;
-    let lit_in l =
-      let v = l / 2 in
-      if v > maxvar || map.(v) < 0 then failwith "Aiger.read: undefined literal";
-      map.(v) lxor (l land 1)
-    in
-    let rest = Array.of_list rest in
-    if Array.length rest < ninputs + noutputs + nands then
-      failwith "Aiger.read: truncated file";
-    for i = 0 to ninputs - 1 do
-      let l = int_of_string (String.trim rest.(i)) in
-      if l mod 2 <> 0 then failwith "Aiger.read: complemented input";
-      map.(l / 2) <- Aig.add_input aig
-    done;
-    (* AND definitions may reference later variables only in malformed
-       files; process in order, as the format requires lhs > rhs. *)
-    for i = 0 to nands - 1 do
-      let line = String.trim rest.(ninputs + noutputs + i) in
-      match String.split_on_char ' ' line with
-      | [ lhs; rhs0; rhs1 ] ->
-        let lhs = int_of_string lhs in
-        if lhs mod 2 <> 0 then failwith "Aiger.read: complemented AND lhs";
-        let f0 = lit_in (int_of_string rhs0) in
-        let f1 = lit_in (int_of_string rhs1) in
-        map.(lhs / 2) <- Aig.band aig f0 f1
-      | _ -> failwith "Aiger.read: bad AND line"
-    done;
-    for i = 0 to noutputs - 1 do
-      let l = int_of_string (String.trim rest.(ninputs + i)) in
-      ignore (Aig.add_output aig (lit_in l))
-    done;
-    aig
+(* --- streaming byte source ---
+
+   Both readers pull bytes through a fixed-size chunk buffer, so
+   parsing a file never materializes its contents as one string: peak
+   reader memory is one chunk plus the current line. The same source
+   serves in-memory strings (tests, round-trips) and channels. *)
+
+type source = {
+  refill : bytes -> int;
+  (* Fill the chunk from the underlying producer; 0 means EOF. *)
+  chunk : bytes;
+  mutable pos : int;
+  mutable avail : int; (* -1 once the producer is exhausted *)
+}
+
+let chunk_size = 65536
+
+let source_of_channel ic =
+  let chunk = Bytes.create chunk_size in
+  { refill = (fun b -> input ic b 0 (Bytes.length b)); chunk; pos = 0; avail = 0 }
+
+let source_of_string s =
+  (* The string is already resident; serve it as the one chunk. *)
+  { refill = (fun _ -> 0); chunk = Bytes.of_string s; pos = 0; avail = String.length s }
+
+let next_byte src =
+  if src.pos < src.avail then begin
+    let c = Bytes.get_uint8 src.chunk src.pos in
+    src.pos <- src.pos + 1;
+    c
+  end
+  else if src.avail < 0 then -1
+  else begin
+    let n = src.refill src.chunk in
+    if n = 0 then begin
+      src.avail <- -1;
+      -1
+    end
+    else begin
+      src.pos <- 1;
+      src.avail <- n;
+      Bytes.get_uint8 src.chunk 0
+    end
+  end
+
+(* One line, newline excluded; [None] at end of input. *)
+let next_line src =
+  let b = Buffer.create 32 in
+  let rec go () =
+    match next_byte src with
+    | -1 -> if Buffer.length b = 0 then None else Some (Buffer.contents b)
+    | 0x0A -> Some (Buffer.contents b)
+    | c ->
+      Buffer.add_char b (Char.chr c);
+      go ()
+  in
+  go ()
+
+(* Non-blank line, trimmed (tolerates \r\n and stray blank lines). *)
+let rec next_token_line src what =
+  match next_line src with
+  | None -> Printf.ksprintf failwith "%s: truncated file" what
+  | Some l ->
+    let l = String.trim l in
+    if l = "" then next_token_line src what else l
+
+let read_ascii src =
+  let header = next_token_line src "Aiger.read" in
+  let maxvar, ninputs, nlatches, noutputs, nands =
+    match String.split_on_char ' ' header with
+    | [ "aag"; m; i; l; o; a ] ->
+      (int_of_string m, int_of_string i, int_of_string l, int_of_string o, int_of_string a)
+    | _ -> failwith "Aiger.read: bad header"
+  in
+  if nlatches <> 0 then failwith "Aiger.read: latches unsupported";
+  let aig = Aig.create ~expected:(maxvar + 2) () in
+  (* map from aiger variable to our literal *)
+  let map = Array.make (maxvar + 1) (-1) in
+  map.(0) <- Aig.const0;
+  let lit_in l =
+    let v = l / 2 in
+    if v > maxvar || map.(v) < 0 then failwith "Aiger.read: undefined literal";
+    map.(v) lxor (l land 1)
+  in
+  for _ = 1 to ninputs do
+    let l = int_of_string (next_token_line src "Aiger.read") in
+    if l mod 2 <> 0 then failwith "Aiger.read: complemented input";
+    map.(l / 2) <- Aig.add_input aig
+  done;
+  (* Output literals may reference AND variables defined below them;
+     hold the raw literals until the AND section has streamed past. *)
+  let out_lits =
+    Array.init noutputs (fun _ ->
+        int_of_string (next_token_line src "Aiger.read"))
+  in
+  (* The format requires lhs > rhs, so processing AND definitions in
+     file order resolves every fanin. *)
+  for _ = 1 to nands do
+    let line = next_token_line src "Aiger.read" in
+    match String.split_on_char ' ' line with
+    | [ lhs; rhs0; rhs1 ] ->
+      let lhs = int_of_string lhs in
+      if lhs mod 2 <> 0 then failwith "Aiger.read: complemented AND lhs";
+      let f0 = lit_in (int_of_string rhs0) in
+      let f1 = lit_in (int_of_string rhs1) in
+      map.(lhs / 2) <- Aig.band aig f0 f1
+    | _ -> failwith "Aiger.read: bad AND line"
+  done;
+  Array.iter (fun l -> ignore (Aig.add_output aig (lit_in l))) out_lits;
+  aig
+
+let read s = read_ascii (source_of_string s)
 
 (* Binary AIGER: the AND section stores, for each AND in variable
    order, the two differences (lhs - rhs0) and (rhs0 - rhs1) as
@@ -150,17 +214,11 @@ let write_binary aig =
     order;
   Buffer.contents buf
 
-let read_binary s =
-  let pos = ref 0 in
-  let len = String.length s in
+let read_binary_source src =
   let line () =
-    let start = !pos in
-    while !pos < len && s.[!pos] <> '\n' do
-      incr pos
-    done;
-    let l = String.sub s start (!pos - start) in
-    if !pos < len then incr pos;
-    l
+    match next_line src with
+    | None -> failwith "Aiger.read_binary: truncated file"
+    | Some l -> l
   in
   let header = line () in
   let maxvar, ninputs, nlatches, noutputs, nands =
@@ -176,9 +234,8 @@ let read_binary s =
     let shift = ref 0 in
     let continue_ = ref true in
     while !continue_ do
-      if !pos >= len then failwith "Aiger.read_binary: truncated varint";
-      let byte = Char.code s.[!pos] in
-      incr pos;
+      let byte = next_byte src in
+      if byte < 0 then failwith "Aiger.read_binary: truncated varint";
       x := !x lor ((byte land 0x7f) lsl !shift);
       shift := !shift + 7;
       if byte < 0x80 then continue_ := false
@@ -208,15 +265,21 @@ let read_binary s =
   Array.iter (fun l -> ignore (Aig.add_output aig (lit_in l))) out_lits;
   aig
 
+let read_binary s = read_binary_source (source_of_string s)
+
+(* Streamed: the file is parsed through a chunked source, never
+   slurped into one string — peak reader memory during load is one
+   64 KiB chunk regardless of file size. Format detection peeks the
+   first bytes of the first chunk. *)
 let read_file path =
-  let content =
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        let n = in_channel_length ic in
-        really_input_string ic n)
-  in
-  if String.length content >= 4 && String.sub content 0 4 = "aig " then
-    read_binary content
-  else read content
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let src = source_of_channel ic in
+      src.avail <- src.refill src.chunk;
+      if src.avail = 0 then src.avail <- -1;
+      let binary =
+        src.avail >= 4 && Bytes.sub_string src.chunk 0 4 = "aig "
+      in
+      if binary then read_binary_source src else read_ascii src)

@@ -18,6 +18,17 @@ let m_dead_node_pct =
   M.gauge ~engine:"aig" ~unit_:"pct" "aig.dead_node_pct"
     "dead (unreferenced) AIG node slots at the last pass boundary"
 
+let m_arena_capacity =
+  M.gauge ~engine:"aig" ~unit_:"words" "aig.arena_capacity"
+    "allocated words in the packed adjacency arenas (fanout + output-use \
+     lists) at the last pass boundary, before compaction"
+
+let m_arena_live_pct =
+  M.gauge ~engine:"aig" ~unit_:"pct" "aig.arena_live_pct"
+    "share of adjacency-arena words holding live list entries at the last \
+     pass boundary, before compaction (the rest is growth slack and \
+     relocation leaks)"
+
 (* Percentage of allocated node slots that are dead. [num_nodes] is
    all allocated slots, [topo] the live inputs + ANDs; both are
    deterministic at any --jobs, so ledger rows built from this are
@@ -128,6 +139,7 @@ let pass obs name f aig =
   if (not (Obs.enabled obs)) && not ledger && not fp then begin
     check_injected_failure name;
     let aig = f Obs.null aig in
+    Aig.compact_arenas aig;
     Obs.Watchdog.pass_ended name;
     aig
   end
@@ -154,6 +166,13 @@ let pass obs name f aig =
       (Int64.to_int (Int64.div (Int64.sub (Obs.monotonic_ns ()) t0) 1_000_000L));
     let dead = dead_node_pct aig in
     M.set m_dead_node_pct dead;
+    (* Arena occupancy is sampled before the boundary compaction, so
+       the gauge shows how much slack the pass itself produced. *)
+    let acap = Aig.arena_capacity_words aig in
+    M.set m_arena_capacity acap;
+    M.set m_arena_live_pct
+      (if acap = 0 then 100 else 100 * Aig.arena_live_words aig / acap);
+    Aig.compact_arenas aig;
     M.set_max M.peak_heap_words (Gc.quick_stat ()).Gc.heap_words;
     (* Trail record first, so the chain value can ride on the ledger
        row; the ledger's own counter delta then includes the trail's

@@ -44,6 +44,20 @@ let table2_set =
    logic keeps both generator families under watch. *)
 let quick_set = [ Cavlc; Ctrl; Dec; Int2float; Router ]
 
+(* Width scale under which a benchmark's full SBM-low flow completes
+   in tens of seconds rather than hours: the harness default for
+   whole-suite runs ([sbm bench --suite], bench tables). Quick-set
+   members are all 1.0, so the CI gate's committed snapshots are
+   unaffected by suite defaults. *)
+let default_scale = function
+  | Max | Log2 | Sin -> 0.25
+  | Div | Mult | Square | Sqrt -> 0.125
+  | Hypotenuse -> 0.0625
+  | Voter -> 0.1
+  | Arbiter | I2c | Priority | Cavlc | Router | Mem_ctrl | Adder | Bar | Ctrl
+  | Dec | Int2float ->
+    1.0
+
 let name = function
   | Adder -> "adder"
   | Bar -> "bar"

@@ -49,6 +49,13 @@ val table2_set : benchmark list
     CI regression gate. *)
 val quick_set : benchmark list
 
+(** [default_scale b] is the width scale at which the harness runs [b]
+    in whole-suite experiments: 1.0 for control logic and the small
+    arithmetic cores, reduced for the giant arithmetic benchmarks so a
+    full-suite run stays minutes, not hours. Every quick-set member is
+    1.0. *)
+val default_scale : benchmark -> float
+
 val name : benchmark -> string
 val of_name : string -> benchmark option
 

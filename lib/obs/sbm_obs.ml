@@ -479,6 +479,7 @@ module Snapshot = struct
 
   type entry = {
     bench : string;
+    size_before : int;
     qor : qor;
     wall_ms : float;
     counters : (string * int) list;
@@ -516,10 +517,17 @@ module Snapshot = struct
       (fun i e ->
         if i > 0 then Buffer.add_char b ',';
         Buffer.add_string b
+          (Printf.sprintf "{\"bench\":\"%s\"" (json_escape e.bench));
+        (* Additive key (old readers ignore it): the input AIG node
+           count, making the suite's effective scale visible in the
+           snapshot itself. -1 = unrecorded. *)
+        if e.size_before >= 0 then
+          Buffer.add_string b
+            (Printf.sprintf ",\"size_before\":%d" e.size_before);
+        Buffer.add_string b
           (Printf.sprintf
-             "{\"bench\":\"%s\",\"size\":%d,\"depth\":%d,\"luts\":%d,\"levels\":%d,\"wall_ms\":%.3f,\"counters\":"
-             (json_escape e.bench) e.qor.size e.qor.depth e.qor.luts
-             e.qor.levels e.wall_ms);
+             ",\"size\":%d,\"depth\":%d,\"luts\":%d,\"levels\":%d,\"wall_ms\":%.3f,\"counters\":"
+             e.qor.size e.qor.depth e.qor.luts e.qor.levels e.wall_ms);
         buf_counters b e.counters;
         if e.passes <> [] then begin
           Buffer.add_string b ",\"passes\":";

@@ -210,6 +210,10 @@ module Snapshot : sig
 
   type entry = {
     bench : string;
+    size_before : int;
+        (** input AIG node count before the flow ran — records the
+            effective benchmark scale in the snapshot; -1 when the
+            snapshot predates the key *)
     qor : qor;
     wall_ms : float;  (** flow wall time for this benchmark *)
     counters : (string * int) list;  (** trace totals, sorted by name *)

@@ -70,6 +70,8 @@ let snapshot_of_json_value json =
             Ok
               {
                 Snapshot.bench;
+                (* Additive key: absent in pre-arena snapshots. *)
+                size_before = Option.value ~default:(-1) (int "size_before");
                 qor = { Snapshot.size; depth; luts; levels };
                 wall_ms =
                   Option.value ~default:0.0
@@ -148,6 +150,9 @@ type counter_delta = { counter : string; old_count : int; new_count : int }
 
 type row = {
   bench : string;
+  size_in : (int * int) option;
+      (* input node counts (old, new) when both snapshots recorded
+         them — informational, never gated *)
   deltas : delta list;
   counter_deltas : counter_delta list;
   verdict : verdict;
@@ -209,6 +214,10 @@ let diff ?(tolerance = default_tolerance) ?(ignore_time = false)
     in
     {
       bench = oe.bench;
+      size_in =
+        (if oe.size_before >= 0 && ne.size_before >= 0 then
+           Some (oe.size_before, ne.size_before)
+         else None);
       deltas;
       counter_deltas = counter_deltas oe ne;
       verdict =
@@ -267,6 +276,16 @@ let pp ppf d =
       "new" "delta" "verdict";
   List.iter
     (fun (r : row) ->
+      (* Input node counts first, when recorded: the effective bench
+         scale the QoR rows below were measured at. Informational —
+         no verdict, never gated. *)
+      (match r.size_in with
+      | Some (o, n) when o = n ->
+        Fmt.pf ppf "%-12s %-8s %10d %10s@." r.bench "size_in" o "(input)"
+      | Some (o, n) ->
+        Fmt.pf ppf "%-12s %-8s %10d %10d  (input; scales differ)@." r.bench
+          "size_in" o n
+      | None -> ());
       List.iter
         (fun dl ->
           if has_wall then
@@ -341,9 +360,14 @@ let to_json d =
       (json_escape c.counter) c.old_count c.new_count
   in
   let row_json (r : row) =
+    let size_in =
+      match r.size_in with
+      | Some (o, n) -> Printf.sprintf "\"size_in\":{\"old\":%d,\"new\":%d}," o n
+      | None -> ""
+    in
     Printf.sprintf
-      "{\"bench\":\"%s\",\"verdict\":\"%s\",\"deltas\":[%s],\"counters\":[%s]}"
-      (json_escape r.bench)
+      "{\"bench\":\"%s\",%s\"verdict\":\"%s\",\"deltas\":[%s],\"counters\":[%s]}"
+      (json_escape r.bench) size_in
       (verdict_to_string r.verdict)
       (String.concat "," (List.map delta_json r.deltas))
       (String.concat "," (List.map counter_json r.counter_deltas))

@@ -59,6 +59,10 @@ type counter_delta = { counter : string; old_count : int; new_count : int }
 
 type row = {
   bench : string;
+  size_in : (int * int) option;
+      (** input AIG node counts (old, new) when both snapshots carry
+          [size_before] — shows the effective benchmark scale;
+          informational, never part of the verdict *)
   deltas : delta list;  (** size, depth, luts, levels, wall_ms *)
   counter_deltas : counter_delta list;  (** changed counters only *)
   verdict : verdict;  (** worst of [deltas] *)

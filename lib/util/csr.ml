@@ -1,0 +1,151 @@
+(* One shared int buffer; per-node (offset, length, capacity) words.
+   A list's slots are contiguous at [off.(v) .. off.(v)+cap.(v)-1];
+   the first [len.(v)] of them are live. Overflow relocates the list
+   to the buffer tail with doubled capacity and leaks the old slots
+   until the next [compact]. *)
+
+type t = {
+  mutable buf : int array;
+  mutable off : int array;
+  mutable len : int array;
+  mutable cap : int array;
+  mutable tail : int; (* first free word in [buf] *)
+  mutable live : int; (* sum of [len] *)
+  slot : int; (* capacity granted on a list's first push *)
+}
+
+let create ?(nodes = 64) ?(slot = 2) () =
+  let nodes = max nodes 1 in
+  {
+    buf = Array.make (max (nodes * slot) 64) 0;
+    off = Array.make nodes 0;
+    len = Array.make nodes 0;
+    cap = Array.make nodes 0;
+    tail = 0;
+    live = 0;
+    slot = max slot 1;
+  }
+
+let ensure_nodes t n =
+  let old = Array.length t.off in
+  if n > old then begin
+    let ncap = max n (2 * old) in
+    let ext a =
+      let a' = Array.make ncap 0 in
+      Array.blit a 0 a' 0 old;
+      a'
+    in
+    t.off <- ext t.off;
+    t.len <- ext t.len;
+    t.cap <- ext t.cap
+  end
+
+let length t v = t.len.(v)
+let get t v i = t.buf.(t.off.(v) + i)
+
+(* Repack every list contiguously into a buffer of [size] words.
+   Offsets move; contents and order do not. Capacities shrink to the
+   live length, so the next push to a squeezed list relocates it —
+   correct, and amortized by the doubling growth. *)
+let repack t size =
+  let nbuf = Array.make (max size 64) 0 in
+  let w = ref 0 in
+  for v = 0 to Array.length t.off - 1 do
+    let l = t.len.(v) in
+    if l > 0 then begin
+      Array.blit t.buf t.off.(v) nbuf !w l;
+      t.off.(v) <- !w;
+      w := !w + l
+    end
+    else t.off.(v) <- 0;
+    t.cap.(v) <- l
+  done;
+  t.buf <- nbuf;
+  t.tail <- !w
+
+let compact t = repack t (t.live + (t.live lsr 2) + 64)
+
+(* Make room for [need] words at the tail: compact first when leaked
+   slots alone would satisfy the request, otherwise grow. *)
+let reserve t need =
+  if t.tail + need > Array.length t.buf then begin
+    if t.live + need <= Array.length t.buf lsr 1 then compact t
+    else
+      repack t
+        (let target = ref (2 * Array.length t.buf) in
+         while t.live + need > !target do
+           target := 2 * !target
+         done;
+         !target)
+  end
+
+let push t v x =
+  let l = t.len.(v) in
+  if l = t.cap.(v) then begin
+    (* Relocate to the append region with doubled capacity; the old
+       slots leak until [compact]. *)
+    let ncap = if l = 0 then t.slot else 2 * l in
+    reserve t ncap;
+    Array.blit t.buf t.off.(v) t.buf t.tail l;
+    t.off.(v) <- t.tail;
+    t.cap.(v) <- ncap;
+    t.tail <- t.tail + ncap
+  end;
+  t.buf.(t.off.(v) + l) <- x;
+  t.len.(v) <- l + 1;
+  t.live <- t.live + 1
+
+let remove t v x =
+  let base = t.off.(v) and l = t.len.(v) in
+  let rec find i = if i >= l then -1 else if t.buf.(base + i) = x then i else find (i + 1) in
+  let i = find 0 in
+  if i >= 0 then begin
+    Array.blit t.buf (base + i + 1) t.buf (base + i) (l - i - 1);
+    t.len.(v) <- l - 1;
+    t.live <- t.live - 1
+  end
+
+let clear t v =
+  t.live <- t.live - t.len.(v);
+  t.len.(v) <- 0
+
+let iter f t v =
+  let base = t.off.(v) in
+  for i = 0 to t.len.(v) - 1 do
+    f t.buf.(base + i)
+  done
+
+let fold f acc t v =
+  let base = t.off.(v) in
+  let r = ref acc in
+  for i = 0 to t.len.(v) - 1 do
+    r := f !r t.buf.(base + i)
+  done;
+  !r
+
+let to_array t v = Array.sub t.buf t.off.(v) t.len.(v)
+
+let copy t ~nodes ~node_cap =
+  let node_cap = max node_cap nodes in
+  let off = Array.make node_cap 0 in
+  let len = Array.make node_cap 0 in
+  let cap = Array.make node_cap 0 in
+  (* Live prefix only, compacted as it is written: flat blits, no
+     boxed allocation, and the leaked words of the source are left
+     behind. *)
+  let buf = Array.make (max (t.live + (t.live lsr 2) + 64) 64) 0 in
+  let w = ref 0 in
+  for v = 0 to nodes - 1 do
+    let l = t.len.(v) in
+    if l > 0 then begin
+      Array.blit t.buf t.off.(v) buf !w l;
+      off.(v) <- !w;
+      len.(v) <- l;
+      cap.(v) <- l;
+      w := !w + l
+    end
+  done;
+  { buf; off; len; cap; tail = !w; live = !w; slot = t.slot }
+
+let capacity_words t = Array.length t.buf
+let live_words t = t.live

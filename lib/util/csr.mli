@@ -1,0 +1,57 @@
+(** Packed CSR-style adjacency arena: many small int lists (one per
+    node) stored in a single shared int buffer, replacing a boxed
+    [Vec.t array].
+
+    Each node owns a [(offset, length, capacity)] triple into the
+    shared buffer. Lists are append-ordered and all mutators preserve
+    exactly the order semantics of {!Sbm_util.Vec}: [push] appends,
+    [remove] deletes the first occurrence and shifts the tail left,
+    [fold]/[iter] walk indexes [0 .. length-1] ascending. A list that
+    outgrows its capacity relocates to the append region at the buffer
+    tail (doubling its capacity) and abandons its old slots; [compact]
+    squeezes those leaks out at pass boundaries. Physical layout
+    (offsets, capacities, leaked words) is never observable through
+    the reading API. *)
+
+type t
+
+val create : ?nodes:int -> ?slot:int -> unit -> t
+(** [create ~nodes ~slot ()] readies [nodes] empty lists. [slot] is
+    the capacity a list first receives when its first element arrives
+    (storage is allocated lazily: an empty list costs no buffer
+    words). *)
+
+val ensure_nodes : t -> int -> unit
+(** Grow the per-node tables so node ids below the given bound are
+    valid. Existing lists are untouched. *)
+
+val length : t -> int -> int
+val push : t -> int -> int -> unit
+val remove : t -> int -> int -> unit
+(** First occurrence, left shift — same as {!Sbm_util.Vec.remove}. *)
+
+val clear : t -> int -> unit
+(** Empty one list. Its capacity stays with the node for reuse. *)
+
+val get : t -> int -> int -> int
+(** [get t v i] is element [i] of node [v]'s list. *)
+
+val iter : (int -> unit) -> t -> int -> unit
+val fold : ('a -> int -> 'a) -> 'a -> t -> int -> 'a
+val to_array : t -> int -> int array
+
+val copy : t -> nodes:int -> node_cap:int -> t
+(** [copy t ~nodes ~node_cap] is an independent arena holding the
+    lists of nodes [0 .. nodes-1], compacted contiguously (leaked and
+    surplus capacity are not reproduced), with per-node tables sized
+    for [node_cap] ids. O(live words + nodes), no boxed allocation. *)
+
+val compact : t -> unit
+(** Repack every list contiguously, reclaiming leaked append-region
+    slots. List contents and order are unchanged. *)
+
+val capacity_words : t -> int
+(** Words in the shared buffer (allocated footprint). *)
+
+val live_words : t -> int
+(** Words currently holding list elements (sum of lengths). *)

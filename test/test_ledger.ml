@@ -29,6 +29,7 @@ let entry ?(counters = []) ?(wall_ms = 100.0) ?(passes = []) bench size depth
     luts levels =
   {
     Snapshot.bench;
+    size_before = -1;
     qor = { Snapshot.size; depth; luts; levels };
     wall_ms;
     counters;

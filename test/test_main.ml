@@ -6,6 +6,7 @@ let () =
       ("cut-synth", Test_cut_synth.suite);
       ("bdd", Test_bdd.suite);
       ("aig", Test_aig.suite);
+      ("arena", Test_arena.suite);
       ("passes", Test_passes.suite);
       ("sop", Test_sop.suite);
       ("network", Test_network.suite);

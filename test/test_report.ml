@@ -11,10 +11,11 @@ module Json = Sbm_report.Json
 module Gradient = Sbm_core.Gradient
 module Rng = Sbm_util.Rng
 
-let entry ?(counters = []) ?(wall_ms = 100.0) ?(passes = []) bench size depth
-    luts levels =
+let entry ?(counters = []) ?(wall_ms = 100.0) ?(passes = []) ?(size_before = -1)
+    bench size depth luts levels =
   {
     Snapshot.bench;
+    size_before;
     qor = { Snapshot.size; depth; luts; levels };
     wall_ms;
     counters;
@@ -28,7 +29,9 @@ let test_snapshot_round_trip () =
     Snapshot.make ~label:"flow=sbm-low \"quoted\"" ~seed:42
       [
         entry ~counters:[ ("gradient.moves_tried", 12); ("sat.conflicts", 3) ]
-          ~wall_ms:12.5 "ctrl" 52 10 20 3;
+          ~wall_ms:12.5 ~size_before:106 "ctrl" 52 10 20 3;
+        (* No size_before: the key is omitted and must parse back as
+           the -1 "unrecorded" sentinel. *)
         entry ~wall_ms:640.125 "router" 105 10 30 3;
       ]
   in
